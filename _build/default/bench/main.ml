@@ -1,0 +1,207 @@
+(* Benchmark harness.
+
+   Two layers, both run by `dune exec bench/main.exe`:
+
+   1. Bechamel micro-benchmarks (real wall-clock, OLS-estimated time/run)
+      of the substrate and both autobatching runtimes.
+   2. The paper-figure harnesses (Figure 5, Figure 6) and the design
+      ablations (A1-A3), printed as the same series the paper plots.
+
+   Pass a subset of [micro|figure5|figure6|ablations] as argv to run only
+   those stages (default: all, with bench-sized figure parameters). *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- shared fixtures ---------- *)
+
+let fib_program =
+  let open Lang in
+  let open Lang.Infix in
+  program ~main:"fib"
+    [
+      func "fib" ~params:[ "n" ]
+        [
+          if_
+            (var "n" <= flt 1.)
+            [ return_ [ flt 1. ] ]
+            [
+              call [ "left" ] "fib" [ var "n" - flt 2. ];
+              call [ "right" ] "fib" [ var "n" - flt 1. ];
+              return_ [ var "left" + var "right" ];
+            ];
+        ];
+    ]
+
+let fib_compiled = Autobatch.compile ~input_shapes:[ Shape.scalar ] fib_program
+
+let fib_batch =
+  [ Tensor.init [| 32 |] (fun i -> float_of_int (4 + (i.(0) mod 8))) ]
+
+let nuts_fixture =
+  lazy
+    (let gaussian = Gaussian_model.create ~dim:20 () in
+     let model = gaussian.Gaussian_model.model in
+     let reg, _ = Nuts_dsl.setup ~model () in
+     let q0 = Tensor.zeros [| 20 |] in
+     let eps = Nuts.find_reasonable_eps ~model ~q0 () in
+     let cfg = Nuts.default_config ~eps () in
+     let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
+     let compiled =
+       Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+     in
+     let batch = Nuts_dsl.inputs ~q0 ~eps ~n_iter:1 ~n_burn:0 ~batch:16 () in
+     (compiled, batch))
+
+(* ---------- micro benchmarks ---------- *)
+
+let tensor_tests =
+  let a = Tensor.init [| 64; 64 |] (fun i -> float_of_int ((i.(0) * 7) + i.(1)) /. 100.) in
+  let b = Tensor.init [| 64; 64 |] (fun i -> float_of_int (i.(0) - (3 * i.(1))) /. 50.) in
+  let v = Tensor.init [| 4096 |] (fun i -> float_of_int i.(0)) in
+  let mask = Array.init 256 (fun i -> i mod 3 = 0) in
+  let rows = Tensor.init [| 256; 64 |] (fun i -> float_of_int (i.(0) + i.(1))) in
+  let dst = Tensor.copy rows in
+  let spd =
+    (* A well-conditioned SPD matrix for the Cholesky benchmark. *)
+    Tensor.add
+      (Tensor.mul_scalar (Tensor.add a (Tensor.transpose a)) 0.01)
+      (Tensor.mul_scalar (Tensor.eye 64) 100.)
+  in
+  Test.make_grouped ~name:"tensor"
+    [
+      Test.make ~name:"matmul-64x64" (Staged.stage (fun () -> Tensor.matmul a b));
+      Test.make ~name:"elementwise-add-4k" (Staged.stage (fun () -> Tensor.add v v));
+      Test.make ~name:"masked-blit-256x64"
+        (Staged.stage (fun () -> Tensor.blit_rows_masked ~mask ~src:rows ~dst));
+      Test.make ~name:"cholesky-64" (Staged.stage (fun () -> Cholesky.factor spd));
+    ]
+
+let stack_tests =
+  let s = Stacked.create ~z:256 ~elem:[| 32 |] () in
+  let mask = Array.init 256 (fun i -> i mod 2 = 0) in
+  Test.make_grouped ~name:"stacked"
+    [
+      Test.make ~name:"push-pop-256x32"
+        (Staged.stage (fun () ->
+             Stacked.push s ~mask;
+             Stacked.pop s ~mask));
+    ]
+
+let fib_jit = Autobatch.jit fib_compiled ~batch:32
+
+let vm_tests =
+  Test.make_grouped ~name:"vm"
+    [
+      Test.make ~name:"fib-local-z32"
+        (Staged.stage (fun () -> Autobatch.run_local fib_compiled ~batch:fib_batch));
+      Test.make ~name:"fib-pc-z32"
+        (Staged.stage (fun () -> Autobatch.run_pc fib_compiled ~batch:fib_batch));
+      Test.make ~name:"fib-jit-z32"
+        (Staged.stage (fun () -> Pc_jit.run fib_jit ~batch:fib_batch));
+      Test.make ~name:"fib-unbatched-z32"
+        (Staged.stage (fun () -> Autobatch.run_unbatched fib_compiled ~batch:fib_batch));
+      Test.make ~name:"compile-fib"
+        (Staged.stage (fun () ->
+             Autobatch.compile ~input_shapes:[ Shape.scalar ] fib_program));
+    ]
+
+let nuts_tests =
+  let compiled, batch = Lazy.force nuts_fixture in
+  let jit = Autobatch.jit compiled ~batch:16 in
+  Test.make_grouped ~name:"nuts"
+    [
+      Test.make ~name:"trajectory-pc-z16"
+        (Staged.stage (fun () -> Autobatch.run_pc compiled ~batch));
+      Test.make ~name:"trajectory-jit-z16"
+        (Staged.stage (fun () -> Pc_jit.run jit ~batch));
+      Test.make ~name:"trajectory-local-z16"
+        (Staged.stage (fun () -> Autobatch.run_local compiled ~batch));
+    ]
+
+let run_micro () =
+  print_endline "== Bechamel micro-benchmarks (real wall clock) ==";
+  let tests =
+    Test.make_grouped ~name:"autobatch"
+      [ tensor_tests; stack_tests; vm_tests; nuts_tests ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan
+        in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols_result) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Table.print_stdout
+    ~header:[ "benchmark"; "time/run"; "r2" ]
+    ~rows:
+      (List.map
+         (fun (name, ns, r2) ->
+           [ name; Table.si (ns /. 1e9) ^ "s"; Printf.sprintf "%.3f" r2 ])
+         rows);
+  print_newline ()
+
+(* ---------- figures and ablations ---------- *)
+
+let run_figure5 () =
+  (* Bench-sized: the tuned sampler takes deep trees on this model, so the
+     full default sweep belongs to the CLI (`experiments figure5`). *)
+  let scale =
+    {
+      Figure5.default_scale with
+      Figure5.batch_sizes = [ 1; 4; 16; 64; 256 ];
+      n_data = 250;
+      dim = 20;
+      n_iter = 1;
+    }
+  in
+  Figure5.print (Figure5.run ~scale ());
+  print_newline ()
+
+let run_figure6 () =
+  let stats = Figure6.run ~dim:50 ~batch_sizes:[ 1; 2; 4; 8; 16; 32; 64; 128 ] () in
+  Figure6.print stats;
+  print_newline ()
+
+let run_ablations () =
+  Ablations.print
+    ~title:"Ablation A1: masking vs gather/scatter (local static, CPU eager)"
+    (Ablations.masking_vs_gather ());
+  print_newline ();
+  Ablations.print
+    ~title:"Ablation A2: block scheduling heuristics (program counter, GPU fused)"
+    (Ablations.schedulers ());
+  print_newline ();
+  Ablations.print
+    ~title:"Ablation A3: stack compiler optimizations O2-O5 (program counter, GPU fused)"
+    (Ablations.stack_optimizations ());
+  print_newline ()
+
+let () =
+  let stages =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picked) -> picked
+    | _ -> [ "micro"; "figure5"; "figure6"; "ablations" ]
+  in
+  List.iter
+    (fun stage ->
+      match stage with
+      | "micro" -> run_micro ()
+      | "figure5" -> run_figure5 ()
+      | "figure6" -> run_figure6 ()
+      | "ablations" -> run_ablations ()
+      | other ->
+        Printf.eprintf "unknown stage %S (expected micro|figure5|figure6|ablations)\n"
+          other;
+        exit 1)
+    stages

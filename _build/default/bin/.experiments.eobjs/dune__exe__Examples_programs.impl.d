@@ -1,0 +1,1 @@
+bin/examples_programs.ml: Gaussian_model Lang Nuts_dsl Prim Shape

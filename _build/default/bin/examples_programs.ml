@@ -1,0 +1,54 @@
+(* Named programs for the `inspect` subcommand: each yields the program,
+   a registry that can compile it, and its input element shapes. *)
+
+let fib =
+  let open Lang in
+  let open Lang.Infix in
+  let p =
+    program ~main:"fib"
+      [
+        func "fib" ~params:[ "n" ]
+          [
+            if_
+              (var "n" <= flt 1.)
+              [ return_ [ flt 1. ] ]
+              [
+                call [ "left" ] "fib" [ var "n" - flt 2. ];
+                call [ "right" ] "fib" [ var "n" - flt 1. ];
+                return_ [ var "left" + var "right" ];
+              ];
+          ];
+      ]
+  in
+  (p, Prim.standard (), [ Shape.scalar ])
+
+let collatz =
+  let open Lang in
+  let open Lang.Infix in
+  let p =
+    program ~main:"collatz"
+      [
+        func "collatz" ~params:[ "n" ]
+          [
+            assign "steps" (flt 0.);
+            while_
+              (var "n" > flt 1.)
+              [
+                assign "half" (prim "floor" [ var "n" / flt 2. ]);
+                if_
+                  (prim "eq" [ var "n" - (flt 2. * var "half"); flt 0. ])
+                  [ assign "n" (var "half") ]
+                  [ assign "n" ((flt 3. * var "n") + flt 1.) ];
+                assign "steps" (var "steps" + flt 1.);
+              ];
+            return_ [ var "steps" ];
+          ];
+      ]
+  in
+  (p, Prim.standard (), [ Shape.scalar ])
+
+let nuts_gaussian () =
+  let gaussian = Gaussian_model.create ~dim:10 () in
+  let model = gaussian.Gaussian_model.model in
+  let reg, _key = Nuts_dsl.setup ~model () in
+  (Nuts_dsl.program (), reg, Nuts_dsl.input_shapes ~model)

@@ -1,0 +1,328 @@
+(* Command-line driver for the paper-reproduction experiments.
+
+     dune exec bin/experiments.exe -- figure5
+     dune exec bin/experiments.exe -- figure5 --paper-scale
+     dune exec bin/experiments.exe -- figure6
+     dune exec bin/experiments.exe -- ablations
+     dune exec bin/experiments.exe -- inspect fib
+     dune exec bin/experiments.exe -- sample --dim 10 --chains 64 *)
+
+open Cmdliner
+
+let batches_arg default =
+  let doc = "Comma-separated batch sizes to sweep." in
+  Arg.(value & opt (list int) default & info [ "batches" ] ~docv:"Z,Z,..." ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let figure5_cmd =
+  let run paper_scale batches n_data dim n_iter csv =
+    let base = if paper_scale then Figure5.paper_scale else Figure5.default_scale in
+    let scale =
+      {
+        base with
+        Figure5.batch_sizes = (match batches with [] -> base.Figure5.batch_sizes | bs -> bs);
+        n_data = Option.value ~default:base.Figure5.n_data n_data;
+        dim = Option.value ~default:base.Figure5.dim dim;
+        n_iter = Option.value ~default:base.Figure5.n_iter n_iter;
+      }
+    in
+    let points = Figure5.run ~scale () in
+    Figure5.print points;
+    Option.iter (fun path -> write_file path (Figure5.to_csv points)) csv
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV.")
+  in
+  let paper =
+    Arg.(value & flag & info [ "paper-scale" ]
+           ~doc:"Use the paper's problem size (10,000 points, 100 regressors, \
+                 batch sizes up to 4096). Slow on a host CPU.")
+  in
+  let n_data = Arg.(value & opt (some int) None & info [ "n-data" ] ~doc:"Data points.") in
+  let dim = Arg.(value & opt (some int) None & info [ "dim" ] ~doc:"Regressors.") in
+  let n_iter =
+    Arg.(value & opt (some int) None & info [ "n-iter" ] ~doc:"Trajectories per member.")
+  in
+  Cmd.v
+    (Cmd.info "figure5"
+       ~doc:"NUTS throughput vs batch size on Bayesian logistic regression (paper Figure 5).")
+    Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ csv)
+
+let figure6_cmd =
+  let run dim batches n_iter csv =
+    let stats =
+      Figure6.run ~dim
+        ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
+        ~n_iter ()
+    in
+    Figure6.print stats;
+    Option.iter (fun path -> write_file path (Figure6.to_csv stats)) csv
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV.")
+  in
+  let dim = Arg.(value & opt int 100 & info [ "dim" ] ~doc:"Gaussian dimension.") in
+  let n_iter =
+    Arg.(value & opt int 10 & info [ "n-iter" ] ~doc:"Consecutive NUTS trajectories.")
+  in
+  Cmd.v
+    (Cmd.info "figure6"
+       ~doc:"Batch-gradient utilization on the correlated Gaussian (paper Figure 6).")
+    Term.(const run $ dim $ batches_arg [] $ n_iter $ csv)
+
+let ablations_cmd =
+  let run dim batch n_iter =
+    Ablations.print ~title:"Ablation A1: masking vs gather/scatter (local static, CPU eager)"
+      (Ablations.masking_vs_gather ~dim ~batch ~n_iter ());
+    print_newline ();
+    Ablations.print ~title:"Ablation A2: block scheduling heuristics (program counter, GPU fused)"
+      (Ablations.schedulers ~dim ~batch ~n_iter ());
+    print_newline ();
+    Ablations.print ~title:"Ablation A3: stack compiler optimizations O2-O5 (program counter, GPU fused)"
+      (Ablations.stack_optimizations ~dim ~batch ~n_iter ())
+  in
+  let dim = Arg.(value & opt int 50 & info [ "dim" ] ~doc:"Gaussian dimension.") in
+  let batch = Arg.(value & opt int 32 & info [ "batch" ] ~doc:"Batch size.") in
+  let n_iter = Arg.(value & opt int 3 & info [ "n-iter" ] ~doc:"Trajectories.") in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md A1-A3).")
+    Term.(const run $ dim $ batch $ n_iter)
+
+let known_programs () =
+  [
+    ("fib", Examples_programs.fib);
+    ("collatz", Examples_programs.collatz);
+    ("nuts-gaussian", Examples_programs.nuts_gaussian ());
+  ]
+
+(* Resolve a program reference: a known name, or a source file parsed by
+   the concrete-syntax frontend. Shapes default to scalars when unknown. *)
+let resolve_program name =
+  match List.assoc_opt name (known_programs ()) with
+  | Some triple -> triple
+  | None ->
+    if Sys.file_exists name then begin
+      match Parser.parse_file name with
+      | Error e ->
+        Printf.eprintf "%s: parse error at %s\n" name (Parser.string_of_error e);
+        exit 1
+      | Ok prog ->
+        let entry = Option.get (Lang.find_func prog prog.Lang.main) in
+        let shapes = List.map (fun _ -> Shape.scalar) entry.Lang.params in
+        (prog, Prim.standard (), shapes)
+    end
+    else begin
+      Printf.eprintf
+        "unknown program %S: not a known name (%s) and not a source file\n" name
+        (String.concat ", " (List.map fst (known_programs ())));
+      exit 1
+    end
+
+let prog_pos_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"A known program (fib, collatz, nuts-gaussian) or a path to a \
+               source file in the concrete syntax.")
+
+let inspect_cmd =
+  let run name stack optimize =
+    let prog, registry, input_shapes = resolve_program name in
+    let compiled = Autobatch.compile ~registry ~optimize ~input_shapes prog in
+    if stack then Format.printf "%a@." Stack_ir.pp_program compiled.Autobatch.stack
+    else Format.printf "%a@." Cfg.pp_program compiled.Autobatch.cfg
+  in
+  let stack =
+    Arg.(value & flag & info [ "stack" ]
+           ~doc:"Print the merged Figure-4 stack program instead of the Figure-2 CFG.")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ]
+           ~doc:"Run the CFG optimizer (fold/CSE/copy-prop/DCE) first.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Dump a program's compiled IR.")
+    Term.(const run $ prog_pos_arg $ stack $ optimize)
+
+let dot_cmd =
+  let run name stack =
+    let prog, registry, input_shapes = resolve_program name in
+    let compiled = Autobatch.compile ~registry ~input_shapes prog in
+    if stack then print_string (Dot.stack_to_dot compiled.Autobatch.stack)
+    else print_string (Dot.cfg_to_dot compiled.Autobatch.cfg)
+  in
+  let stack =
+    Arg.(value & flag & info [ "stack" ]
+           ~doc:"Emit the merged stack program's graph instead of the CFG.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a program's compiled IR.")
+    Term.(const run $ prog_pos_arg $ stack)
+
+let run_file_cmd =
+  let run name args =
+    let prog, registry, input_shapes = resolve_program name in
+    let compiled = Autobatch.compile ~registry ~input_shapes prog in
+    let entry = Option.get (Lang.find_func prog prog.Lang.main) in
+    if List.length args <> List.length entry.Lang.params then begin
+      Printf.eprintf "program %s wants %d scalar arguments, got %d\n" name
+        (List.length entry.Lang.params)
+        (List.length args);
+      exit 1
+    end;
+    let batch = List.map (fun v -> Tensor.of_list [ v ]) args in
+    let outputs = Autobatch.run_pc compiled ~batch in
+    List.iteri
+      (fun i t -> Format.printf "output %d: %a@." i Tensor.pp (Tensor.slice_row t 0))
+      outputs
+  in
+  let args =
+    Arg.(value & pos_right 0 float [] & info [] ~docv:"ARGS"
+           ~doc:"Scalar arguments to the entry function.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program (batch of one) under the program-counter VM.")
+    Term.(const run $ prog_pos_arg $ args)
+
+let profile_cmd =
+  let run name batch vm_name =
+    let prog, registry, input_shapes = resolve_program name in
+    let compiled = Autobatch.compile ~registry ~input_shapes prog in
+    let entry = Option.get (Lang.find_func prog prog.Lang.main) in
+    (* A simple synthetic batch: scalar inputs get a spread of values,
+       vector inputs zeros; nuts-gaussian gets its proper inputs. *)
+    let batch =
+      if name = "nuts-gaussian" then
+        Nuts_dsl.inputs
+          ~q0:(Tensor.zeros [| 10 |])
+          ~eps:0.4 ~n_iter:3 ~n_burn:0 ~batch ()
+      else
+        List.mapi
+          (fun i shape ->
+            ignore i;
+            Tensor.init (Shape.concat_outer batch shape) (fun idx ->
+                float_of_int ((idx.(0) mod 10) + 2)))
+          input_shapes
+    in
+    ignore entry;
+    let instrument = Instrument.create () in
+    let origin =
+      match vm_name with
+      | "pc" ->
+        let config = { Pc_vm.default_config with instrument = Some instrument } in
+        ignore (Autobatch.run_pc ~config compiled ~batch);
+        Some compiled.Autobatch.stack.Stack_ir.origin
+      | "local" ->
+        let config = { Local_vm.default_config with instrument = Some instrument } in
+        ignore (Autobatch.run_local ~config compiled ~batch);
+        None
+      | other ->
+        Printf.eprintf "unknown vm %S (pc|local)\n" other;
+        exit 1
+    in
+    Printf.printf "overall utilization: %.3f over %d block executions\n"
+      (Instrument.overall_utilization instrument)
+      (Instrument.blocks_executed instrument);
+    let rows =
+      List.map
+        (fun (block, execs, active) ->
+          let where =
+            match origin with
+            | Some o when block < Array.length o ->
+              let f, l = o.(block) in
+              Printf.sprintf "%s.%d" f l
+            | Some _ | None -> "-"
+          in
+          [
+            string_of_int block;
+            where;
+            string_of_int execs;
+            Printf.sprintf "%.2f" (float_of_int active /. float_of_int execs);
+          ])
+        (Instrument.block_stats instrument)
+    in
+    Table.print_stdout ~header:[ "block"; "origin"; "execs"; "mean-active" ] ~rows
+  in
+  let batch = Arg.(value & opt int 16 & info [ "batch" ] ~doc:"Batch size.") in
+  let vm = Arg.(value & opt string "pc" & info [ "vm" ] ~doc:"Runtime: pc or local.") in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-block execution profile under a batching runtime.")
+    Term.(const run $ prog_pos_arg $ batch $ vm)
+
+let sample_cmd =
+  let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt =
+    let model =
+      match model_name with
+      | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
+      | "funnel" -> (Funnel_model.create ~dim ()).Funnel_model.model
+      | "logistic" ->
+        (Logistic_model.create ~n:(dim * 40) ~dim ()).Logistic_model.model
+      | other ->
+        Printf.eprintf "unknown model %S (gaussian|funnel|logistic)\n" other;
+        exit 1
+    in
+    let variant =
+      match variant_name with
+      | "slice" -> Nuts.Slice
+      | "multinomial" -> Nuts.Multinomial
+      | other ->
+        Printf.eprintf "unknown variant %S (slice|multinomial)\n" other;
+        exit 1
+    in
+    let collect =
+      match collect_name with
+      | "moments" -> `Moments
+      | "samples" -> `Samples
+      | other ->
+        Printf.eprintf "unknown collection mode %S (moments|samples)\n" other;
+        exit 1
+    in
+    let s =
+      Batched_sampler.run ~variant ~adapt:(not no_adapt) ~collect ~model ~chains
+        ~n_iter ~n_burn ()
+    in
+    Format.printf "%s: %a@." model.Model.name Batched_sampler.pp_summary s
+  in
+  let model =
+    Arg.(value & opt string "gaussian"
+         & info [ "model" ] ~doc:"Target: gaussian, funnel, or logistic.")
+  in
+  let dim = Arg.(value & opt int 10 & info [ "dim" ] ~doc:"Dimension.") in
+  let chains = Arg.(value & opt int 64 & info [ "chains" ] ~doc:"Parallel chains.") in
+  let n_iter = Arg.(value & opt int 50 & info [ "n-iter" ] ~doc:"Trajectories per chain.") in
+  let n_burn = Arg.(value & opt int 20 & info [ "n-burn" ] ~doc:"Burn-in trajectories.") in
+  let variant =
+    Arg.(value & opt string "slice"
+         & info [ "variant" ] ~doc:"NUTS variant: slice (the paper's) or multinomial.")
+  in
+  let collect =
+    Arg.(value & opt string "moments"
+         & info [ "collect" ]
+             ~doc:"moments (full cross-trajectory batching) or samples (per-draw \
+                   diagnostics, trajectory-synchronized).")
+  in
+  let no_adapt =
+    Arg.(value & flag & info [ "no-adapt" ] ~doc:"Skip warmup adaptation.")
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Run batched NUTS on a built-in target and summarize the posterior.")
+    Term.(const run $ model $ dim $ chains $ n_iter $ n_burn $ variant $ collect
+          $ no_adapt)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "experiments" ~version:"1.0"
+             ~doc:"Reproduction experiments for 'Automatically Batching \
+                   Control-Intensive Programs for Modern Accelerators'.")
+          [
+            figure5_cmd; figure6_cmd; ablations_cmd; inspect_cmd; dot_cmd;
+            run_file_cmd; profile_cmd; sample_cmd;
+          ]))

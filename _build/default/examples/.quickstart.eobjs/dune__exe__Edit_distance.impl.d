@@ -1,0 +1,1 @@
+examples/edit_distance.ml: Array Autobatch Char Format Lang List Shape String Tensor

@@ -1,0 +1,1 @@
+examples/nuts_gaussian.ml: Autobatch Format Gaussian_model Instrument List Nuts Nuts_dsl Option Pc_vm Tensor

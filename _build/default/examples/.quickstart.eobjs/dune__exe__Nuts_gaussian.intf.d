@@ -1,0 +1,1 @@
+examples/nuts_gaussian.mli:

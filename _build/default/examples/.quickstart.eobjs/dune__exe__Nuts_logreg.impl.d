@@ -1,0 +1,1 @@
+examples/nuts_logreg.ml: Autobatch Device Engine Format Instrument List Local_vm Logistic_model Nuts Nuts_dsl Pc_vm Stdlib Table Tensor

@@ -1,0 +1,1 @@
+examples/nuts_logreg.mli:

@@ -1,0 +1,1 @@
+examples/ode_batch.ml: Array Autobatch Float Format Instrument Lang List Pc_vm Shape Tensor

@@ -1,0 +1,1 @@
+examples/ode_batch.mli:

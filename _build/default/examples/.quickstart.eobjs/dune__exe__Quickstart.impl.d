@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Autobatch Format Lang List Shape Stack_ir Tensor

@@ -1,0 +1,1 @@
+examples/schools.ml: Array Batched_sampler Eight_schools Float Format Nuts Stdlib Tensor

@@ -1,0 +1,1 @@
+examples/tree_search.ml: Array Autobatch Float Format Instrument Lang List Pc_vm Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+examples/warmup_mass.ml: Array Autobatch Format Gaussian_model List Nuts Nuts_dsl Tensor Warmup

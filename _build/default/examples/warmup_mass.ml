@@ -1,0 +1,66 @@
+(* Warmup and mass-matrix adaptation feeding the autobatched sampler.
+
+   Workflow of a production MCMC run, end to end:
+   1. adapt a step size and a diagonal inverse mass matrix on the host
+      (Warmup: dual averaging + a variance window, Stan-style);
+   2. hand both to the autobatched NUTS program and run many chains in
+      lockstep on the "accelerator";
+   3. check the posterior against the analytic target.
+
+   The target is a badly-scaled correlated Gaussian (standard deviations
+   spanning 0.2 to 5), where identity-mass NUTS needs deep trees and the
+   adapted metric collapses the cost.
+
+     dune exec examples/warmup_mass.exe *)
+
+let () =
+  let scales = [| 0.2; 1.; 5.; 0.5; 2.; 0.3 |] in
+  let dim = Array.length scales in
+  let gaussian = Gaussian_model.create ~rho:0.4 ~scales ~dim () in
+  let model = gaussian.Gaussian_model.model in
+  let q0 = Tensor.zeros [| dim |] in
+
+  (* 1. Warmup on the host. *)
+  let w = Warmup.run ~model ~q0 () in
+  Format.printf "adapted step size: %.4f@." w.Warmup.eps;
+  Format.printf "adapted inverse mass (target marginal variances):@.";
+  Array.iteri
+    (fun i s ->
+      Format.printf "  dim %d: minv %.3f   target %.3f@." i
+        (Tensor.data w.Warmup.minv).(i)
+        (s *. s))
+    scales;
+
+  (* 2. Batched sampling with the adapted metric. *)
+  let reg, key = Nuts_dsl.setup ~model () in
+  let cfg = Nuts.default_config ~mass_minv:w.Warmup.minv ~eps:w.Warmup.eps () in
+  let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
+  let compiled =
+    Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+  in
+  let chains = 48 and n_iter = 80 and n_burn = 20 in
+  let batch =
+    Nuts_dsl.inputs ~minv:w.Warmup.minv ~q0:w.Warmup.q ~eps:w.Warmup.eps ~n_iter
+      ~n_burn ~batch:chains ()
+  in
+  let outputs = Autobatch.run_pc compiled ~batch in
+
+  (* 3. Posterior moments across all chains and kept iterations. *)
+  let kept = float_of_int ((n_iter - n_burn) * chains) in
+  let mean = Tensor.mul_scalar (Tensor.sum ~axis:0 (List.nth outputs 1)) (1. /. kept) in
+  let ex2 = Tensor.mul_scalar (Tensor.sum ~axis:0 (List.nth outputs 2)) (1. /. kept) in
+  let var = Tensor.sub ex2 (Tensor.square mean) in
+  Format.printf "@.posterior vs target:@.";
+  Array.iteri
+    (fun i s ->
+      Format.printf "  dim %d: mean %+.3f (0)   var %.3f (%.3f)@." i
+        (Tensor.data mean).(i)
+        (Tensor.data var).(i)
+        (s *. s))
+    scales;
+
+  (* The batched run is still bitwise-reproducible against the host
+     sampler, mass matrix and all. *)
+  let r = Nuts.sample_chain cfg ~model ~key ~member:0 ~q0:w.Warmup.q ~n_iter in
+  Format.printf "@.chain 0 bitwise-equal to reference: %b@."
+    (Tensor.equal r.Nuts.final_q (Tensor.slice_row (List.hd outputs) 0))

@@ -1,0 +1,1 @@
+lib/accel/engine.ml: Device Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/accel/engine.mli: Device Format

@@ -1,0 +1,160 @@
+type mode = Eager | Fused | Hybrid
+
+let mode_to_string = function
+  | Eager -> "eager"
+  | Fused -> "fused"
+  | Hybrid -> "hybrid"
+
+type counters = {
+  kernel_launches : int;
+  fused_launches : int;
+  host_ops : int;
+  host_calls : int;
+  blocks : int;
+  flops : float;
+  traffic_bytes : float;
+}
+
+type state = {
+  mutable kernel_launches : int;
+  mutable fused_launches : int;
+  mutable host_ops : int;
+  mutable host_calls : int;
+  mutable blocks : int;
+  mutable flops : float;
+  mutable traffic_bytes : float;
+  mutable time : float;
+}
+
+type t = { device : Device.t; mode : mode; st : state; tally : (string, int) Hashtbl.t }
+
+let create ~device ~mode () =
+  {
+    device;
+    mode;
+    st =
+      {
+        kernel_launches = 0;
+        fused_launches = 0;
+        host_ops = 0;
+        host_calls = 0;
+        blocks = 0;
+        flops = 0.;
+        traffic_bytes = 0.;
+        time = 0.;
+      };
+    tally = Hashtbl.create 64;
+  }
+
+let device t = t.device
+let mode t = t.mode
+
+let bump_tally t name =
+  Hashtbl.replace t.tally name (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally name))
+
+let compute_time t flops = flops /. t.device.Device.flops_per_sec
+
+let fused_compute_time t flops =
+  flops /. (t.device.Device.flops_per_sec *. t.device.Device.fused_flops_multiplier)
+let traffic_time t bytes = bytes /. t.device.Device.bytes_per_sec
+
+(* The ratio of a host function call to a single host op dispatch: frame
+   setup, argument marshalling, result unmarshalling. *)
+let host_call_factor = 4.
+
+let charge_traffic t ~bytes =
+  t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
+  t.st.time <- t.st.time +. traffic_time t bytes
+
+let charge_kernel t ~name ~flops =
+  bump_tally t name;
+  t.st.kernel_launches <- t.st.kernel_launches + 1;
+  t.st.host_ops <- t.st.host_ops + 1;
+  t.st.flops <- t.st.flops +. flops;
+  t.st.time <-
+    t.st.time
+    +. t.device.Device.kernel_launch_overhead
+    +. t.device.Device.host_op_overhead
+    +. compute_time t flops
+
+let charge_host_call t =
+  t.st.host_calls <- t.st.host_calls + 1;
+  t.st.time <- t.st.time +. (host_call_factor *. t.device.Device.host_op_overhead)
+
+let charge_block t ~ops ~control_ops ~traffic_bytes =
+  let d = t.device in
+  t.st.blocks <- t.st.blocks + 1;
+  let block_flops = List.fold_left (fun acc (_, f) -> acc +. f) 0. ops in
+  t.st.flops <- t.st.flops +. block_flops;
+  List.iter (fun (name, _) -> bump_tally t name) ops;
+  let n_ops = List.length ops in
+  let arithmetic = compute_time t block_flops in
+  let traffic = traffic_time t traffic_bytes in
+  t.st.traffic_bytes <- t.st.traffic_bytes +. traffic_bytes;
+  begin
+    match t.mode with
+    | Eager ->
+      (* Every primitive and every control action is its own kernel, each
+         dispatched from the host language. *)
+      let launches = n_ops + control_ops in
+      t.st.kernel_launches <- t.st.kernel_launches + launches;
+      t.st.host_ops <- t.st.host_ops + launches;
+      t.st.time <-
+        t.st.time
+        +. (float_of_int launches
+            *. (d.Device.kernel_launch_overhead +. d.Device.host_op_overhead))
+        +. arithmetic +. traffic
+    | Fused ->
+      (* One launch covers arithmetic, control and bookkeeping; fusion
+         keeps intermediates on-chip. *)
+      t.st.fused_launches <- t.st.fused_launches + 1;
+      t.st.time <-
+        t.st.time +. d.Device.fused_launch_overhead
+        +. fused_compute_time t block_flops +. traffic
+    | Hybrid ->
+      (* Block arithmetic is fused; control actions are dispatched from the
+         host as individual small kernels. *)
+      t.st.fused_launches <- t.st.fused_launches + 1;
+      t.st.kernel_launches <- t.st.kernel_launches + control_ops;
+      t.st.host_ops <- t.st.host_ops + control_ops;
+      t.st.time <-
+        t.st.time +. d.Device.fused_launch_overhead
+        +. (float_of_int control_ops
+            *. (d.Device.kernel_launch_overhead +. d.Device.host_op_overhead))
+        +. fused_compute_time t block_flops +. traffic
+  end
+
+let elapsed t = t.st.time
+
+let reset t =
+  t.st.kernel_launches <- 0;
+  t.st.fused_launches <- 0;
+  t.st.host_ops <- 0;
+  t.st.host_calls <- 0;
+  t.st.blocks <- 0;
+  t.st.flops <- 0.;
+  t.st.traffic_bytes <- 0.;
+  t.st.time <- 0.;
+  Hashtbl.reset t.tally
+
+let counters t =
+  {
+    kernel_launches = t.st.kernel_launches;
+    fused_launches = t.st.fused_launches;
+    host_ops = t.st.host_ops;
+    host_calls = t.st.host_calls;
+    blocks = t.st.blocks;
+    flops = t.st.flops;
+    traffic_bytes = t.st.traffic_bytes;
+  }
+
+let op_tally t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "@[<hov 2>kernels %d,@ fused %d,@ host-ops %d,@ host-calls %d,@ blocks %d,@ \
+     %.3g flops,@ %.3g bytes@]"
+    c.kernel_launches c.fused_launches c.host_ops c.host_calls c.blocks c.flops
+    c.traffic_bytes

@@ -1,0 +1,60 @@
+(** Execution engine with a simulated clock.
+
+    The autobatching runtimes execute every primitive for real (on the host
+    CPU, via the primitive registry) and report what they did to an engine,
+    which prices the work under a device model and execution mode. This
+    mirrors the paper's three execution configurations:
+
+    - [Eager]: every primitive is a separately dispatched kernel, plus
+      host-language (Python-analogue) dispatch per op — TensorFlow Eager.
+    - [Fused]: each executed basic block costs one fused launch; control
+      flow and masked state updates live inside the fused program — XLA.
+    - [Hybrid]: basic blocks are fused, but control decisions (masks,
+      program-counter updates, host recursion) are dispatched from the
+      host — the paper's "Eager control + XLA blocks" configuration. *)
+
+type mode = Eager | Fused | Hybrid
+
+val mode_to_string : mode -> string
+
+type counters = {
+  kernel_launches : int;  (** individually dispatched kernels *)
+  fused_launches : int;   (** fused-block launches *)
+  host_ops : int;         (** host-language dispatch actions *)
+  host_calls : int;       (** host-language function calls (local-VM recursion) *)
+  blocks : int;           (** basic blocks executed *)
+  flops : float;          (** arithmetic performed *)
+  traffic_bytes : float;  (** stack gather/scatter + masked-update traffic *)
+}
+
+type t
+
+val create : device:Device.t -> mode:mode -> unit -> t
+val device : t -> Device.t
+val mode : t -> mode
+
+val charge_block :
+  t -> ops:(string * float) list -> control_ops:int -> traffic_bytes:float -> unit
+(** Price one executed basic block: [(name, flops)] per primitive, the
+    number of control actions (branch evaluation, mask and program-counter
+    updates), and the bookkeeping bytes moved (masked writes, stack
+    gathers/scatters). *)
+
+val charge_kernel : t -> name:string -> flops:float -> unit
+(** One standalone eagerly dispatched kernel (used by the unbatched
+    reference execution), priced as launch + host dispatch + arithmetic. *)
+
+val charge_host_call : t -> unit
+(** A host-language function call (the local VM's recursion into Python). *)
+
+val charge_traffic : t -> bytes:float -> unit
+
+val elapsed : t -> float
+(** Simulated seconds so far. *)
+
+val reset : t -> unit
+val counters : t -> counters
+val op_tally : t -> (string * int) list
+(** Per-primitive-name dispatch counts, sorted descending. *)
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Autobatch Device Engine Gaussian_model Instrument List Local_vm Lower_stack Nuts Nuts_dsl Option Pc_vm Printf Sched Stack_ir Table Tensor

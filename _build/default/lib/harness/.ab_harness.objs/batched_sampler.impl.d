@@ -1,0 +1,1 @@
+lib/harness/batched_sampler.ml: Array Autobatch Diagnostics Format Instrument List Model Nuts Nuts_dsl Option Pc_vm Tensor Warmup

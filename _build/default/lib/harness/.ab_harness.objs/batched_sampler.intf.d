@@ -1,0 +1,1 @@
+lib/harness/batched_sampler.mli: Format Model Nuts Tensor

@@ -1,0 +1,1 @@
+lib/harness/figure5.ml: Autobatch Buffer Device Engine Float Hmc Instrument List Local_vm Logistic_model Nuts Nuts_dsl Option Pc_vm Printf Splitmix Table Tensor

@@ -1,0 +1,1 @@
+lib/harness/figure6.ml: Array Autobatch Buffer Diagnostics Float Gaussian_model Hmc Instrument List Local_vm Model Nuts Nuts_dsl Option Pc_vm Printf Splitmix Table Tensor

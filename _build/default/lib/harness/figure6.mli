@@ -1,0 +1,47 @@
+(** Figure 6 reproduction: utilization of batched gradient computation on
+    the correlated-Gaussian test problem.
+
+    Both strategies run the *same* auto-batched chain of consecutive NUTS
+    trajectories; the difference is structural, exactly as in the paper:
+
+    - under local static autobatching, a chain cannot start its next
+      trajectory until every chain in the batch finishes the current one
+      (the batch's control structure follows the user program), so the
+      whole batch synchronizes on trajectory boundaries;
+    - program-counter autobatching recomputes the active set from program
+      counters each step, so chains at different trajectory indices and
+      tree depths batch their gradient evaluations together.
+
+    Utilization of a primitive = useful lanes / issued lanes over all its
+    executions, from {!Instrument}; we report the [grad] primitive. *)
+
+type point = {
+  batch : int;
+  local_util : float;   (** trajectory-boundary synchronization *)
+  pc_util : float;      (** gradient-level synchronization *)
+}
+
+type stats = {
+  points : point list;
+  mean_grads_per_trajectory : float;
+  max_grads_per_trajectory : float;
+  (** per-trajectory gradient-count statistics from reference chains; the
+      paper reads the local-static curve as "the longest trajectory tends
+      to be about four times longer than the average". *)
+}
+
+val run :
+  ?dim:int ->
+  ?rho:float ->
+  ?batch_sizes:int list ->
+  ?n_iter:int ->
+  ?seed:int64 ->
+  unit ->
+  stats
+(** Defaults: dim 100, rho 0.7, batch sizes 1…256, 10 trajectories. *)
+
+val print : stats -> unit
+
+val to_csv : stats -> string
+(** [batch,local_util,pc_util] rows plus a trailing comment line with the
+    trajectory statistics. *)

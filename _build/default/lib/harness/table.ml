@@ -1,0 +1,39 @@
+(* Fixed-width text tables for the experiment harness output. *)
+
+let print ~header ~rows ppf =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i = 0 then Format.fprintf ppf "%s%s" cell pad
+        else Format.fprintf ppf "  %s%s" pad cell)
+      row;
+    Format.fprintf ppf "@."
+  in
+  print_row header;
+  Format.fprintf ppf "%s@."
+    (String.concat "" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)));
+  List.iter print_row rows
+
+let print_stdout ~header ~rows = print ~header ~rows Format.std_formatter
+
+let si v =
+  if Float.is_nan v then "nan"
+  else if v = 0. then "0"
+  else begin
+    let a = Float.abs v in
+    if a >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+    else if a >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+    else if a >= 1e3 then Printf.sprintf "%.2fk" (v /. 1e3)
+    else if a >= 1. then Printf.sprintf "%.2f" v
+    else Printf.sprintf "%.2e" v
+  end

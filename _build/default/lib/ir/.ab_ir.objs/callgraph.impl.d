@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Array Cfg Ir_util List Option Smap Sset

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Cfg Format List Printf Stack_ir String

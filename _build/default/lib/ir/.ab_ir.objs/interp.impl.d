@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Hashtbl Lang List Prim Printf Shape Tensor

@@ -1,0 +1,1 @@
+lib/ir/interp_cfg.ml: Array Cfg Hashtbl List Prim Printf Tensor

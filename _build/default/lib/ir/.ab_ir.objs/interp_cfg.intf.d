@@ -1,0 +1,1 @@
+lib/ir/interp_cfg.mli: Cfg Prim Tensor

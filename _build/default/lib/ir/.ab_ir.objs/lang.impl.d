@@ -1,0 +1,1 @@
+lib/ir/lang.ml: Array Format List String

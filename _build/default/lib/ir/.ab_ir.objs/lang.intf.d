@@ -1,0 +1,1 @@
+lib/ir/lang.mli: Format

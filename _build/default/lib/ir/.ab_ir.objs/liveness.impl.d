@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Cfg Ir_util List Sset

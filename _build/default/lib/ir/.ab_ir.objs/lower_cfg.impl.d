@@ -1,0 +1,1 @@
+lib/ir/lower_cfg.ml: Array Cfg Hashtbl Lang List Option Printf Tensor

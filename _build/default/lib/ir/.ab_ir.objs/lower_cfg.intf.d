@@ -1,0 +1,1 @@
+lib/ir/lower_cfg.mli: Cfg Lang

@@ -1,0 +1,1 @@
+lib/ir/lower_stack.ml: Array Callgraph Cfg Hashtbl Ir_util List Liveness Printf Smap Sset Stack_ir Var_class

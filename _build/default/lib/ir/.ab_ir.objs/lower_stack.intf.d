@@ -1,0 +1,1 @@
+lib/ir/lower_stack.mli: Cfg Ir_util Shape Stack_ir

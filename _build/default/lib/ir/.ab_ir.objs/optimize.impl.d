@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Array Cfg Hashtbl Ir_util List Liveness Option Prim Sset Tensor

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Lang List Printf String

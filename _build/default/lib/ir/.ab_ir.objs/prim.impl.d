@@ -1,0 +1,1 @@
+lib/ir/prim.ml: Array Counter_rng Float Hashtbl List Printf Shape Stdlib Tensor

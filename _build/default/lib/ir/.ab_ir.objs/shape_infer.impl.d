@@ -1,0 +1,1 @@
+lib/ir/shape_infer.ml: Array Cfg Ir_util List Option Prim Printf Shape Smap Tensor

@@ -1,0 +1,1 @@
+lib/ir/shape_infer.mli: Cfg Ir_util Prim Shape

@@ -1,0 +1,1 @@
+lib/ir/stack_ir.ml: Array Format Ir_util List Option Shape Smap String Tensor Var_class

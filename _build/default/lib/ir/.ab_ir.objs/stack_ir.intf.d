@@ -1,0 +1,1 @@
+lib/ir/stack_ir.mli: Format Ir_util Shape Tensor Var_class

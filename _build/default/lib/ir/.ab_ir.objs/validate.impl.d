@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Cfg Lang List Lower_cfg Prim Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/var_class.ml: Format

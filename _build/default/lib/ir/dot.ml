@@ -1,0 +1,111 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let block_label pp_op ops term_str =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun op -> Buffer.add_string buf (Format.asprintf "%a\n" pp_op op))
+    ops;
+  Buffer.add_string buf term_str;
+  Buffer.add_char buf '\n';
+  escape (Buffer.contents buf)
+
+let cfg_to_dot (p : Cfg.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iteri
+    (fun fi (fname, (f : Cfg.func)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" fi
+           (escape fname));
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          let term_str =
+            match b.Cfg.term with
+            | Cfg.Jump _ | Cfg.Branch _ -> ""
+            | Cfg.Return -> "return"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    \"%s_%d\" [label=\"%d:\\l%s\"];\n" fname bi bi
+               (block_label Cfg.pp_op b.Cfg.ops term_str)))
+        f.Cfg.blocks;
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          match b.Cfg.term with
+          | Cfg.Jump j ->
+            Buffer.add_string buf
+              (Printf.sprintf "    \"%s_%d\" -> \"%s_%d\";\n" fname bi fname j)
+          | Cfg.Branch { if_true; if_false; _ } ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    \"%s_%d\" -> \"%s_%d\" [label=\"true\"];\n    \"%s_%d\" -> \
+                  \"%s_%d\" [label=\"false\"];\n"
+                 fname bi fname if_true fname bi fname if_false)
+          | Cfg.Return -> ())
+        f.Cfg.blocks;
+      Buffer.add_string buf "  }\n")
+    p.Cfg.funcs;
+  (* Dashed call edges across clusters. *)
+  List.iter
+    (fun (fname, (f : Cfg.func)) ->
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          List.iter
+            (fun op ->
+              match op with
+              | Cfg.Call_op { func; _ } ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  \"%s_%d\" -> \"%s_0\" [style=dashed, color=blue];\n"
+                     fname bi func)
+              | Cfg.Prim_op _ | Cfg.Const_op _ | Cfg.Mov _ -> ())
+            b.Cfg.ops)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let stack_to_dot (p : Stack_ir.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "digraph stack {\n  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun i (b : Stack_ir.block) ->
+      let fname, local = p.Stack_ir.origin.(i) in
+      let term_str =
+        match b.Stack_ir.term with Stack_ir.Sreturn -> "return" | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"%d (%s.%d):\\l%s\"];\n" i i (escape fname)
+           local
+           (block_label Stack_ir.pp_op b.Stack_ir.ops term_str)))
+    p.Stack_ir.blocks;
+  Buffer.add_string buf "  halt [shape=doublecircle, label=\"halt\"];\n";
+  Array.iteri
+    (fun i (b : Stack_ir.block) ->
+      match b.Stack_ir.term with
+      | Stack_ir.Sjump j -> Buffer.add_string buf (Printf.sprintf "  b%d -> b%d;\n" i j)
+      | Stack_ir.Sbranch { if_true; if_false; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  b%d -> b%d [label=\"true\"];\n  b%d -> b%d [label=\"false\"];\n" i
+             if_true i if_false)
+      | Stack_ir.Spushjump { ret; entry } ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  b%d -> b%d [style=dashed, color=blue, label=\"call\"];\n  b%d -> b%d \
+              [style=dotted, color=gray, label=\"ret to\"];\n"
+             i entry i ret)
+      | Stack_ir.Sreturn ->
+        Buffer.add_string buf (Printf.sprintf "  b%d -> halt [style=dotted];\n" i))
+    p.Stack_ir.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

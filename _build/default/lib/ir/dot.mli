@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export of the two IRs, for inspecting what the
+    batching compiler built: control-flow structure, call edges, the
+    merged stack program's push/pop placement and block provenance.
+
+    Render with e.g. [dot -Tsvg fib.dot -o fib.svg]. *)
+
+val cfg_to_dot : Cfg.program -> string
+(** One cluster per function; branch edges are labelled true/false, call
+    ops produce dashed inter-function edges. *)
+
+val stack_to_dot : Stack_ir.program -> string
+(** The merged Figure-4 program: blocks labelled with their source
+    function, [pushjump] edges dashed toward the callee entry with a
+    return edge to the continuation, [return] edges to a halt node. *)

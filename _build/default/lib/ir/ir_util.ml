@@ -1,0 +1,6 @@
+(* Shared string-keyed containers for the IR passes. *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+let sset_of_list = Sset.of_list

@@ -1,0 +1,102 @@
+type expr =
+  | Var of string
+  | Const of float
+  | Vec of float array
+  | Prim of string * expr list
+
+type stmt =
+  | Assign of string * expr
+  | Call_stmt of string list * string * expr list
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of stmt_return
+
+and stmt_return = expr list
+
+type func = { fname : string; params : string list; body : stmt list }
+type program = { funcs : func list; main : string }
+
+let func fname ~params body = { fname; params; body }
+let program ~main funcs = { funcs; main }
+
+let var name = Var name
+let flt v = Const v
+let vec a = Vec a
+let prim name args = Prim (name, args)
+
+let assign name e = Assign (name, e)
+let call dsts f args = Call_stmt (dsts, f, args)
+let if_ c t e = If (c, t, e)
+let while_ c body = While (c, body)
+let return_ es = Return es
+
+module Infix = struct
+  let binop name a b = Prim (name, [ a; b ])
+  let ( + ) = binop "add"
+  let ( - ) = binop "sub"
+  let ( * ) = binop "mul"
+  let ( / ) = binop "div"
+  let ( ~- ) a = Prim ("neg", [ a ])
+  let ( = ) = binop "eq"
+  let ( <> ) = binop "ne"
+  let ( < ) = binop "lt"
+  let ( <= ) = binop "le"
+  let ( > ) = binop "gt"
+  let ( >= ) = binop "ge"
+  let ( && ) = binop "and"
+  let ( || ) = binop "or"
+  let not_ a = Prim ("not", [ a ])
+end
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+let func_names p = List.map (fun f -> f.fname) p.funcs
+
+let rec pp_expr ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Const v -> Format.fprintf ppf "%g" v
+  | Vec a ->
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         (fun ppf v -> Format.fprintf ppf "%g" v))
+      (Array.to_list a)
+  | Prim (name, args) ->
+    Format.fprintf ppf "@[<hov 2>%s(%a)@]" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_expr)
+      args
+
+let rec pp_stmt ppf = function
+  | Assign (x, e) -> Format.fprintf ppf "@[<hov 2>%s =@ %a@]" x pp_expr e
+  | Call_stmt (dsts, f, args) ->
+    Format.fprintf ppf "@[<hov 2>%s =@ call %s(%a)@]"
+      (String.concat ", " dsts) f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_expr)
+      args
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr
+      c pp_body t pp_body e
+  | While (c, body) ->
+    Format.fprintf ppf "@[<v 2>while %a {@,%a@]@,}" pp_expr c pp_body body
+  | Return es ->
+    Format.fprintf ppf "@[<hov 2>return %a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_expr)
+      es
+
+and pp_body ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>def %s(%s) {@,%a@]@,}" f.fname
+    (String.concat ", " f.params)
+    pp_body f.body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%a@,main: %s@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func)
+    p.funcs p.main

@@ -1,0 +1,58 @@
+open Ir_util
+
+type t = { live_in : Sset.t array; live_out : Sset.t array }
+
+(* Transfer one op backward over a live set. *)
+let op_backward live op =
+  let live = Sset.diff live (sset_of_list (Cfg.op_defs op)) in
+  Sset.union live (sset_of_list (Cfg.op_uses op))
+
+let block_backward f (b : Cfg.block) live_out =
+  let live = Sset.union live_out (sset_of_list (Cfg.term_uses f b.Cfg.term)) in
+  List.fold_left op_backward live (List.rev b.Cfg.ops)
+
+let analyze (f : Cfg.func) =
+  let n = Array.length f.Cfg.blocks in
+  let live_in = Array.make n Sset.empty in
+  let live_out = Array.make n Sset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc j -> Sset.union acc live_in.(j))
+          Sset.empty (Cfg.successors f i)
+      in
+      let inp = block_backward f f.Cfg.blocks.(i) out in
+      if not (Sset.equal out live_out.(i) && Sset.equal inp live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inp;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+let live_in t i = t.live_in.(i)
+let live_out t i = t.live_out.(i)
+
+let live_after_op t f ~block ~op =
+  let b = f.Cfg.blocks.(block) in
+  let n_ops = List.length b.Cfg.ops in
+  if op < 0 || op >= n_ops then invalid_arg "Liveness.live_after_op: bad op index";
+  (* Walk backward from the block end to just after op [op]. *)
+  let live =
+    Sset.union t.live_out.(block) (sset_of_list (Cfg.term_uses f b.Cfg.term))
+  in
+  let rec back i live ops_rev =
+    match ops_rev with
+    | [] -> live
+    | o :: rest -> if i = op then live else back (i - 1) (op_backward live o) rest
+  in
+  back (n_ops - 1) live (List.rev b.Cfg.ops)
+
+let cross_block_vars t f =
+  let acc = ref t.live_in.(0) in
+  Array.iteri (fun i _ -> acc := Sset.union !acc t.live_out.(i)) f.Cfg.blocks;
+  !acc

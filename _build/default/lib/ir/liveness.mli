@@ -1,0 +1,22 @@
+(** Classic backward liveness dataflow on one CFG function.
+
+    Used for the paper's compiler optimizations O2 and O3: variables never
+    live across a block boundary are temporaries the batching system need
+    not track at all, and variables never live across a potentially
+    clobbering call site need masked top-values but no stack. *)
+
+type t
+
+val analyze : Cfg.func -> t
+
+val live_in : t -> int -> Ir_util.Sset.t
+val live_out : t -> int -> Ir_util.Sset.t
+
+val live_after_op : t -> Cfg.func -> block:int -> op:int -> Ir_util.Sset.t
+(** Variables live immediately after the op at index [op] of block
+    [block] (i.e. before the next op, or the terminator if last). *)
+
+val cross_block_vars : t -> Cfg.func -> Ir_util.Sset.t
+(** Variables live across some block boundary: the union of all [live_out]
+    sets and the entry block's [live_in]. Complement (over the function's
+    variables) = the paper's "temporaries". *)

@@ -1,0 +1,166 @@
+(* Block-by-block builder with back-patching for forward branch targets. *)
+
+type bblock = { mutable ops_rev : Cfg.op list; mutable term : Cfg.terminator option }
+
+type builder = {
+  fname : string;
+  blocks : (int, bblock) Hashtbl.t;
+  mutable n_blocks : int;
+  mutable cur : int;  (* block currently being emitted; -1 when none open *)
+  mutable n_temps : int;
+}
+
+let ns b v = b.fname ^ "/" ^ v
+
+let new_block b =
+  let i = b.n_blocks in
+  b.n_blocks <- i + 1;
+  Hashtbl.add b.blocks i { ops_rev = []; term = None };
+  b.cur <- i;
+  i
+
+let emit b op =
+  let blk = Hashtbl.find b.blocks b.cur in
+  (match blk.term with
+  | None -> ()
+  | Some _ -> failwith "Lower_cfg: emitting into a sealed block");
+  blk.ops_rev <- op :: blk.ops_rev
+
+let seal b term =
+  let blk = Hashtbl.find b.blocks b.cur in
+  (match blk.term with
+  | None -> ()
+  | Some _ -> failwith "Lower_cfg: sealing an already sealed block");
+  blk.term <- Some term
+
+let sealed b = (Hashtbl.find b.blocks b.cur).term <> None
+
+let patch_term b i term =
+  let blk = Hashtbl.find b.blocks i in
+  blk.term <- Some term
+
+let fresh_temp b =
+  let t = Printf.sprintf "%s/$t%d" b.fname b.n_temps in
+  b.n_temps <- b.n_temps + 1;
+  t
+
+(* Lower an expression; returns the (namespaced) variable holding its
+   value. [Var] nodes pass through without a copy. *)
+let rec lower_expr b (e : Lang.expr) : string =
+  match e with
+  | Lang.Var x -> ns b x
+  | Lang.Const _ | Lang.Vec _ | Lang.Prim _ ->
+    let t = fresh_temp b in
+    lower_expr_into b t e;
+    t
+
+and lower_expr_into b dst (e : Lang.expr) : unit =
+  match e with
+  | Lang.Var x -> emit b (Cfg.Mov { dst; src = ns b x })
+  | Lang.Const v -> emit b (Cfg.Const_op { dst; value = Tensor.scalar v })
+  | Lang.Vec a ->
+    emit b (Cfg.Const_op { dst; value = Tensor.of_array [| Array.length a |] a })
+  | Lang.Prim (name, args) ->
+    let arg_vars = List.map (lower_expr b) args in
+    emit b (Cfg.Prim_op { dst; prim = name; args = arg_vars })
+
+let result_arity (f : Lang.func) =
+  let arities = ref [] in
+  let rec scan stmts =
+    List.iter
+      (fun (s : Lang.stmt) ->
+        match s with
+        | Lang.Return es -> arities := List.length es :: !arities
+        | Lang.If (_, t, e) ->
+          scan t;
+          scan e
+        | Lang.While (_, body) -> scan body
+        | Lang.Assign _ | Lang.Call_stmt _ -> ())
+      stmts
+  in
+  scan f.body;
+  match List.sort_uniq compare !arities with
+  | [ n ] -> n
+  | [] -> failwith (Printf.sprintf "Lower_cfg: function %s never returns" f.fname)
+  | _ ->
+    failwith
+      (Printf.sprintf "Lower_cfg: function %s has returns of differing arity" f.fname)
+
+let lower_func (f : Lang.func) : Cfg.func =
+  let b =
+    { fname = f.fname; blocks = Hashtbl.create 16; n_blocks = 0; cur = -1; n_temps = 0 }
+  in
+  let n_results = result_arity f in
+  let result_vars = List.init n_results (fun i -> Printf.sprintf "%s/$ret%d" f.fname i) in
+  let _entry = new_block b in
+  let rec lower_stmts stmts =
+    List.iter
+      (fun s ->
+        (* Statements after a Return in the same branch are unreachable;
+           put them in a fresh dead block rather than rejecting. *)
+        if sealed b then ignore (new_block b);
+        lower_stmt s)
+      stmts
+  and lower_stmt (s : Lang.stmt) =
+    match s with
+    | Lang.Assign (x, e) -> lower_expr_into b (ns b x) e
+    | Lang.Call_stmt (dsts, callee, args) ->
+      let arg_vars = List.map (lower_expr b) args in
+      emit b (Cfg.Call_op { dsts = List.map (ns b) dsts; func = callee; args = arg_vars })
+    | Lang.Return es ->
+      List.iteri (fun i e -> lower_expr_into b (List.nth result_vars i) e) es;
+      seal b Cfg.Return
+    | Lang.If (c, then_body, else_body) ->
+      let cond = lower_expr b c in
+      let branch_block = b.cur in
+      let then_idx = new_block b in
+      lower_stmts then_body;
+      let then_exit = if sealed b then None else Some b.cur in
+      let else_idx = new_block b in
+      lower_stmts else_body;
+      let else_exit = if sealed b then None else Some b.cur in
+      let join_idx = new_block b in
+      patch_term b branch_block
+        (Cfg.Branch { cond; if_true = then_idx; if_false = else_idx });
+      Option.iter (fun i -> patch_term b i (Cfg.Jump join_idx)) then_exit;
+      Option.iter (fun i -> patch_term b i (Cfg.Jump join_idx)) else_exit
+    | Lang.While (c, body) ->
+      let pre = b.cur in
+      let cond_idx = new_block b in
+      patch_term b pre (Cfg.Jump cond_idx);
+      let cond = lower_expr b c in
+      let cond_block = b.cur in
+      let body_idx = new_block b in
+      lower_stmts body;
+      let body_exit = if sealed b then None else Some b.cur in
+      let exit_idx = new_block b in
+      patch_term b cond_block
+        (Cfg.Branch { cond; if_true = body_idx; if_false = exit_idx });
+      Option.iter (fun i -> patch_term b i (Cfg.Jump cond_idx)) body_exit
+  in
+  lower_stmts f.body;
+  (* An unsealed final block here is the unreachable join of an
+     all-branches-return conditional; {!Validate} guarantees reachable
+     control never falls off the end. *)
+  let blocks =
+    Array.init b.n_blocks (fun i ->
+        let blk = Hashtbl.find b.blocks i in
+        let term =
+          match blk.term with
+          | Some t -> t
+          | None ->
+            (* A dead block opened after a Return and never sealed. *)
+            Cfg.Return
+        in
+        { Cfg.ops = List.rev blk.ops_rev; term })
+  in
+  {
+    Cfg.name = f.fname;
+    params = List.map (ns b) f.params;
+    result_vars;
+    blocks;
+  }
+
+let lower (p : Lang.program) : Cfg.program =
+  let funcs = List.map (fun f -> (f.Lang.fname, lower_func f)) p.funcs in
+  { Cfg.funcs; entry = p.main }

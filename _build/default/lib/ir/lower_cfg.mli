@@ -1,0 +1,20 @@
+(** Lowering from the surface language to the Figure-2 CFG IR.
+
+    - Variables are namespaced ["fname/var"]; compiler temporaries are
+      ["fname/$tN"] and result variables ["fname/$retN"] (user programs
+      cannot contain ['$'] or ['/'] in names — {!Validate} enforces this).
+    - Expressions are flattened to three-address primitive applications.
+    - [Return] lowers to moves into the function's result variables
+      followed by a [Return] terminator.
+    - Blocks are emitted in source order, which is what gives the paper's
+      "run the earliest available block" scheduling heuristic its meaning.
+
+    Input programs are expected to have passed {!Validate.check_program};
+    lowering raises [Failure] with a diagnostic on malformed input it
+    cannot represent (e.g. a function body that can fall off the end). *)
+
+val lower : Lang.program -> Cfg.program
+
+val result_arity : Lang.func -> int
+(** Number of values the function returns, from its [Return] statements.
+    Raises [Failure] if there are none or they disagree. *)

@@ -1,0 +1,187 @@
+open Ir_util
+
+type options = { detect_temporaries : bool; save_live_only : bool }
+
+let default_options = { detect_temporaries = true; save_live_only = true }
+
+(* A segment whose terminator may still reference unresolved block heads. *)
+type pending_term =
+  | P_orig of string * Cfg.terminator  (* owning function, original terminator *)
+  | P_call of string  (* callee; becomes Spushjump {ret = self + 1; entry} *)
+
+type pseg = { ops : Stack_ir.op list; pterm : pending_term; origin : string * int }
+
+let lower ?(options = default_options) ?(shapes = Smap.empty) (p : Cfg.program) =
+  let entry = Cfg.entry_func p in
+  (* Entry function first; remaining functions in declaration order. *)
+  let funcs =
+    (p.Cfg.entry, entry)
+    :: List.filter (fun (name, _) -> name <> p.Cfg.entry) p.Cfg.funcs
+  in
+  let cg = Callgraph.build p in
+  let shapes = ref shapes in
+  (* Per-function analysis: liveness, call-spanning variables, temps. *)
+  let analyses =
+    List.map
+      (fun (name, f) ->
+        let lf = Liveness.analyze f in
+        (* Variables live across any call site (clobbering or not): these
+           span a segment boundary after splitting, so they cannot be
+           temporaries. *)
+        let across_calls = ref Sset.empty in
+        Array.iteri
+          (fun bi (b : Cfg.block) ->
+            List.iteri
+              (fun oi op ->
+                match op with
+                | Cfg.Call_op _ ->
+                  across_calls :=
+                    Sset.union !across_calls
+                      (Liveness.live_after_op lf f ~block:bi ~op:oi)
+                | Cfg.Prim_op _ | Cfg.Const_op _ | Cfg.Mov _ -> ())
+              b.Cfg.ops)
+          f.Cfg.blocks;
+        let non_temp =
+          Sset.union (Liveness.cross_block_vars lf f)
+            (Sset.union !across_calls
+               (sset_of_list (f.Cfg.params @ f.Cfg.result_vars)))
+        in
+        let temps =
+          if options.detect_temporaries then
+            Sset.diff (sset_of_list (Cfg.all_vars f)) non_temp
+          else Sset.empty
+        in
+        (name, (f, lf, temps)))
+      funcs
+  in
+  (* Build segments. *)
+  let psegs = ref [] in
+  let n_segs = ref 0 in
+  let heads = Hashtbl.create 64 in
+  let stacked = ref Sset.empty in
+  let arg_temp_counter = ref 0 in
+  let emit ops pterm origin =
+    psegs := { ops = List.rev ops; pterm; origin } :: !psegs;
+    incr n_segs
+  in
+  List.iter
+    (fun (fname, (f, lf, temps)) ->
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          Hashtbl.add heads (fname, bi) !n_segs;
+          let cur = ref [] in
+          List.iteri
+            (fun oi (op : Cfg.op) ->
+              match op with
+              | Cfg.Prim_op { dst; prim; args } ->
+                cur := Stack_ir.Sprim { dst; prim; args } :: !cur
+              | Cfg.Const_op { dst; value } ->
+                cur := Stack_ir.Sconst { dst; value } :: !cur
+              | Cfg.Mov { dst; src } -> cur := Stack_ir.Smov { dst; src } :: !cur
+              | Cfg.Call_op { dsts; func = callee_name; args } ->
+                let callee = Cfg.find_func_exn p callee_name in
+                (* Stage arguments that alias callee parameters through
+                   fresh temporaries to avoid overwrite hazards. *)
+                let staged =
+                  List.map
+                    (fun arg ->
+                      if List.mem arg callee.Cfg.params then begin
+                        let t = Printf.sprintf "%s/$a%d" fname !arg_temp_counter in
+                        incr arg_temp_counter;
+                        (match Smap.find_opt arg !shapes with
+                        | Some s -> shapes := Smap.add t s !shapes
+                        | None -> ());
+                        cur := Stack_ir.Smov { dst = t; src = arg } :: !cur;
+                        t
+                      end
+                      else arg)
+                    args
+                in
+                let live_after = Liveness.live_after_op lf f ~block:bi ~op:oi in
+                let candidates =
+                  if options.save_live_only then
+                    if Callgraph.may_clobber_caller cg ~caller:fname ~callee:callee_name
+                    then Sset.diff live_after (sset_of_list dsts)
+                    else Sset.empty
+                  else
+                    (* Save everything — except destinations, temporaries,
+                       and the callee's result variables, whose pop would
+                       destroy the returned values the continuation is
+                       about to read. *)
+                    Sset.diff
+                      (Sset.diff (sset_of_list (Cfg.all_vars f)) temps)
+                      (sset_of_list (dsts @ callee.Cfg.result_vars))
+                in
+                let saves = Sset.elements candidates in
+                stacked := Sset.union !stacked candidates;
+                List.iter (fun v -> cur := Stack_ir.Spush v :: !cur) saves;
+                List.iter2
+                  (fun param src -> cur := Stack_ir.Smov { dst = param; src } :: !cur)
+                  callee.Cfg.params staged;
+                emit !cur (P_call callee_name) (fname, bi);
+                (* Continuation segment: restore saves, fetch results. *)
+                cur := [];
+                List.iter (fun v -> cur := Stack_ir.Spop v :: !cur) saves;
+                List.iter2
+                  (fun dst ret -> cur := Stack_ir.Smov { dst; src = ret } :: !cur)
+                  dsts callee.Cfg.result_vars)
+            b.Cfg.ops;
+          emit !cur (P_orig (fname, b.Cfg.term)) (fname, bi))
+        f.Cfg.blocks)
+    analyses;
+  let psegs = Array.of_list (List.rev !psegs) in
+  let head fname bi =
+    match Hashtbl.find_opt heads (fname, bi) with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "Lower_stack: no head for %s block %d" fname bi)
+  in
+  let blocks =
+    Array.mapi
+      (fun i seg ->
+        let term =
+          match seg.pterm with
+          | P_call callee -> Stack_ir.Spushjump { ret = i + 1; entry = head callee 0 }
+          | P_orig (fname, Cfg.Jump j) -> Stack_ir.Sjump (head fname j)
+          | P_orig (fname, Cfg.Branch { cond; if_true; if_false }) ->
+            Stack_ir.Sbranch
+              { cond; if_true = head fname if_true; if_false = head fname if_false }
+          | P_orig (_, Cfg.Return) -> Stack_ir.Sreturn
+        in
+        { Stack_ir.ops = seg.ops; term })
+      psegs
+  in
+  (* Storage classes. *)
+  let classes = ref Smap.empty in
+  List.iter
+    (fun (_, (f, _, temps)) ->
+      List.iter
+        (fun v ->
+          let c =
+            if Sset.mem v !stacked then Var_class.Stacked
+            else if Sset.mem v temps then Var_class.Temp
+            else Var_class.Masked
+          in
+          classes := Smap.add v c !classes)
+        (Cfg.all_vars f))
+    analyses;
+  (* Argument-staging temporaries: written and read within one segment. *)
+  Array.iter
+    (fun (b : Stack_ir.block) ->
+      List.iter
+        (fun op ->
+          List.iter
+            (fun v ->
+              if not (Smap.mem v !classes) then
+                classes := Smap.add v Var_class.Temp !classes)
+            (Stack_ir.op_defs op))
+        b.Stack_ir.ops)
+    blocks;
+  {
+    Stack_ir.blocks;
+    classes = !classes;
+    shapes = !shapes;
+    inputs = entry.Cfg.params;
+    outputs = entry.Cfg.result_vars;
+    origin = Array.map (fun seg -> seg.origin) psegs;
+    func_entries = List.map (fun (fname, _) -> (fname, head fname 0)) funcs;
+  }

@@ -1,0 +1,212 @@
+open Ir_util
+
+let map_blocks f (p : Cfg.program) =
+  {
+    p with
+    Cfg.funcs =
+      List.map
+        (fun (name, (fn : Cfg.func)) ->
+          (name, { fn with Cfg.blocks = Array.map (f fn) fn.Cfg.blocks }))
+        p.Cfg.funcs;
+  }
+
+(* Block-local constant environments: a variable maps to a constant tensor
+   from the point of its [Const_op] (or folded primitive) until its next
+   redefinition. Nothing crosses block boundaries, so control flow cannot
+   invalidate the map. *)
+let constant_fold reg (p : Cfg.program) =
+  map_blocks
+    (fun _fn (b : Cfg.block) ->
+      let consts : (string, Tensor.t) Hashtbl.t = Hashtbl.create 8 in
+      let kill v = Hashtbl.remove consts v in
+      let ops =
+        List.map
+          (fun (op : Cfg.op) ->
+            match op with
+            | Cfg.Const_op { dst; value } ->
+              Hashtbl.replace consts dst value;
+              op
+            | Cfg.Prim_op { dst; prim; args } -> (
+              let impl = Prim.find_exn reg prim in
+              let arg_consts = List.map (Hashtbl.find_opt consts) args in
+              if impl.Prim.deterministic && List.for_all Option.is_some arg_consts
+              then begin
+                match impl.Prim.single ~member:0 (List.map Option.get arg_consts) with
+                | value ->
+                  Hashtbl.replace consts dst value;
+                  Cfg.Const_op { dst; value }
+                | exception _ ->
+                  (* A folding-time failure (e.g. a shape the program never
+                     actually reaches) keeps the op as-is. *)
+                  kill dst;
+                  op
+              end
+              else begin
+                kill dst;
+                op
+              end)
+            | Cfg.Mov { dst; src } -> (
+              match Hashtbl.find_opt consts src with
+              | Some value ->
+                Hashtbl.replace consts dst value;
+                Cfg.Const_op { dst; value }
+              | None ->
+                kill dst;
+                op)
+            | Cfg.Call_op { dsts; _ } ->
+              List.iter kill dsts;
+              op)
+          b.Cfg.ops
+      in
+      { b with Cfg.ops })
+    p
+
+(* Block-local common-subexpression elimination: a deterministic primitive
+   applied to the same arguments as an earlier op in the block (with no
+   intervening redefinition of the arguments or the earlier result)
+   becomes a move from the earlier result. *)
+let cse reg (p : Cfg.program) =
+  map_blocks
+    (fun _fn (b : Cfg.block) ->
+      let available : ((string * string list), string) Hashtbl.t = Hashtbl.create 8 in
+      let invalidate v =
+        let stale =
+          Hashtbl.fold
+            (fun ((_, args) as key) result acc ->
+              if result = v || List.mem v args then key :: acc else acc)
+            available []
+        in
+        List.iter (Hashtbl.remove available) stale
+      in
+      let ops =
+        List.map
+          (fun (op : Cfg.op) ->
+            match op with
+            | Cfg.Prim_op { dst; prim; args } -> (
+              let impl = Prim.find_exn reg prim in
+              match Hashtbl.find_opt available (prim, args) with
+              | Some earlier when impl.Prim.deterministic && earlier <> dst ->
+                invalidate dst;
+                Cfg.Mov { dst; src = earlier }
+              | Some _ | None ->
+                invalidate dst;
+                (* Never register an op that reads its own destination: the
+                   recorded key would refer to the pre-assignment value. *)
+                if impl.Prim.deterministic && not (List.mem dst args) then
+                  Hashtbl.replace available (prim, args) dst;
+                op)
+            | Cfg.Const_op { dst; _ } | Cfg.Mov { dst; _ } ->
+              invalidate dst;
+              op
+            | Cfg.Call_op { dsts; _ } ->
+              List.iter invalidate dsts;
+              op)
+          b.Cfg.ops
+      in
+      { b with Cfg.ops })
+    p
+
+(* Block-local copy propagation: while [dst = src] holds (neither has been
+   redefined), uses of [dst] become uses of [src]. *)
+let copy_propagate (p : Cfg.program) =
+  map_blocks
+    (fun _fn (b : Cfg.block) ->
+      let alias : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let resolve v = Option.value ~default:v (Hashtbl.find_opt alias v) in
+      let kill v =
+        Hashtbl.remove alias v;
+        (* Any alias pointing at v is now stale. *)
+        let stale =
+          Hashtbl.fold (fun k src acc -> if src = v then k :: acc else acc) alias []
+        in
+        List.iter (Hashtbl.remove alias) stale
+      in
+      let ops =
+        List.map
+          (fun (op : Cfg.op) ->
+            match op with
+            | Cfg.Prim_op { dst; prim; args } ->
+              let args = List.map resolve args in
+              kill dst;
+              Cfg.Prim_op { dst; prim; args }
+            | Cfg.Mov { dst; src } ->
+              let src = resolve src in
+              kill dst;
+              if dst <> src then Hashtbl.replace alias dst src;
+              Cfg.Mov { dst; src }
+            | Cfg.Const_op { dst; _ } ->
+              kill dst;
+              op
+            | Cfg.Call_op { dsts; func; args } ->
+              let args = List.map resolve args in
+              List.iter kill dsts;
+              Cfg.Call_op { dsts; func; args })
+          b.Cfg.ops
+      in
+      let term =
+        match b.Cfg.term with
+        | Cfg.Branch { cond; if_true; if_false } ->
+          Cfg.Branch { cond = resolve cond; if_true; if_false }
+        | (Cfg.Jump _ | Cfg.Return) as t -> t
+      in
+      { Cfg.ops; term })
+    p
+
+(* Remove pure ops whose destinations are dead, using per-function
+   liveness. Calls are kept (their cost is part of program semantics under
+   the cost model, and conservatism is free here). *)
+let dead_code (p : Cfg.program) =
+  {
+    p with
+    Cfg.funcs =
+      List.map
+        (fun (name, (fn : Cfg.func)) ->
+          let lv = Liveness.analyze fn in
+          let blocks =
+            Array.mapi
+              (fun bi (b : Cfg.block) ->
+                let live =
+                  ref
+                    (Sset.union
+                       (Liveness.live_out lv bi)
+                       (sset_of_list (Cfg.term_uses fn b.Cfg.term)))
+                in
+                let kept =
+                  List.fold_left
+                    (fun acc op ->
+                      let defs = Cfg.op_defs op in
+                      let needed =
+                        match op with
+                        | Cfg.Call_op _ -> true
+                        | Cfg.Prim_op _ | Cfg.Const_op _ | Cfg.Mov _ ->
+                          List.exists (fun d -> Sset.mem d !live) defs
+                      in
+                      if needed then begin
+                        live := Sset.diff !live (sset_of_list defs);
+                        live := Sset.union !live (sset_of_list (Cfg.op_uses op));
+                        op :: acc
+                      end
+                      else acc)
+                    []
+                    (List.rev b.Cfg.ops)
+                in
+                { b with Cfg.ops = kept })
+              fn.Cfg.blocks
+          in
+          (name, { fn with Cfg.blocks }))
+        p.Cfg.funcs;
+  }
+
+let count_ops (p : Cfg.program) =
+  List.fold_left (fun acc (_, fn) -> acc + Cfg.n_ops fn) 0 p.Cfg.funcs
+
+let run ?(rounds = 4) reg p =
+  let rec go n p =
+    if n = 0 then p
+    else begin
+      let before = count_ops p in
+      let p = dead_code (copy_propagate (cse reg (constant_fold reg p))) in
+      if count_ops p = before then p else go (n - 1) p
+    end
+  in
+  go rounds p

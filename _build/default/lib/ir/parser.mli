@@ -1,0 +1,43 @@
+(** Concrete text syntax for the surface language.
+
+    The paper's frontend is "a Python-embedded compiler … a user-invoked
+    AST transformation"; this module is the analogous concrete-syntax
+    frontend for our DSL, so batchable programs can live in plain source
+    files:
+
+    {v
+    # Recursive Fibonacci
+    def fib(n) {
+      if (n <= 1) { return 1; }
+      else {
+        left = fib(n - 2);
+        right = fib(n - 1);
+        return left + right;
+      }
+    }
+    v}
+
+    Grammar (informally): a program is a list of [def] functions; the
+    entry point is the function named [main], or the first function if
+    none is. Statements are assignments [x = e;], multi-destination calls
+    [a, b = f(e, e);], [if (e) {…} else {…}], [while (e) {…}] and
+    [return e, e;]. Expressions have the usual precedence
+    ([||] < [&&] < comparisons < [+ -] < [* /] < unary [- !]), with
+    [f(e, …)] applying a primitive — or a program function, which is only
+    legal as the right-hand side of a statement, since calls are control
+    flow. Numeric literals, [\[1, 2, 3\]] vector literals, and [#]
+    comments round it out. *)
+
+type error = { line : int; col : int; message : string }
+
+val string_of_error : error -> string
+
+val parse_string : ?main:string -> string -> (Lang.program, error) result
+(** Parse a whole program. [main] overrides the entry-point convention. *)
+
+val parse_file : ?main:string -> string -> (Lang.program, error) result
+(** Raises [Sys_error] if the file cannot be read. *)
+
+val to_source : Lang.program -> string
+(** Emit a program in the concrete syntax; [parse_string (to_source p)]
+    reproduces [p] up to expression parenthesization. *)

@@ -1,0 +1,88 @@
+open Ir_util
+
+type op =
+  | Sprim of { dst : string; prim : string; args : string list }
+  | Sconst of { dst : string; value : Tensor.t }
+  | Smov of { dst : string; src : string }
+  | Spush of string
+  | Spop of string
+
+type terminator =
+  | Sjump of int
+  | Sbranch of { cond : string; if_true : int; if_false : int }
+  | Spushjump of { ret : int; entry : int }
+  | Sreturn
+
+type block = { ops : op list; term : terminator }
+
+type program = {
+  blocks : block array;
+  classes : Var_class.t Smap.t;
+  shapes : Shape.t Smap.t;
+  inputs : string list;
+  outputs : string list;
+  origin : (string * int) array;
+  func_entries : (string * int) list;
+}
+
+let halt p = Array.length p.blocks
+
+let class_of p v =
+  Option.value ~default:Var_class.Masked (Smap.find_opt v p.classes)
+
+let op_defs = function
+  | Sprim { dst; _ } | Sconst { dst; _ } | Smov { dst; _ } -> [ dst ]
+  | Spush _ | Spop _ -> []
+
+let op_uses = function
+  | Sprim { args; _ } -> args
+  | Sconst _ -> []
+  | Smov { src; _ } -> [ src ]
+  | Spush v | Spop v -> [ v ]
+
+let all_vars p =
+  let acc = ref (p.inputs @ p.outputs) in
+  Array.iter
+    (fun b ->
+      List.iter (fun op -> acc := op_defs op @ op_uses op @ !acc) b.ops;
+      match b.term with
+      | Sbranch { cond; _ } -> acc := cond :: !acc
+      | Sjump _ | Spushjump _ | Sreturn -> ())
+    p.blocks;
+  List.sort_uniq compare !acc
+
+let stats p =
+  List.fold_left
+    (fun (t, m, s) v ->
+      match class_of p v with
+      | Var_class.Temp -> (t + 1, m, s)
+      | Var_class.Masked -> (t, m + 1, s)
+      | Var_class.Stacked -> (t, m, s + 1))
+    (0, 0, 0) (all_vars p)
+
+let pp_op ppf = function
+  | Sprim { dst; prim; args } ->
+    Format.fprintf ppf "%s = %s(%s)" dst prim (String.concat ", " args)
+  | Sconst { dst; value } -> Format.fprintf ppf "%s = const %a" dst Tensor.pp value
+  | Smov { dst; src } -> Format.fprintf ppf "%s = %s" dst src
+  | Spush v -> Format.fprintf ppf "push %s" v
+  | Spop v -> Format.fprintf ppf "pop %s" v
+
+let pp_term ppf = function
+  | Sjump j -> Format.fprintf ppf "jump %d" j
+  | Sbranch { cond; if_true; if_false } ->
+    Format.fprintf ppf "branch %s ? %d : %d" cond if_true if_false
+  | Spushjump { ret; entry } -> Format.fprintf ppf "pushjump ret=%d entry=%d" ret entry
+  | Sreturn -> Format.pp_print_string ppf "return"
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i b ->
+      let fname, local = p.origin.(i) in
+      Format.fprintf ppf "@[<v 2>block %d (%s.%d):@," i fname local;
+      List.iter (fun op -> Format.fprintf ppf "%a@," pp_op op) b.ops;
+      Format.fprintf ppf "%a@]@," pp_term b.term)
+    p.blocks;
+  let t, m, s = stats p in
+  Format.fprintf ppf "vars: %d temp, %d masked, %d stacked@]" t m s

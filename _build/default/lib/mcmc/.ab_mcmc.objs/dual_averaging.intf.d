@@ -1,0 +1,1 @@
+lib/mcmc/dual_averaging.mli:

@@ -1,0 +1,1 @@
+lib/mcmc/hmc.ml: Array Dual_averaging Float Leapfrog Model Splitmix Stdlib Tensor

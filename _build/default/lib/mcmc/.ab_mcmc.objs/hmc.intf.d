@@ -1,0 +1,1 @@
+lib/mcmc/hmc.mli: Model Splitmix Tensor

@@ -1,0 +1,1 @@
+lib/mcmc/hmc_dsl.ml: Array Counter_rng Lang Leapfrog Model Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/mcmc/hmc_dsl.mli: Counter_rng Lang Model Shape Tensor

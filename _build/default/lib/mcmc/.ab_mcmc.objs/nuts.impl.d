@@ -1,0 +1,1 @@
+lib/mcmc/nuts.ml: Array Counter_rng Float Leapfrog Model Splitmix Stdlib Tensor

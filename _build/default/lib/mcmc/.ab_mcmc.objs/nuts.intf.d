@@ -1,0 +1,1 @@
+lib/mcmc/nuts.mli: Counter_rng Model Tensor

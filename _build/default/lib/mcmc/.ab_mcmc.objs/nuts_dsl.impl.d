@@ -1,0 +1,1 @@
+lib/mcmc/nuts_dsl.ml: Counter_rng Lang Model Nuts Prim Shape Tensor

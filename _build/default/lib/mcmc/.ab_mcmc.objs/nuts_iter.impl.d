@@ -1,0 +1,1 @@
+lib/mcmc/nuts_iter.ml: Array Float Leapfrog Model Nuts Splitmix Stdlib Tensor

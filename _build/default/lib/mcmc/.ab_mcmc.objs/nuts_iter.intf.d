@@ -1,0 +1,1 @@
+lib/mcmc/nuts_iter.mli: Model Nuts Splitmix Tensor

@@ -1,0 +1,1 @@
+lib/mcmc/warmup.ml: Array Counter_rng Diagnostics Hmc Nuts Splitmix Tensor

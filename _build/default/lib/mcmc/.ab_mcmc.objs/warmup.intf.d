@@ -1,0 +1,1 @@
+lib/mcmc/warmup.mli: Model Nuts Tensor

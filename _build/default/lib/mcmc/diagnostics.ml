@@ -1,0 +1,99 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Diagnostics.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let autocovariance xs lag =
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then invalid_arg "Diagnostics.autocovariance: bad lag";
+  let m = mean xs in
+  let acc = ref 0. in
+  for i = 0 to n - 1 - lag do
+    acc := !acc +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+  done;
+  !acc /. float_of_int n
+
+let ess xs =
+  let n = Array.length xs in
+  if n < 4 then float_of_int n
+  else begin
+    let c0 = autocovariance xs 0 in
+    if c0 <= 0. then float_of_int n
+    else begin
+      (* Geyer initial positive sequence over pair sums. *)
+      let rec sum_pairs lag acc =
+        if lag + 1 >= n then acc
+        else begin
+          let pair = autocovariance xs lag +. autocovariance xs (lag + 1) in
+          if pair <= 0. then acc else sum_pairs (lag + 2) (acc +. pair)
+        end
+      in
+      let tail = sum_pairs 1 0. in
+      let tau = 1. +. (2. *. tail /. c0) in
+      float_of_int n /. Float.max tau 1.
+    end
+  end
+
+let split_rhat chains =
+  let halves =
+    Array.to_list chains
+    |> List.concat_map (fun c ->
+           let n = Array.length c in
+           if n < 4 then invalid_arg "Diagnostics.split_rhat: chains too short";
+           let h = n / 2 in
+           [ Array.sub c 0 h; Array.sub c (n - h) h ])
+    |> Array.of_list
+  in
+  let m = Array.length halves in
+  let n = float_of_int (Array.length halves.(0)) in
+  let chain_means = Array.map mean halves in
+  let chain_vars = Array.map variance halves in
+  let grand_mean = mean chain_means in
+  let b =
+    n /. float_of_int (m - 1)
+    *. Array.fold_left
+         (fun acc mu -> acc +. ((mu -. grand_mean) *. (mu -. grand_mean)))
+         0. chain_means
+  in
+  let w = mean chain_vars in
+  if w <= 0. then 1.
+  else Stdlib.sqrt (((n -. 1.) /. n *. w +. (b /. n)) /. w)
+
+let column samples i = Array.map (fun s -> (Tensor.data s).(i)) samples
+
+let chain_moments samples =
+  match Array.length samples with
+  | 0 -> invalid_arg "Diagnostics.chain_moments: empty"
+  | n ->
+    let d = Tensor.numel samples.(0) in
+    let mean_t = Tensor.zeros [| d |] in
+    Array.iter
+      (fun s ->
+        for i = 0 to d - 1 do
+          (Tensor.data mean_t).(i) <- (Tensor.data mean_t).(i) +. (Tensor.data s).(i)
+        done)
+      samples;
+    for i = 0 to d - 1 do
+      (Tensor.data mean_t).(i) <- (Tensor.data mean_t).(i) /. float_of_int n
+    done;
+    let var_t = Tensor.zeros [| d |] in
+    Array.iter
+      (fun s ->
+        for i = 0 to d - 1 do
+          let dev = (Tensor.data s).(i) -. (Tensor.data mean_t).(i) in
+          (Tensor.data var_t).(i) <- (Tensor.data var_t).(i) +. (dev *. dev)
+        done)
+      samples;
+    for i = 0 to d - 1 do
+      (Tensor.data var_t).(i) <- (Tensor.data var_t).(i) /. float_of_int n
+    done;
+    (mean_t, var_t)

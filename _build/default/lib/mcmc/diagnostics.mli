@@ -1,0 +1,27 @@
+(** MCMC convergence diagnostics: moments, effective sample size, and
+    split R-hat. Backs the paper's motivation that "running large numbers
+    of independent Markov chains [gives] more precise convergence
+    diagnostics and uncertainty estimates" — and our statistical tests. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance; 0 for fewer than two points. *)
+
+val autocovariance : float array -> int -> float
+(** Biased (1/n) autocovariance at a lag. *)
+
+val ess : float array -> float
+(** Effective sample size by Geyer's initial positive sequence: sum
+    consecutive autocorrelation pairs while positive. *)
+
+val split_rhat : float array array -> float
+(** Potential scale reduction over chains (each row one chain, equal
+    lengths); each chain is split in half, so a single chain works too.
+    Values near 1 indicate convergence. *)
+
+val column : Tensor.t array -> int -> float array
+(** Extract coordinate [i] from an array of rank-1 samples. *)
+
+val chain_moments : Tensor.t array -> Tensor.t * Tensor.t
+(** Per-coordinate mean and (biased) variance across an array of rank-1
+    samples. *)

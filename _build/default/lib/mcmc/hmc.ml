@@ -1,0 +1,49 @@
+type config = { eps : float; n_leapfrog : int; minv : Tensor.t option }
+
+type result = { samples : Tensor.t array; accept_rate : float; final_q : Tensor.t }
+
+let propose cfg ~model ~stream ~q =
+  let d = (Tensor.shape q).(0) in
+  let minv =
+    match cfg.minv with Some m -> m | None -> Tensor.ones [| d |]
+  in
+  let z = Tensor.init [| d |] (fun _ -> Splitmix.Stream.normal stream) in
+  let p = Tensor.div z (Tensor.sqrt minv) in
+  let lj0 = Leapfrog.log_joint_mass ~logp:model.Model.logp ~minv ~q ~p in
+  let q', p' =
+    Leapfrog.steps_mass ~grad:model.Model.grad ~minv ~n:cfg.n_leapfrog ~eps:cfg.eps
+      ~q ~p
+  in
+  let lj1 = Leapfrog.log_joint_mass ~logp:model.Model.logp ~minv ~q:q' ~p:p' in
+  let log_accept = lj1 -. lj0 in
+  let accept_prob =
+    if Float.is_nan log_accept then 0. else Float.min 1. (Stdlib.exp log_accept)
+  in
+  let u = Splitmix.Stream.uniform stream in
+  ((if u < accept_prob then q' else q), accept_prob)
+
+let sample_chain cfg ~model ~stream ~q0 ~n_iter =
+  let samples = Array.make n_iter q0 in
+  let q = ref q0 in
+  let accepted = ref 0. in
+  for i = 0 to n_iter - 1 do
+    let q', prob = propose cfg ~model ~stream ~q:!q in
+    q := q';
+    accepted := !accepted +. prob;
+    samples.(i) <- q'
+  done;
+  { samples; accept_rate = !accepted /. float_of_int n_iter; final_q = !q }
+
+let warmup_eps ?(target_accept = 0.8) ?(n_warmup = 200) ?minv ~model ~stream ~q0
+    ~eps0 ~n_leapfrog () =
+  let da =
+    Dual_averaging.create ~target_accept ~mu:(Stdlib.log (10. *. eps0)) ()
+  in
+  let q = ref q0 in
+  for _ = 1 to n_warmup do
+    let cfg = { eps = Dual_averaging.current_eps da; n_leapfrog; minv } in
+    let q', prob = propose cfg ~model ~stream ~q:!q in
+    q := q';
+    Dual_averaging.update da ~accept_stat:prob
+  done;
+  Dual_averaging.adapted_eps da

@@ -1,0 +1,39 @@
+(** Plain Hamiltonian Monte Carlo with a fixed path length.
+
+    The simple cousin of NUTS: used as a statistical baseline in the test
+    suite, as the workload for the dual-averaging warmup tests, and as a
+    straight-line example program for the batching ablations. *)
+
+type config = {
+  eps : float;
+  n_leapfrog : int;          (** leapfrog steps per proposal *)
+  minv : Tensor.t option;    (** diagonal inverse mass; [None] = identity *)
+}
+
+type result = {
+  samples : Tensor.t array;
+  accept_rate : float;
+  final_q : Tensor.t;
+}
+
+val sample_chain :
+  config ->
+  model:Model.t ->
+  stream:Splitmix.Stream.t ->
+  q0:Tensor.t ->
+  n_iter:int ->
+  result
+
+val warmup_eps :
+  ?target_accept:float ->
+  ?n_warmup:int ->
+  ?minv:Tensor.t ->
+  model:Model.t ->
+  stream:Splitmix.Stream.t ->
+  q0:Tensor.t ->
+  eps0:float ->
+  n_leapfrog:int ->
+  unit ->
+  float
+(** Run dual-averaging warmup and return the adapted step size (under the
+    given inverse mass matrix, identity by default). *)

@@ -1,0 +1,135 @@
+type params = { n_leapfrog : int }
+
+let default_params = { n_leapfrog = 10 }
+
+let program ?(params = default_params) () =
+  let open Lang in
+  let open Lang.Infix in
+  let log_joint q p =
+    prim "logp" [ q ] - (flt 0.5 * prim "dot" [ p; var "minv" * p ])
+  in
+  (* The integrator is a separate function: a call, but not a re-entrant
+     one, so the stack compiler gives it no stacks. *)
+  let leapfrog =
+    func "leapfrog" ~params:[ "q"; "p"; "eps"; "minv" ]
+      [
+        assign "half" (flt 0.5 * var "eps");
+        assign "g" (prim "grad" [ var "q" ]);
+        assign "i" (flt 0.);
+        while_
+          (var "i" < flt (float_of_int params.n_leapfrog))
+          [
+            assign "ph" (var "p" + (var "half" * var "g"));
+            assign "q" (var "q" + (var "eps" * (var "minv" * var "ph")));
+            assign "g" (prim "grad" [ var "q" ]);
+            assign "p" (var "ph" + (var "half" * var "g"));
+            assign "i" (var "i" + flt 1.);
+          ];
+        return_ [ var "q"; var "p" ];
+      ]
+  in
+  let chain =
+    func "hmc_chain" ~params:[ "q0"; "eps"; "n_iter"; "n_burn"; "cnt0"; "minv" ]
+      [
+        assign "q" (var "q0");
+        assign "cnt" (var "cnt0");
+        assign "sum_q" (var "q0" * flt 0.);
+        assign "sum_qsq" (var "q0" * flt 0.);
+        assign "accepts" (flt 0.);
+        assign "it" (flt 0.);
+        while_
+          (var "it" < var "n_iter")
+          [
+            assign "z0" (prim "normal_like" [ var "q"; var "cnt" ]);
+            assign "p" (var "z0" / prim "sqrt" [ var "minv" ]);
+            assign "cnt" (var "cnt" + flt 1.);
+            assign "lj0" (log_joint (var "q") (var "p"));
+            call [ "q1"; "p1" ] "leapfrog" [ var "q"; var "p"; var "eps"; var "minv" ];
+            assign "lj1" (log_joint (var "q1") (var "p1"));
+            assign "u" (prim "uniform" [ var "cnt" ]);
+            assign "cnt" (var "cnt" + flt 1.);
+            assign "accept" (prim "lt" [ var "u"; prim "exp" [ var "lj1" - var "lj0" ] ]);
+            assign "q" (prim "select" [ var "accept"; var "q1"; var "q" ]);
+            assign "accepts" (var "accepts" + var "accept");
+            if_
+              (var "it" >= var "n_burn")
+              [
+                assign "sum_q" (var "sum_q" + var "q");
+                assign "sum_qsq" (var "sum_qsq" + (var "q" * var "q"));
+              ]
+              [];
+            assign "it" (var "it" + flt 1.);
+          ];
+        return_ [ var "q"; var "sum_q"; var "sum_qsq"; var "cnt"; var "accepts" ];
+      ]
+  in
+  Lang.program ~main:"hmc_chain" [ chain; leapfrog ]
+
+let input_shapes ~model =
+  [
+    [| model.Model.dim |]; Shape.scalar; Shape.scalar; Shape.scalar; Shape.scalar;
+    [| model.Model.dim |];
+  ]
+
+let inputs ?minv ~q0 ~eps ~n_iter ~n_burn ~batch () =
+  let z = batch in
+  let minv = match minv with Some m -> m | None -> Tensor.ones (Tensor.shape q0) in
+  [
+    Tensor.broadcast_rows q0 z;
+    Tensor.full [| z |] eps;
+    Tensor.full [| z |] (float_of_int n_iter);
+    Tensor.full [| z |] (float_of_int n_burn);
+    Tensor.zeros [| z |];
+    Tensor.broadcast_rows minv z;
+  ]
+
+type reference_result = {
+  final_q : Tensor.t;
+  final_counter : int;
+  accepts : float;
+  sum_q : Tensor.t;
+  sum_qsq : Tensor.t;
+}
+
+let reference_chain ?(params = default_params) ?minv ~model ~key ~member ~q0 ~eps
+    ~n_iter ~n_burn () =
+  let d = (Tensor.shape q0).(0) in
+  let minv = match minv with Some m -> m | None -> Tensor.ones [| d |] in
+  let sqrt_minv = Tensor.sqrt minv in
+  let log_joint q p =
+    model.Model.logp q -. (0.5 *. Tensor.item (Tensor.dot p (Tensor.mul minv p)))
+  in
+  let q = ref q0 and cnt = ref 0 in
+  let accepts = ref 0. in
+  let sum_q = ref (Tensor.mul_scalar q0 0.) in
+  let sum_qsq = ref (Tensor.mul_scalar q0 0.) in
+  for it = 0 to n_iter - 1 do
+    let z =
+      Tensor.init [| d |] (fun idx ->
+          Counter_rng.normal key ~member ~counter:!cnt ~slot:idx.(0))
+    in
+    let p = Tensor.div z sqrt_minv in
+    incr cnt;
+    let lj0 = log_joint !q p in
+    let q1, p1 =
+      Leapfrog.steps_mass ~grad:model.Model.grad ~minv ~n:params.n_leapfrog ~eps
+        ~q:!q ~p
+    in
+    let lj1 = log_joint q1 p1 in
+    let u = Counter_rng.uniform key ~member ~counter:!cnt ~slot:0 in
+    incr cnt;
+    let accept = if u < Stdlib.exp (lj1 -. lj0) then 1. else 0. in
+    if accept > 0. then q := q1;
+    accepts := !accepts +. accept;
+    if it >= n_burn then begin
+      sum_q := Tensor.add !sum_q !q;
+      sum_qsq := Tensor.add !sum_qsq (Tensor.mul !q !q)
+    end
+  done;
+  {
+    final_q = !q;
+    final_counter = !cnt;
+    accepts = !accepts;
+    sum_q = !sum_q;
+    sum_qsq = !sum_qsq;
+  }

@@ -1,0 +1,25 @@
+let kinetic p = 0.5 *. Tensor.item (Tensor.dot p p)
+
+let kinetic_mass ~minv p = 0.5 *. Tensor.item (Tensor.dot p (Tensor.mul minv p))
+
+let log_joint ~logp ~q ~p = logp q -. kinetic p
+
+let log_joint_mass ~logp ~minv ~q ~p = logp q -. kinetic_mass ~minv p
+
+let steps_mass ~grad ~minv ~n ~eps ~q ~p =
+  if n <= 0 then invalid_arg "Leapfrog.steps: n must be positive";
+  let halfeps = 0.5 *. eps in
+  let q = ref q and p = ref p in
+  let g = ref (grad !q) in
+  for _ = 1 to n do
+    let p_half = Tensor.add !p (Tensor.mul_scalar !g halfeps) in
+    q := Tensor.add !q (Tensor.mul_scalar (Tensor.mul minv p_half) eps);
+    g := grad !q;
+    p := Tensor.add p_half (Tensor.mul_scalar !g halfeps)
+  done;
+  (!q, !p)
+
+let steps ~grad ~n ~eps ~q ~p =
+  (* Multiplying by an exact 1.0 is an IEEE identity, so delegating keeps
+     the historical identity-mass path bitwise unchanged. *)
+  steps_mass ~grad ~minv:(Tensor.ones (Tensor.shape q)) ~n ~eps ~q ~p

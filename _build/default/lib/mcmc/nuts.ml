@@ -1,0 +1,333 @@
+type variant = Slice | Multinomial
+
+type config = {
+  eps : float;
+  max_depth : int;
+  leaf_steps : int;
+  delta_max : float;
+  variant : variant;
+  mass_minv : Tensor.t option;
+}
+
+let default_config ?(variant = Slice) ?mass_minv ~eps () =
+  { eps; max_depth = 10; leaf_steps = 4; delta_max = 1000.; variant; mass_minv }
+
+(* The diagonal inverse mass matrix; a unit diagonal is the exact identity
+   for every formula below (IEEE: x*1 = x, x/1 = x, sqrt 1 = 1), so the
+   identity-mass configuration is bitwise the historical behaviour. *)
+let minv_for cfg q =
+  match cfg.mass_minv with
+  | Some m -> m
+  | None -> Tensor.ones (Tensor.shape q)
+
+type chain_result = {
+  samples : Tensor.t array;
+  final_q : Tensor.t;
+  final_counter : int;
+  grad_evals : int;
+  depths : int array;
+}
+
+(* One (sub)tree: endpoints in absolute trajectory time, the running
+   proposal, the slice count n, the continue flag s (0/1 as a float, to
+   mirror the DSL), and the RNG draw counter. *)
+type tree = {
+  qm : Tensor.t;
+  pm : Tensor.t;
+  qp : Tensor.t;
+  pp : Tensor.t;
+  prop : Tensor.t;
+  n : float;
+  s : float;
+  cnt : int;
+}
+
+let bool_f b = if b then 1. else 0.
+
+let log_joint model minv q p =
+  model.Model.logp q -. (0.5 *. Tensor.item (Tensor.dot p (Tensor.mul minv p)))
+
+(* The arithmetic below deliberately mirrors the program Nuts_dsl
+   generates, operation for operation, so chains agree bitwise. *)
+let rec build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth ~q ~p ~cnt =
+  if depth <= 0 then begin
+    let q', p' =
+      Leapfrog.steps_mass ~grad:model.Model.grad ~minv ~n:cfg.leaf_steps ~eps:v ~q ~p
+    in
+    let lj = log_joint model minv q' p' in
+    let n' = bool_f (logu <= lj) in
+    let s' = bool_f (logu < lj +. cfg.delta_max) in
+    { qm = q'; pm = p'; qp = q'; pp = p'; prop = q'; n = n'; s = s'; cnt }
+  end
+  else begin
+    let t1 =
+      build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth:(depth - 1) ~q ~p ~cnt
+    in
+    if t1.s > 0. then begin
+      let t2, qm, pm, qp, pp =
+        if v < 0. then begin
+          let t2 =
+            build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth:(depth - 1)
+              ~q:t1.qm ~p:t1.pm ~cnt:t1.cnt
+          in
+          (t2, t2.qm, t2.pm, t1.qp, t1.pp)
+        end
+        else begin
+          let t2 =
+            build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth:(depth - 1)
+              ~q:t1.qp ~p:t1.pp ~cnt:t1.cnt
+          in
+          (t2, t1.qm, t1.pm, t2.qp, t2.pp)
+        end
+      in
+      let ua = Counter_rng.uniform key ~member ~counter:t2.cnt ~slot:0 in
+      let cnt = t2.cnt + 1 in
+      let prob = t2.n /. (t1.n +. t2.n) in
+      let prop = if ua < prob then t2.prop else t1.prop in
+      let ddq = Tensor.sub qp qm in
+      let s' =
+        t2.s
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pm)) >= 0.)
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pp)) >= 0.)
+      in
+      { qm; pm; qp; pp; prop; n = t1.n +. t2.n; s = s'; cnt }
+    end
+    else t1
+  end
+
+(* Multinomial variant: the [n] field of [tree] carries the subtree's
+   log-weight relative to the trajectory's initial point (log Σ exp(lj -
+   lj0) over leaves), proposals are drawn progressively by weight, and
+   divergence is a drop of more than delta_max below the initial joint. *)
+let rec build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v ~depth ~q ~p
+    ~cnt =
+  if depth <= 0 then begin
+    let q', p' =
+      Leapfrog.steps_mass ~grad:model.Model.grad ~minv ~n:cfg.leaf_steps ~eps:v ~q ~p
+    in
+    let lj = log_joint model minv q' p' in
+    let lw = lj -. lj0 in
+    let s' = bool_f (lw > -.cfg.delta_max) in
+    { qm = q'; pm = p'; qp = q'; pp = p'; prop = q'; n = lw; s = s'; cnt }
+  end
+  else begin
+    let t1 =
+      build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v
+        ~depth:(depth - 1) ~q ~p ~cnt
+    in
+    if t1.s > 0. then begin
+      let t2, qm, pm, qp, pp =
+        if v < 0. then begin
+          let t2 =
+            build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v
+              ~depth:(depth - 1) ~q:t1.qm ~p:t1.pm ~cnt:t1.cnt
+          in
+          (t2, t2.qm, t2.pm, t1.qp, t1.pp)
+        end
+        else begin
+          let t2 =
+            build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v
+              ~depth:(depth - 1) ~q:t1.qp ~p:t1.pp ~cnt:t1.cnt
+          in
+          (t2, t1.qm, t1.pm, t2.qp, t2.pp)
+        end
+      in
+      let ua = Counter_rng.uniform key ~member ~counter:t2.cnt ~slot:0 in
+      let cnt = t2.cnt + 1 in
+      let prob = Stdlib.exp (t2.n -. Tensor.logaddexp_f t1.n t2.n) in
+      let prop = if ua < prob then t2.prop else t1.prop in
+      let ddq = Tensor.sub qp qm in
+      let s' =
+        t2.s
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pm)) >= 0.)
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pp)) >= 0.)
+      in
+      { qm; pm; qp; pp; prop; n = Tensor.logaddexp_f t1.n t2.n; s = s'; cnt }
+    end
+    else t1
+  end
+
+let trajectory_multinomial cfg ~model ~key ~member ~q ~counter =
+  let cnt = counter in
+  let minv = minv_for cfg q in
+  let p0 =
+    let d = (Tensor.shape q).(0) in
+    let z =
+      Tensor.init [| d |] (fun idx ->
+          Counter_rng.normal key ~member ~counter:cnt ~slot:idx.(0))
+    in
+    Tensor.div z (Tensor.sqrt minv)
+  in
+  let cnt = cnt + 1 in
+  let lj0 = log_joint model minv q p0 in
+  let rec doubling ~qm ~pm ~qp ~pp ~prop ~lw ~s ~depth ~cnt =
+    if s > 0. && depth < cfg.max_depth then begin
+      let u = Counter_rng.uniform key ~member ~counter:cnt ~slot:0 in
+      let cnt = cnt + 1 in
+      let dir = if u < 0.5 then -1. else 1. in
+      let v = dir *. cfg.eps in
+      let t, qm, pm, qp, pp =
+        if dir < 0. then begin
+          let t =
+            build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v ~depth
+              ~q:qm ~p:pm ~cnt
+          in
+          (t, t.qm, t.pm, qp, pp)
+        end
+        else begin
+          let t =
+            build_tree_multinomial cfg ~model ~key ~member ~minv ~lj0 ~v ~depth
+              ~q:qp ~p:pp ~cnt
+          in
+          (t, qm, pm, t.qp, t.pp)
+        end
+      in
+      let prop, cnt =
+        if t.s > 0. then begin
+          let ua = Counter_rng.uniform key ~member ~counter:t.cnt ~slot:0 in
+          let cnt = t.cnt + 1 in
+          let prob = Float.min 1. (Stdlib.exp (t.n -. lw)) in
+          ((if ua < prob then t.prop else prop), cnt)
+        end
+        else (prop, t.cnt)
+      in
+      let lw = Tensor.logaddexp_f lw t.n in
+      let ddq = Tensor.sub qp qm in
+      let s =
+        t.s
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pm)) >= 0.)
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pp)) >= 0.)
+      in
+      doubling ~qm ~pm ~qp ~pp ~prop ~lw ~s ~depth:(depth + 1) ~cnt
+    end
+    else (prop, cnt, depth)
+  in
+  doubling ~qm:q ~pm:p0 ~qp:q ~pp:p0 ~prop:q ~lw:0. ~s:1. ~depth:0 ~cnt
+
+let trajectory_slice cfg ~model ~key ~member ~q ~counter =
+  let cnt = counter in
+  let minv = minv_for cfg q in
+  let p0 =
+    let d = (Tensor.shape q).(0) in
+    let z =
+      Tensor.init [| d |] (fun idx ->
+          Counter_rng.normal key ~member ~counter:cnt ~slot:idx.(0))
+    in
+    Tensor.div z (Tensor.sqrt minv)
+  in
+  let cnt = cnt + 1 in
+  let logjoint0 = log_joint model minv q p0 in
+  let e = Counter_rng.exponential key ~member ~counter:cnt ~slot:0 in
+  let cnt = cnt + 1 in
+  let logu = logjoint0 -. e in
+  let rec doubling ~qm ~pm ~qp ~pp ~prop ~n ~s ~depth ~cnt =
+    if s > 0. && depth < cfg.max_depth then begin
+      let u = Counter_rng.uniform key ~member ~counter:cnt ~slot:0 in
+      let cnt = cnt + 1 in
+      let dir = if u < 0.5 then -1. else 1. in
+      let v = dir *. cfg.eps in
+      let t, qm, pm, qp, pp =
+        if dir < 0. then begin
+          let t =
+            build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth ~q:qm ~p:pm ~cnt
+          in
+          (t, t.qm, t.pm, qp, pp)
+        end
+        else begin
+          let t =
+            build_tree cfg ~model ~key ~member ~minv ~logu ~v ~depth ~q:qp ~p:pp ~cnt
+          in
+          (t, qm, pm, t.qp, t.pp)
+        end
+      in
+      let prop, cnt =
+        if t.s > 0. then begin
+          let ua = Counter_rng.uniform key ~member ~counter:t.cnt ~slot:0 in
+          let cnt = t.cnt + 1 in
+          let prob = Float.min 1. (t.n /. n) in
+          ((if ua < prob then t.prop else prop), cnt)
+        end
+        else (prop, t.cnt)
+      in
+      let n = n +. t.n in
+      let ddq = Tensor.sub qp qm in
+      let s =
+        t.s
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pm)) >= 0.)
+        *. bool_f (Tensor.item (Tensor.dot ddq (Tensor.mul minv pp)) >= 0.)
+      in
+      doubling ~qm ~pm ~qp ~pp ~prop ~n ~s ~depth:(depth + 1) ~cnt
+    end
+    else (prop, cnt, depth)
+  in
+  doubling ~qm:q ~pm:p0 ~qp:q ~pp:p0 ~prop:q ~n:1. ~s:1. ~depth:0 ~cnt
+
+let trajectory cfg ~model ~key ~member ~q ~counter =
+  match cfg.variant with
+  | Slice -> trajectory_slice cfg ~model ~key ~member ~q ~counter
+  | Multinomial -> trajectory_multinomial cfg ~model ~key ~member ~q ~counter
+
+let sample_chain cfg ~model ~key ~member ~q0 ~n_iter =
+  let grads = ref 0 in
+  let counting_model =
+    {
+      model with
+      Model.grad =
+        (fun q ->
+          incr grads;
+          model.Model.grad q);
+    }
+  in
+  let samples = Array.make n_iter q0 in
+  let depths = Array.make n_iter 0 in
+  let q = ref q0 and cnt = ref 0 in
+  for i = 0 to n_iter - 1 do
+    let q', cnt', depth =
+      trajectory cfg ~model:counting_model ~key ~member ~q:!q ~counter:!cnt
+    in
+    q := q';
+    cnt := cnt';
+    samples.(i) <- q';
+    depths.(i) <- depth
+  done;
+  {
+    samples;
+    final_q = !q;
+    final_counter = !cnt;
+    grad_evals = !grads;
+    depths;
+  }
+
+let find_reasonable_eps ?(seed = 0x0E9L) ?(n_steps = 4) ~model ~q0 () =
+  let stream = Splitmix.Stream.create seed in
+  let d = (Tensor.shape q0).(0) in
+  let p0 = Tensor.init [| d |] (fun _ -> Splitmix.Stream.normal stream) in
+  let ones = Tensor.ones [| d |] in
+  let lj0 = log_joint model ones q0 p0 in
+  (* Hoffman & Gelman's Algorithm 4, but measuring acceptance over a whole
+     tree leaf ([n_steps] leapfrog steps, default matching the paper's 4):
+     tuning on a single step can land exactly on the integrator's
+     stability boundary, where multi-step leaves diverge and the sampler
+     never moves. *)
+  let accept_logprob eps =
+    let q', p' = Leapfrog.steps ~grad:model.Model.grad ~n:n_steps ~eps ~q:q0 ~p:p0 in
+    log_joint model ones q' p' -. lj0
+  in
+  let eps = ref 1. in
+  let a = if accept_logprob !eps > Stdlib.log 0.5 then 1. else -1. in
+  let continue_cond () =
+    let lp = accept_logprob !eps in
+    (* Guard against NaN from unstable integration: treat as "too big". *)
+    let lp = if Float.is_nan lp then Float.neg_infinity else lp in
+    a *. lp > -.a *. Stdlib.log 2.
+  in
+  let iters = ref 0 in
+  while continue_cond () && !iters < 100 do
+    eps := !eps *. (2. ** a);
+    incr iters
+  done;
+  (* The loop exits one doubling past the threshold. When growing, the
+     final eps is the first *bad* one (acceptance already below 1/2, and
+     possibly unstable); back off to the last good value. When shrinking,
+     the final eps is the first good one. *)
+  if a > 0. then !eps /. 2. else !eps

@@ -1,0 +1,266 @@
+type params = {
+  max_depth : int;
+  leaf_steps : int;
+  delta_max : float;
+  variant : Nuts.variant;
+}
+
+let default_params =
+  { max_depth = 10; leaf_steps = 4; delta_max = 1000.; variant = Nuts.Slice }
+
+let params_of_config (c : Nuts.config) =
+  {
+    max_depth = c.Nuts.max_depth;
+    leaf_steps = c.Nuts.leaf_steps;
+    delta_max = c.Nuts.delta_max;
+    variant = c.Nuts.variant;
+  }
+
+let program ?(params = default_params) () =
+  let open Lang in
+  let open Lang.Infix in
+  (* [leaf_steps] leapfrog steps; mirrors Leapfrog.steps. *)
+  let leaf =
+    func "leaf" ~params:[ "q"; "p"; "v"; "minv" ]
+      [
+        assign "halfv" (flt 0.5 * var "v");
+        assign "g" (prim "grad" [ var "q" ]);
+        assign "i" (flt 0.);
+        while_
+          (var "i" < flt (float_of_int params.leaf_steps))
+          [
+            assign "ph" (var "p" + (var "halfv" * var "g"));
+            assign "q" (var "q" + (var "v" * (var "minv" * var "ph")));
+            assign "g" (prim "grad" [ var "q" ]);
+            assign "p" (var "ph" + (var "halfv" * var "g"));
+            assign "i" (var "i" + flt 1.);
+          ];
+        return_ [ var "q"; var "p" ];
+      ]
+  in
+  (* log_joint as an expression: logp(q) - 0.5 * p·(minv ⊙ p). *)
+  let log_joint q p =
+    prim "logp" [ q ] - (flt 0.5 * prim "dot" [ p; var "minv" * p ])
+  in
+  let no_uturn s2 =
+    (* s2 * [ddq·(minv⊙pm) >= 0] * [ddq·(minv⊙pp) >= 0]; expects ddq bound. *)
+    s2
+    * prim "ge" [ prim "dot" [ var "ddq"; var "minv" * var "pm" ]; flt 0. ]
+    * prim "ge" [ prim "dot" [ var "ddq"; var "minv" * var "pp" ]; flt 0. ]
+  in
+  (* The slice variant thresholds leaves against the slice variable
+     ("logu"); the multinomial variant weighs leaves by their joint
+     density relative to the trajectory start ("lj0" travels in the same
+     parameter slot). *)
+  let slice =
+    match params.variant with Nuts.Slice -> true | Nuts.Multinomial -> false
+  in
+  let aux_param = if slice then "logu" else "lj0" in
+  let leaf_stats =
+    if slice then
+      [
+        assign "n1" (prim "le" [ var "logu"; var "lj" ]);
+        assign "s1" (prim "lt" [ var "logu"; var "lj" + flt params.delta_max ]);
+      ]
+    else
+      [
+        assign "n1" (var "lj" - var "lj0");
+        assign "s1" (prim "gt" [ var "n1"; flt (-.params.delta_max) ]);
+      ]
+  in
+  let combine_weights =
+    if slice then
+      [
+        assign "prob" (var "n2" / (var "n1" + var "n2"));
+        assign "prop1"
+          (prim "select"
+             [ prim "lt" [ var "ua"; var "prob" ]; var "prop2"; var "prop1" ]);
+        assign "ddq" (var "qp" - var "qm");
+        assign "s1" (no_uturn (var "s2"));
+        assign "n1" (var "n1" + var "n2");
+      ]
+    else
+      [
+        assign "prob"
+          (prim "exp" [ var "n2" - prim "logaddexp" [ var "n1"; var "n2" ] ]);
+        assign "prop1"
+          (prim "select"
+             [ prim "lt" [ var "ua"; var "prob" ]; var "prop2"; var "prop1" ]);
+        assign "ddq" (var "qp" - var "qm");
+        assign "s1" (no_uturn (var "s2"));
+        assign "n1" (prim "logaddexp" [ var "n1"; var "n2" ]);
+      ]
+  in
+  let build_tree =
+    func "build_tree" ~params:[ "q"; "p"; aux_param; "v"; "depth"; "cnt"; "minv" ]
+      [
+        if_
+          (var "depth" <= flt 0.)
+          ([
+             call [ "q1"; "p1" ] "leaf" [ var "q"; var "p"; var "v"; var "minv" ];
+             assign "lj" (log_joint (var "q1") (var "p1"));
+           ]
+          @ leaf_stats
+          @ [
+              return_
+                [ var "q1"; var "p1"; var "q1"; var "p1"; var "q1"; var "n1";
+                  var "s1"; var "cnt" ];
+            ])
+          [
+            call [ "qm"; "pm"; "qp"; "pp"; "prop1"; "n1"; "s1"; "cnt" ] "build_tree"
+              [ var "q"; var "p"; var aux_param; var "v"; var "depth" - flt 1.;
+                var "cnt"; var "minv" ];
+            if_ (var "s1" > flt 0.)
+              ([
+                 if_ (var "v" < flt 0.)
+                   [
+                     call [ "qm"; "pm"; "j1"; "j2"; "prop2"; "n2"; "s2"; "cnt" ]
+                       "build_tree"
+                       [ var "qm"; var "pm"; var aux_param; var "v";
+                         var "depth" - flt 1.; var "cnt"; var "minv" ];
+                   ]
+                   [
+                     call [ "j1"; "j2"; "qp"; "pp"; "prop2"; "n2"; "s2"; "cnt" ]
+                       "build_tree"
+                       [ var "qp"; var "pp"; var aux_param; var "v";
+                         var "depth" - flt 1.; var "cnt"; var "minv" ];
+                   ];
+                 assign "ua" (prim "uniform" [ var "cnt" ]);
+                 assign "cnt" (var "cnt" + flt 1.);
+               ]
+              @ combine_weights)
+              [];
+            return_
+              [ var "qm"; var "pm"; var "qp"; var "pp"; var "prop1"; var "n1";
+                var "s1"; var "cnt" ];
+          ];
+      ]
+  in
+  let trajectory_prelude =
+    if slice then
+      [
+        assign "lj0" (log_joint (var "q") (var "p0"));
+        assign "e" (prim "exponential" [ var "cnt" ]);
+        assign "cnt" (var "cnt" + flt 1.);
+        assign "logu" (var "lj0" - var "e");
+      ]
+    else [ assign "lj0" (log_joint (var "q") (var "p0")) ]
+  in
+  (* Initial tree weight: one in-slice point (count 1) for slice; the
+     initial point's relative log-weight (0) for multinomial. *)
+  let n_init = if slice then 1. else 0. in
+  let swap_prob =
+    if slice then prim "min" [ flt 1.; var "n2" / var "n" ]
+    else prim "min" [ flt 1.; prim "exp" [ var "n2" - var "n" ] ]
+  in
+  let n_update =
+    if slice then assign "n" (var "n" + var "n2")
+    else assign "n" (prim "logaddexp" [ var "n"; var "n2" ])
+  in
+  let trajectory =
+    func "trajectory" ~params:[ "q"; "eps"; "cnt"; "minv" ]
+      ([
+         assign "z0" (prim "normal_like" [ var "q"; var "cnt" ]);
+         assign "p0" (var "z0" / prim "sqrt" [ var "minv" ]);
+         assign "cnt" (var "cnt" + flt 1.);
+       ]
+      @ trajectory_prelude
+      @ [
+        assign "qm" (var "q");
+        assign "pm" (var "p0");
+        assign "qp" (var "q");
+        assign "pp" (var "p0");
+        assign "prop" (var "q");
+        assign "n" (flt n_init);
+        assign "s" (flt 1.);
+        assign "depth" (flt 0.);
+        while_
+          (var "s" > flt 0. && var "depth" < flt (float_of_int params.max_depth))
+          [
+            assign "u" (prim "uniform" [ var "cnt" ]);
+            assign "cnt" (var "cnt" + flt 1.);
+            assign "dir"
+              (prim "select" [ prim "lt" [ var "u"; flt 0.5 ]; flt (-1.); flt 1. ]);
+            assign "v" (var "dir" * var "eps");
+            if_ (var "dir" < flt 0.)
+              [
+                call [ "qm"; "pm"; "j1"; "j2"; "prop2"; "n2"; "s2"; "cnt" ]
+                  "build_tree"
+                  [ var "qm"; var "pm"; var aux_param; var "v"; var "depth";
+                    var "cnt"; var "minv" ];
+              ]
+              [
+                call [ "j1"; "j2"; "qp"; "pp"; "prop2"; "n2"; "s2"; "cnt" ]
+                  "build_tree"
+                  [ var "qp"; var "pp"; var aux_param; var "v"; var "depth";
+                    var "cnt"; var "minv" ];
+              ];
+            if_ (var "s2" > flt 0.)
+              [
+                assign "ua" (prim "uniform" [ var "cnt" ]);
+                assign "cnt" (var "cnt" + flt 1.);
+                assign "prob" swap_prob;
+                assign "prop"
+                  (prim "select"
+                     [ prim "lt" [ var "ua"; var "prob" ]; var "prop2"; var "prop" ]);
+              ]
+              [];
+            n_update;
+            assign "ddq" (var "qp" - var "qm");
+            assign "s" (no_uturn (var "s2"));
+            assign "depth" (var "depth" + flt 1.);
+          ];
+        return_ [ var "prop"; var "cnt" ];
+      ])
+  in
+  let chain =
+    func "nuts_chain" ~params:[ "q0"; "eps"; "n_iter"; "n_burn"; "cnt0"; "minv" ]
+      [
+        assign "q" (var "q0");
+        assign "cnt" (var "cnt0");
+        assign "sum_q" (var "q0" * flt 0.);
+        assign "sum_qsq" (var "q0" * flt 0.);
+        assign "it" (flt 0.);
+        while_
+          (var "it" < var "n_iter")
+          [
+            call [ "q"; "cnt" ] "trajectory"
+              [ var "q"; var "eps"; var "cnt"; var "minv" ];
+            if_
+              (var "it" >= var "n_burn")
+              [
+                assign "sum_q" (var "sum_q" + var "q");
+                assign "sum_qsq" (var "sum_qsq" + (var "q" * var "q"));
+              ]
+              [];
+            assign "it" (var "it" + flt 1.);
+          ];
+        return_ [ var "q"; var "sum_q"; var "sum_qsq"; var "cnt" ];
+      ]
+  in
+  Lang.program ~main:"nuts_chain" [ chain; trajectory; build_tree; leaf ]
+
+let setup ?(seed = 0x5EEDL) ~model () =
+  let reg = Prim.standard ~seed () in
+  Model.register_prims reg model;
+  (reg, Counter_rng.key seed)
+
+let input_shapes ~model =
+  [
+    [| model.Model.dim |]; Shape.scalar; Shape.scalar; Shape.scalar; Shape.scalar;
+    [| model.Model.dim |];
+  ]
+
+let inputs ?minv ~q0 ~eps ~n_iter ~n_burn ~batch () =
+  let z = batch in
+  let minv =
+    match minv with Some m -> m | None -> Tensor.ones (Tensor.shape q0)
+  in
+  [
+    Tensor.broadcast_rows q0 z;
+    Tensor.full [| z |] eps;
+    Tensor.full [| z |] (float_of_int n_iter);
+    Tensor.full [| z |] (float_of_int n_burn);
+    Tensor.zeros [| z |];
+    Tensor.broadcast_rows minv z;
+  ]

@@ -1,0 +1,135 @@
+type config = { eps : float; max_depth : int; leaf_steps : int; delta_max : float }
+
+let config_of_nuts (c : Nuts.config) =
+  {
+    eps = c.Nuts.eps;
+    max_depth = c.Nuts.max_depth;
+    leaf_steps = c.Nuts.leaf_steps;
+    delta_max = c.Nuts.delta_max;
+  }
+
+type chain_result = { samples : Tensor.t array; final_q : Tensor.t; grad_evals : int }
+
+type state = { q : Tensor.t; p : Tensor.t }
+
+let log_joint model st =
+  model.Model.logp st.q -. (0.5 *. Tensor.item (Tensor.dot st.p st.p))
+
+(* No-U-turn continuation test between the two ends of a (sub)trajectory
+   integrated with step sign [v]; [b] is the earlier end in integration
+   order. Matches the recursive sampler's absolute-time formulation. *)
+let no_uturn ~v b e =
+  let ddq = if v < 0. then Tensor.sub b.q e.q else Tensor.sub e.q b.q in
+  Tensor.item (Tensor.dot ddq b.p) >= 0. && Tensor.item (Tensor.dot ddq e.p) >= 0.
+
+let trailing_zeros k =
+  if k = 0 then invalid_arg "trailing_zeros 0"
+  else begin
+    let n = ref 0 and k = ref k in
+    while !k land 1 = 0 do
+      incr n;
+      k := !k asr 1
+    done;
+    !n
+  end
+
+(* Iteratively build one doubling subtree of 2^depth leaves starting from
+   [start], integrating with signed step [v]. Returns
+   (end_state, proposal option, n, s) — [s = false] on divergence or an
+   internal U-turn, in which case the caller must stop. *)
+let build_subtree cfg ~model ~stream ~logu ~v ~depth ~start =
+  let n_leaves = 1 lsl depth in
+  (* checkpoints.(l): the subtree-boundary state saved before a leaf whose
+     index has l trailing zeros (leaf 0 uses the top slot). *)
+  let checkpoints = Array.make (cfg.max_depth + 2) start in
+  let top_slot = cfg.max_depth + 1 in
+  let slot_for k =
+    if k = 0 then top_slot else min (trailing_zeros k) (cfg.max_depth + 1)
+  in
+  let cur = ref start in
+  let proposal = ref None in
+  let n = ref 0. in
+  let alive = ref true in
+  let k = ref 0 in
+  while !alive && !k < n_leaves do
+    checkpoints.(slot_for !k) <- !cur;
+    let q', p' =
+      Leapfrog.steps ~grad:model.Model.grad ~n:cfg.leaf_steps ~eps:v ~q:!cur.q
+        ~p:!cur.p
+    in
+    cur := { q = q'; p = p' };
+    let lj = log_joint model !cur in
+    if logu <= lj then begin
+      (* Reservoir-sample uniformly among accepted leaves: equivalent in
+         distribution to the recursive half-tree swap probabilities. *)
+      n := !n +. 1.;
+      if Splitmix.Stream.uniform stream < 1. /. !n then proposal := Some q'
+    end;
+    if not (logu < lj +. cfg.delta_max) then alive := false
+    else begin
+      (* After completing each aligned sub-subtree of size 2^l, check the
+         U-turn condition between its two boundary states. *)
+      let completed = !k + 1 in
+      let l = ref 1 in
+      while !alive && !l <= depth && completed mod (1 lsl !l) = 0 do
+        let a = completed - (1 lsl !l) in
+        let b = checkpoints.(slot_for a) in
+        if not (no_uturn ~v b !cur) then alive := false;
+        incr l
+      done
+    end;
+    incr k
+  done;
+  (!cur, !proposal, !n, !alive)
+
+let trajectory cfg ~model ~stream ~q =
+  let d = (Tensor.shape q).(0) in
+  let p0 = Tensor.init [| d |] (fun _ -> Splitmix.Stream.normal stream) in
+  let start = { q; p = p0 } in
+  let logu = log_joint model start -. (-.Stdlib.log (Splitmix.Stream.uniform stream)) in
+  (* logu = logjoint0 - Exp(1) *)
+  let minus = ref start and plus = ref start in
+  let proposal = ref q in
+  let n = ref 1. in
+  let s = ref true in
+  let depth = ref 0 in
+  while !s && !depth < cfg.max_depth do
+    let dir = if Splitmix.Stream.uniform stream < 0.5 then -1. else 1. in
+    let v = dir *. cfg.eps in
+    let from = if dir < 0. then !minus else !plus in
+    let last, prop', n', alive =
+      build_subtree cfg ~model ~stream ~logu ~v ~depth:!depth ~start:from
+    in
+    if alive then begin
+      (match prop' with
+      | Some q' when n' > 0. ->
+        if Splitmix.Stream.uniform stream < Float.min 1. (n' /. !n) then
+          proposal := q'
+      | Some _ | None -> ());
+      if dir < 0. then minus := last else plus := last;
+      n := !n +. n';
+      s := no_uturn ~v:1. !minus !plus
+    end
+    else s := false;
+    incr depth
+  done;
+  !proposal
+
+let sample_chain cfg ~model ~stream ~q0 ~n_iter =
+  let grads = ref 0 in
+  let counting =
+    {
+      model with
+      Model.grad =
+        (fun x ->
+          incr grads;
+          model.Model.grad x);
+    }
+  in
+  let samples = Array.make n_iter q0 in
+  let q = ref q0 in
+  for i = 0 to n_iter - 1 do
+    q := trajectory cfg ~model:counting ~stream ~q:!q;
+    samples.(i) <- !q
+  done;
+  { samples; final_q = !q; grad_evals = !grads }

@@ -1,0 +1,35 @@
+(** Iterative (non-recursive) NUTS.
+
+    The paper's related-work section (§5) notes that NUTS has been
+    manually rewritten in non-recursive form (Phan & Pradhan 2019; Lao &
+    Dillon 2019) precisely so it can run on accelerators *without* an
+    autobatching system — at the cost of exactly the labor-intensive
+    transformation program-counter autobatching performs mechanically.
+    This module is that manual rewrite: the doubling tree is explored with
+    an explicit iteration over leaves, keeping O(max_depth) stored states
+    (the standard trick: leaf 2k's merge partners are determined by the
+    binary representation of k).
+
+    It is used as an independent statistical cross-check of the recursive
+    sampler and as the repository's exhibit of what the autobatcher saves
+    a user from writing by hand. It matches the recursive sampler in
+    distribution, not bitwise (its RNG consumption order necessarily
+    differs). *)
+
+type config = { eps : float; max_depth : int; leaf_steps : int; delta_max : float }
+
+val config_of_nuts : Nuts.config -> config
+
+type chain_result = {
+  samples : Tensor.t array;
+  final_q : Tensor.t;
+  grad_evals : int;
+}
+
+val sample_chain :
+  config ->
+  model:Model.t ->
+  stream:Splitmix.Stream.t ->
+  q0:Tensor.t ->
+  n_iter:int ->
+  chain_result

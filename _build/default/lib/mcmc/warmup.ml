@@ -1,0 +1,34 @@
+type result = { eps : float; minv : Tensor.t; q : Tensor.t; window_draws : int }
+
+let regularized_variances samples =
+  let n = Array.length samples in
+  let _, var = Diagnostics.chain_moments samples in
+  let nf = float_of_int n in
+  let shrink = nf /. (nf +. 5.) in
+  Tensor.map (fun v -> (shrink *. v) +. (1e-3 *. (1. -. shrink))) var
+
+let run ?(seed = 0x3A9EL) ?(n_fast = 150) ?(n_window = 200) ?(target_accept = 0.8)
+    ?(variant = Nuts.Slice) ~model ~q0 () =
+  let stream = Splitmix.Stream.create seed in
+  let leaf_steps = (Nuts.default_config ~eps:1. ()).Nuts.leaf_steps in
+  (* Phase 1: step size under the identity metric. *)
+  let eps0 = Nuts.find_reasonable_eps ~seed ~model ~q0 () in
+  let eps1 =
+    Hmc.warmup_eps ~target_accept ~n_warmup:n_fast ~model ~stream ~q0 ~eps0
+      ~n_leapfrog:leaf_steps ()
+  in
+  (* Phase 2: variance window with the reference sampler. *)
+  let cfg1 = Nuts.default_config ~variant ~eps:eps1 () in
+  let key = Counter_rng.key (Splitmix.Stream.next_int64 stream) in
+  let window = Nuts.sample_chain cfg1 ~model ~key ~member:0 ~q0 ~n_iter:n_window in
+  (* Discard the first quarter of the window as settling time. *)
+  let keep_from = n_window / 4 in
+  let kept = Array.sub window.Nuts.samples keep_from (n_window - keep_from) in
+  let minv = regularized_variances kept in
+  let q1 = window.Nuts.final_q in
+  (* Phase 3: step size under the adapted metric. *)
+  let eps =
+    Hmc.warmup_eps ~target_accept ~n_warmup:n_fast ~minv ~model ~stream ~q0:q1
+      ~eps0:eps1 ~n_leapfrog:leaf_steps ()
+  in
+  { eps; minv; q = q1; window_draws = Array.length kept }

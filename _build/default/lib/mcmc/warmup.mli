@@ -1,0 +1,35 @@
+(** Stan-style warmup: joint adaptation of the leapfrog step size and a
+    diagonal inverse mass matrix.
+
+    Three phases, a simplified version of Stan's windowed schedule:
+
+    + fast: dual-average the step size under the identity mass
+      (initialized by {!Nuts.find_reasonable_eps});
+    + window: run the reference NUTS sampler and estimate per-coordinate
+      posterior variances from the window's draws, regularized toward the
+      identity as Stan does ([n/(n+5)·var + 5/(n+5)·1e-3]);
+    + fast: re-tune the step size under the adapted mass.
+
+    The result plugs directly into {!Nuts.config} ([mass_minv]) and
+    {!Nuts_dsl.inputs} ([minv]) — the autobatched sampler then runs with
+    the adapted metric on every chain. *)
+
+type result = {
+  eps : float;          (** adapted step size *)
+  minv : Tensor.t;      (** adapted diagonal inverse mass (variances) *)
+  q : Tensor.t;         (** last warmup position, a warm start *)
+  window_draws : int;   (** draws used for the variance estimate *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?n_fast:int ->
+  ?n_window:int ->
+  ?target_accept:float ->
+  ?variant:Nuts.variant ->
+  model:Model.t ->
+  q0:Tensor.t ->
+  unit ->
+  result
+(** Defaults: 150 fast iterations per step-size phase, a 200-draw variance
+    window, 0.8 target acceptance, slice variant. *)

@@ -1,0 +1,1 @@
+lib/models/eight_schools.ml: Array List Model Stdlib Tensor

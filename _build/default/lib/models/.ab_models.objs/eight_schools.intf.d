@@ -1,0 +1,1 @@
+lib/models/eight_schools.mli: Model Tensor

@@ -1,0 +1,1 @@
+lib/models/funnel_model.ml: Array Float List Model Printf Splitmix Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/models/funnel_model.mli: Model Splitmix Tensor

@@ -1,0 +1,1 @@
+lib/models/gaussian_model.ml: Array Cholesky Float Model Printf Splitmix Stdlib Tensor

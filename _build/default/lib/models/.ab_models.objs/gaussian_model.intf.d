@@ -1,0 +1,1 @@
+lib/models/gaussian_model.mli: Model Splitmix Tensor

@@ -1,0 +1,1 @@
+lib/models/logistic_model.ml: Array Model Printf Splitmix Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/models/logistic_model.mli: Model Tensor

@@ -1,0 +1,1 @@
+lib/models/model.ml: Array Float List Prim Printf Shape Splitmix Tensor

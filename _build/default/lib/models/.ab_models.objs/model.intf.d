@@ -1,0 +1,1 @@
+lib/models/model.mli: Prim Tensor

@@ -1,0 +1,73 @@
+type t = { model : Model.t; y : float array; sigma : float array }
+
+let dim = 10
+let n_schools = 8
+let mu_sd = 25.
+let tau_scale = 5.
+
+let create () =
+  let y = [| 28.; 8.; -3.; 7.; -1.; 1.; 18.; 12. |] in
+  let sigma = [| 15.; 10.; 16.; 11.; 9.; 11.; 10.; 18. |] in
+  let logp q =
+    let d = Tensor.data q in
+    let mu = d.(0) and log_tau = d.(1) in
+    let tau = Stdlib.exp log_tau in
+    let acc = ref 0. in
+    for j = 0 to n_schools - 1 do
+      let t = d.(2 + j) in
+      let r = y.(j) -. mu -. (tau *. t) in
+      (* Likelihood and the standardized effect's prior (constants
+         dropped: the density is unnormalized). *)
+      acc := !acc -. (0.5 *. r *. r /. (sigma.(j) *. sigma.(j))) -. (0.5 *. t *. t)
+    done;
+    (* mu prior, half-Cauchy(tau_scale) on tau, log Jacobian of exp. *)
+    !acc
+    -. (0.5 *. mu *. mu /. (mu_sd *. mu_sd))
+    -. Stdlib.log1p (tau /. tau_scale *. (tau /. tau_scale))
+    +. log_tau
+  in
+  let grad q =
+    let d = Tensor.data q in
+    let mu = d.(0) and log_tau = d.(1) in
+    let tau = Stdlib.exp log_tau in
+    let out = Array.make dim 0. in
+    let dmu = ref 0. and dlt = ref 0. in
+    for j = 0 to n_schools - 1 do
+      let t = d.(2 + j) in
+      let w = 1. /. (sigma.(j) *. sigma.(j)) in
+      let r = y.(j) -. mu -. (tau *. t) in
+      dmu := !dmu +. (r *. w);
+      dlt := !dlt +. (r *. w *. t *. tau);
+      out.(2 + j) <- (r *. w *. tau) -. t
+    done;
+    let u = tau /. tau_scale in
+    out.(0) <- !dmu -. (mu /. (mu_sd *. mu_sd));
+    out.(1) <- !dlt -. (2. *. u *. u /. (1. +. (u *. u))) +. 1.;
+    Tensor.create [| dim |] out
+  in
+  let logp_batch qs =
+    let z = Tensor.nrows qs in
+    Tensor.init [| z |] (fun idx -> logp (Tensor.slice_row qs idx.(0)))
+  in
+  let grad_batch qs =
+    let z = Tensor.nrows qs in
+    Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row qs b)))
+  in
+  let model =
+    {
+      Model.name = "eight-schools";
+      dim;
+      logp;
+      grad;
+      logp_batch;
+      grad_batch;
+      logp_flops = 90.;
+      grad_flops = 130.;
+    }
+  in
+  { model; y; sigma }
+
+let school_effects q =
+  let d = Tensor.data q in
+  let mu = d.(0) and tau = Stdlib.exp d.(1) in
+  Tensor.init [| n_schools |] (fun idx -> mu +. (tau *. d.(2 + idx.(0))))

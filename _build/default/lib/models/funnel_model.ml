@@ -1,0 +1,63 @@
+type t = { model : Model.t; dim : int }
+
+let log_2pi = Stdlib.log (2. *. Float.pi)
+let v_variance = 9.
+
+let create ~dim () =
+  if dim < 2 then invalid_arg "Funnel_model.create: dim must be at least 2";
+  let k = float_of_int (dim - 1) in
+  let logp q =
+    let d = Tensor.data q in
+    let v = d.(0) in
+    let sum_x2 = ref 0. in
+    for i = 1 to dim - 1 do
+      sum_x2 := !sum_x2 +. (d.(i) *. d.(i))
+    done;
+    (-.(v *. v) /. 18.)
+    -. (0.5 *. (log_2pi +. Stdlib.log 9.))
+    -. (0.5 *. !sum_x2 *. Stdlib.exp (-.v))
+    -. (0.5 *. k *. (log_2pi +. v))
+  in
+  let grad q =
+    let d = Tensor.data q in
+    let v = d.(0) in
+    let e_neg_v = Stdlib.exp (-.v) in
+    let out = Array.make dim 0. in
+    let sum_x2 = ref 0. in
+    for i = 1 to dim - 1 do
+      sum_x2 := !sum_x2 +. (d.(i) *. d.(i));
+      out.(i) <- -.d.(i) *. e_neg_v
+    done;
+    out.(0) <- (-.v /. 9.) +. (0.5 *. !sum_x2 *. e_neg_v) -. (0.5 *. k);
+    Tensor.create [| dim |] out
+  in
+  (* Vectorized over the batch at the buffer level (one pass per member
+     row — the arithmetic is inherently per-member). *)
+  let logp_batch qs =
+    let z = Tensor.nrows qs in
+    Tensor.init [| z |] (fun idx -> logp (Tensor.slice_row qs idx.(0)))
+  in
+  let grad_batch qs =
+    let z = Tensor.nrows qs in
+    Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row qs b)))
+  in
+  let df = float_of_int dim in
+  let model =
+    {
+      Model.name = Printf.sprintf "funnel-%d" dim;
+      dim;
+      logp;
+      grad;
+      logp_batch;
+      grad_batch;
+      logp_flops = (6. *. df) +. 10.;
+      grad_flops = (8. *. df) +. 10.;
+    }
+  in
+  { model; dim }
+
+let sample t stream =
+  let v = 3. *. Splitmix.Stream.normal stream in
+  let sd = Stdlib.exp (v /. 2.) in
+  Tensor.init [| t.dim |] (fun idx ->
+      if idx.(0) = 0 then v else sd *. Splitmix.Stream.normal stream)

@@ -1,0 +1,23 @@
+(** Neal's funnel (Neal 2003): the classic stress test for gradient-based
+    MCMC, and a target whose exploration depends strongly on NUTS'
+    adaptive trajectory lengths — exactly the data-dependent control flow
+    the autobatcher must handle.
+
+    {v
+    v ~ N(0, 9),   x_i | v ~ N(0, e^v)  for i = 1 .. dim-1
+    v}
+
+    The position vector is [[v; x_1; …; x_{dim-1}]]. The [v]-marginal is
+    exactly N(0, 9), which gives the statistical tests an analytic
+    anchor; {!sample} draws exact points from the joint. *)
+
+type t = { model : Model.t; dim : int }
+
+val create : dim:int -> unit -> t
+(** [dim] counts all coordinates ([v] plus [dim-1] [x]s); [dim >= 2]. *)
+
+val sample : t -> Splitmix.Stream.t -> Tensor.t
+(** One exact draw from the funnel. *)
+
+val v_variance : float
+(** The analytic variance of the [v] coordinate: 9. *)

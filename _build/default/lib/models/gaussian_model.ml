@@ -1,0 +1,75 @@
+type t = {
+  model : Model.t;
+  rho : float;
+  covariance : Tensor.t;
+  precision : Tensor.t;
+  chol_factor : Tensor.t;
+  log_det : float;
+}
+
+let log_2pi = Stdlib.log (2. *. Float.pi)
+
+let create ?(rho = 0.7) ?scales ~dim () =
+  if dim <= 0 then invalid_arg "Gaussian_model.create: dim must be positive";
+  if Float.abs rho >= 1. then invalid_arg "Gaussian_model.create: |rho| must be < 1";
+  let scale =
+    match scales with
+    | None -> fun _ -> 1.
+    | Some s ->
+      if Array.length s <> dim then
+        invalid_arg "Gaussian_model.create: scales length must equal dim";
+      Array.iter
+        (fun v -> if v <= 0. then invalid_arg "Gaussian_model.create: scales must be positive")
+        s;
+      fun i -> s.(i)
+  in
+  let covariance =
+    Tensor.init [| dim; dim |] (fun idx ->
+        scale idx.(0) *. scale idx.(1)
+        *. (rho ** float_of_int (Stdlib.abs (idx.(0) - idx.(1)))))
+  in
+  let chol_factor = Cholesky.factor covariance in
+  let precision =
+    (* Symmetrize exactly: the column-by-column inverse is symmetric only
+       up to rounding, and the single-example path computes Λq while the
+       batched path computes qΛ — bitwise agreement needs Λ = Λᵀ. *)
+    let p = Cholesky.inverse_from_factor chol_factor in
+    Tensor.mul_scalar (Tensor.add p (Tensor.transpose p)) 0.5
+  in
+  let log_det = Cholesky.log_det_from_factor chol_factor in
+  let d = float_of_int dim in
+  let const_term = -0.5 *. (log_det +. (d *. log_2pi)) in
+  let logp q =
+    let lq = Tensor.matvec precision q in
+    (-0.5 *. Tensor.item (Tensor.dot q lq)) +. const_term
+  in
+  let grad q = Tensor.neg (Tensor.matvec precision q) in
+  let logp_batch q =
+    (* Λ is symmetric: (q Λ) rows are Λ q per member. *)
+    let lq = Tensor.matmul q precision in
+    Tensor.add_scalar
+      (Tensor.mul_scalar (Tensor.sum ~axis:1 (Tensor.mul q lq)) (-0.5))
+      const_term
+  in
+  let grad_batch q = Tensor.neg (Tensor.matmul q precision) in
+  let dd = float_of_int dim in
+  let model =
+    {
+      Model.name = Printf.sprintf "gaussian-%d" dim;
+      dim;
+      logp;
+      grad;
+      logp_batch;
+      grad_batch;
+      logp_flops = (2. *. dd *. dd) +. (3. *. dd);
+      grad_flops = 2. *. dd *. dd;
+    }
+  in
+  { model; rho; covariance; precision; chol_factor; log_det }
+
+let sample t stream =
+  let dim = t.model.Model.dim in
+  let z = Tensor.init [| dim |] (fun _ -> Splitmix.Stream.normal stream) in
+  Tensor.matvec t.chol_factor z
+
+let marginal_variance t i = Tensor.get t.covariance [| i; i |]

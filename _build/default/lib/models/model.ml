@@ -1,0 +1,100 @@
+type t = {
+  name : string;
+  dim : int;
+  logp : Tensor.t -> float;
+  grad : Tensor.t -> Tensor.t;
+  logp_batch : Tensor.t -> Tensor.t;
+  grad_batch : Tensor.t -> Tensor.t;
+  logp_flops : float;
+  grad_flops : float;
+}
+
+let check_dim m name s =
+  match s with
+  | [ q ] when Shape.equal q [| m.dim |] -> ()
+  | [ q ] ->
+    raise
+      (Prim.Shape_error
+         (Printf.sprintf "%s: position must have shape [%d], got %s" name m.dim
+            (Shape.to_string q)))
+  | ss ->
+    raise
+      (Prim.Shape_error
+         (Printf.sprintf "%s: expected 1 argument, got %d" name (List.length ss)))
+
+let register_prims reg m =
+  Prim.register reg
+    {
+      Prim.name = "logp";
+      arity = 1;
+      deterministic = true;
+      shape =
+        (fun ss ->
+          check_dim m "logp" ss;
+          Shape.scalar);
+      flops = (fun _ -> m.logp_flops);
+      batched =
+        (fun ~members:_ args ->
+          match args with [ q ] -> m.logp_batch q | _ -> invalid_arg "logp: arity");
+      single =
+        (fun ~member:_ args ->
+          match args with
+          | [ q ] -> Tensor.scalar (m.logp q)
+          | _ -> invalid_arg "logp: arity");
+    };
+  Prim.register reg
+    {
+      Prim.name = "grad";
+      arity = 1;
+      deterministic = true;
+      shape =
+        (fun ss ->
+          check_dim m "grad" ss;
+          [| m.dim |]);
+      flops = (fun _ -> m.grad_flops);
+      batched =
+        (fun ~members:_ args ->
+          match args with [ q ] -> m.grad_batch q | _ -> invalid_arg "grad: arity");
+      single =
+        (fun ~member:_ args ->
+          match args with [ q ] -> m.grad q | _ -> invalid_arg "grad: arity");
+    }
+
+let check_shapes m =
+  let stream = Splitmix.Stream.create 99L in
+  for trial = 0 to 2 do
+    let z = 3 in
+    let q =
+      Tensor.init [| z; m.dim |] (fun _ -> Splitmix.Stream.normal stream)
+    in
+    let lp = m.logp_batch q in
+    let g = m.grad_batch q in
+    if not (Shape.equal (Tensor.shape lp) [| z |]) then
+      failwith (Printf.sprintf "%s: logp_batch shape wrong" m.name);
+    if not (Shape.equal (Tensor.shape g) [| z; m.dim |]) then
+      failwith (Printf.sprintf "%s: grad_batch shape wrong" m.name);
+    for b = 0 to z - 1 do
+      let qb = Tensor.slice_row q b in
+      let lp1 = m.logp qb in
+      if Float.abs (lp1 -. (Tensor.data lp).(b)) > 1e-8 *. (1. +. Float.abs lp1) then
+        failwith
+          (Printf.sprintf "%s: logp single/batch disagree at trial %d member %d"
+             m.name trial b);
+      let g1 = m.grad qb in
+      if not (Tensor.allclose ~rtol:1e-8 ~atol:1e-10 g1 (Tensor.slice_row g b)) then
+        failwith
+          (Printf.sprintf "%s: grad single/batch disagree at trial %d member %d"
+             m.name trial b)
+    done
+  done
+
+let of_single ~name ~dim ~logp ~grad ~logp_flops ~grad_flops =
+  let logp_batch q =
+    let z = (Tensor.shape q).(0) in
+    Tensor.init [| z |] (fun idx -> logp (Tensor.slice_row q idx.(0)))
+  in
+  let grad_batch q =
+    let z = (Tensor.shape q).(0) in
+    Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row q b)))
+  in
+  { name; dim; logp; grad; logp_batch; grad_batch; logp_flops; grad_flops }

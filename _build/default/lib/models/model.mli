@@ -1,0 +1,36 @@
+(** Target-density interface for the samplers.
+
+    A model exposes its unnormalized log density and gradient in both
+    single-example and batched forms, together with flop estimates for the
+    simulated accelerator. [register_prims] installs them as the [logp]
+    and [grad] primitives that DSL programs (e.g. {!Nuts_dsl}) call. *)
+
+type t = {
+  name : string;
+  dim : int;
+  logp : Tensor.t -> float;           (** [ [dim] -> scalar ] *)
+  grad : Tensor.t -> Tensor.t;        (** [ [dim] -> [dim] ] *)
+  logp_batch : Tensor.t -> Tensor.t;  (** [ [z;dim] -> [z] ] *)
+  grad_batch : Tensor.t -> Tensor.t;  (** [ [z;dim] -> [z;dim] ] *)
+  logp_flops : float;                 (** per evaluation per member *)
+  grad_flops : float;
+}
+
+val register_prims : Prim.registry -> t -> unit
+(** Install primitives [logp : [dim] -> []] and [grad : [dim] -> [dim]]. *)
+
+val check_shapes : t -> unit
+(** Sanity-check single/batched agreement on a few synthetic points;
+    raises [Failure] on disagreement. Used by tests. *)
+
+val of_single :
+  name:string ->
+  dim:int ->
+  logp:(Tensor.t -> float) ->
+  grad:(Tensor.t -> Tensor.t) ->
+  logp_flops:float ->
+  grad_flops:float ->
+  t
+(** Build a model from single-example functions; the batched forms loop
+    over rows (convenient for tests and custom targets — the built-in
+    models implement genuinely vectorized batches). *)

@@ -1,0 +1,1 @@
+lib/rng/counter_rng.ml: Array Float Int64 Splitmix Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/rng/counter_rng.mli: Tensor

@@ -1,0 +1,1 @@
+lib/rng/splitmix.ml: Float Int64 List Stdlib

@@ -1,0 +1,37 @@
+let mix64 z =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash2 a b = mix64 (Int64.add (mix64 a) b)
+
+let hash_list ws = List.fold_left hash2 0x5851F42D4C957F2DL ws
+
+let to_unit_float w =
+  (* Use the top 53 bits, offset by 1/2 ulp: result lies in (0,1). *)
+  let bits = Int64.shift_right_logical w 11 in
+  (Int64.to_float bits +. 0.5) *. 0x1p-53
+
+module Stream = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let next_int64 t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    mix64 t.state
+
+  let uniform t = to_unit_float (next_int64 t)
+
+  let normal t =
+    let u1 = uniform t in
+    let u2 = uniform t in
+    Stdlib.sqrt (-2. *. Stdlib.log u1) *. Stdlib.cos (2. *. Float.pi *. u2)
+
+  let int_below t n =
+    if n <= 0 then invalid_arg "Splitmix.Stream.int_below: non-positive bound";
+    (* Rejection-free modulo is fine for test workloads. *)
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+end

@@ -1,0 +1,36 @@
+(** SplitMix64 mixing and a small stateful stream built on it.
+
+    The mixing function is the finalizer of Steele, Lea & Flood's
+    SplitMix64; it is a high-quality 64-bit permutation we use both as the
+    core of the counter-based generator ({!Counter_rng}) and as a simple
+    sequential stream for test-data synthesis. *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer (a bijection on 64-bit words). *)
+
+val hash2 : int64 -> int64 -> int64
+(** Combine two words; order-sensitive. *)
+
+val hash_list : int64 list -> int64
+(** Fold {!hash2} over a list with a fixed initial word. *)
+
+val to_unit_float : int64 -> float
+(** Map a word to the open interval (0,1); never returns 0 or 1, so it is
+    safe under [log]. *)
+
+(** Stateful sequential stream (for synthetic data and tests only — the
+    autobatching runtimes use the stateless {!Counter_rng}). *)
+module Stream : sig
+  type t
+
+  val create : int64 -> t
+  val next_int64 : t -> int64
+  val uniform : t -> float
+  (** In (0,1). *)
+
+  val normal : t -> float
+  (** Standard normal via Box–Muller (no caching; two draws per call). *)
+
+  val int_below : t -> int -> int
+  (** Uniform in [0, n); raises on n <= 0. *)
+end

@@ -1,0 +1,1 @@
+lib/tensor/cholesky.ml: Array List Printf Stdlib Tensor

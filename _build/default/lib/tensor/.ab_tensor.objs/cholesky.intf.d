@@ -1,0 +1,1 @@
+lib/tensor/cholesky.mli: Tensor

@@ -1,0 +1,1 @@
+lib/vm/local_vm.ml: Array Cfg Engine Hashtbl Instrument List Option Prim Printf Sched Shape Tensor Vm_util

@@ -1,0 +1,1 @@
+lib/vm/local_vm.mli: Cfg Engine Instrument Prim Sched Tensor

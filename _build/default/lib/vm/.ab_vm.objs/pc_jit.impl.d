@@ -1,0 +1,1 @@
+lib/vm/pc_jit.ml: Array Engine Hashtbl Instrument Ir_util List Prim Printf Sched Shape Stack_ir Stacked Tensor Var_class Vm_util

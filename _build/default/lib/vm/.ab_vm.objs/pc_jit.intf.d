@@ -1,0 +1,1 @@
+lib/vm/pc_jit.mli: Engine Instrument Prim Sched Stack_ir Tensor

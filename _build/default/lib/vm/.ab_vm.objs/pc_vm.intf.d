@@ -1,0 +1,1 @@
+lib/vm/pc_vm.mli: Engine Instrument Prim Sched Stack_ir Tensor

@@ -1,0 +1,1 @@
+lib/vm/stacked.ml: Array Printf Shape Tensor

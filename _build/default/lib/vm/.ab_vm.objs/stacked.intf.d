@@ -1,0 +1,1 @@
+lib/vm/stacked.mli: Shape Tensor

@@ -1,0 +1,1 @@
+lib/vm/vm_util.ml: Array Shape Tensor

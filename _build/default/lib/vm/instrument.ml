@@ -1,0 +1,121 @@
+type prim_stats = { mutable useful : int; mutable issued : int }
+
+type block_stats = { mutable execs : int; mutable active : int }
+
+type t = {
+  prims : (string, prim_stats) Hashtbl.t;
+  per_block : (int, block_stats) Hashtbl.t;
+  mutable blocks : int;
+  mutable active_total : int;
+  mutable batch_total : int;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable push_lanes : int;
+  mutable pop_lanes : int;
+  mutable max_depth : int;
+}
+
+let create () =
+  {
+    prims = Hashtbl.create 32;
+    per_block = Hashtbl.create 64;
+    blocks = 0;
+    active_total = 0;
+    batch_total = 0;
+    pushes = 0;
+    pops = 0;
+    push_lanes = 0;
+    pop_lanes = 0;
+    max_depth = 0;
+  }
+
+let reset t =
+  Hashtbl.reset t.prims;
+  Hashtbl.reset t.per_block;
+  t.blocks <- 0;
+  t.active_total <- 0;
+  t.batch_total <- 0;
+  t.pushes <- 0;
+  t.pops <- 0;
+  t.push_lanes <- 0;
+  t.pop_lanes <- 0;
+  t.max_depth <- 0
+
+let stats_for t name =
+  match Hashtbl.find_opt t.prims name with
+  | Some s -> s
+  | None ->
+    let s = { useful = 0; issued = 0 } in
+    Hashtbl.add t.prims name s;
+    s
+
+let record_prim t ~name ~useful ~issued =
+  let s = stats_for t name in
+  s.useful <- s.useful + useful;
+  s.issued <- s.issued + issued
+
+let record_block ?block t ~active ~batch =
+  t.blocks <- t.blocks + 1;
+  t.active_total <- t.active_total + active;
+  t.batch_total <- t.batch_total + batch;
+  match block with
+  | None -> ()
+  | Some b ->
+    let s =
+      match Hashtbl.find_opt t.per_block b with
+      | Some s -> s
+      | None ->
+        let s = { execs = 0; active = 0 } in
+        Hashtbl.add t.per_block b s;
+        s
+    in
+    s.execs <- s.execs + 1;
+    s.active <- s.active + active
+
+let record_push t ~lanes =
+  t.pushes <- t.pushes + 1;
+  t.push_lanes <- t.push_lanes + lanes
+
+let record_pop t ~lanes =
+  t.pops <- t.pops + 1;
+  t.pop_lanes <- t.pop_lanes + lanes
+
+let record_depth t d = if d > t.max_depth then t.max_depth <- d
+
+let utilization t ~name =
+  match Hashtbl.find_opt t.prims name with
+  | None -> None
+  | Some s -> if s.issued = 0 then None else Some (float_of_int s.useful /. float_of_int s.issued)
+
+let overall_utilization t =
+  if t.batch_total = 0 then 1.
+  else float_of_int t.active_total /. float_of_int t.batch_total
+
+let prim_issued t ~name =
+  match Hashtbl.find_opt t.prims name with Some s -> s.issued | None -> 0
+
+let prim_useful t ~name =
+  match Hashtbl.find_opt t.prims name with Some s -> s.useful | None -> 0
+
+let blocks_executed t = t.blocks
+
+let block_stats t =
+  Hashtbl.fold (fun b s acc -> (b, s.execs, s.active) :: acc) t.per_block []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+let pushes t = t.pushes
+let pops t = t.pops
+let max_depth t = t.max_depth
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>blocks %d, overall utilization %.3f, pushes %d, pops %d, max depth %d@,"
+    t.blocks (overall_utilization t) t.pushes t.pops t.max_depth;
+  let entries =
+    Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.prims []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "%s: useful %d / issued %d@," name s.useful s.issued)
+    entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Runtime instrumentation shared by both autobatching VMs.
+
+    The central quantity is per-primitive *batch utilization*: when a
+    basic block executes with [useful] active members out of [issued]
+    batch slots, every primitive in it does [useful] lanes of useful work
+    while occupying [issued] lanes. The paper's Figure 6 is the
+    utilization of the model-gradient primitive under the two batching
+    strategies. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_prim : t -> name:string -> useful:int -> issued:int -> unit
+
+(** [record_block ?block t ~active ~batch] records one executed block;
+    [block] (its index) additionally feeds the per-block profile. *)
+val record_block : ?block:int -> t -> active:int -> batch:int -> unit
+val record_push : t -> lanes:int -> unit
+val record_pop : t -> lanes:int -> unit
+val record_depth : t -> int -> unit
+(** Observe a stack depth; the maximum is retained. *)
+
+val utilization : t -> name:string -> float option
+(** useful/issued lane fraction for one primitive; [None] if never run. *)
+
+val overall_utilization : t -> float
+(** Σ active / Σ batch over all executed blocks (1.0 when never run). *)
+
+val prim_issued : t -> name:string -> int
+val prim_useful : t -> name:string -> int
+val blocks_executed : t -> int
+val pushes : t -> int
+val pops : t -> int
+val max_depth : t -> int
+
+val block_stats : t -> (int * int * int) list
+(** Per-block profile, sorted by execution count descending:
+    [(block_index, executions, total_active_lanes)]. Only populated when
+    the VM passes [?block] to {!record_block}. *)
+
+val pp : Format.formatter -> t -> unit

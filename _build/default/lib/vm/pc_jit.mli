@@ -1,0 +1,35 @@
+(** Program-counter autobatching with precompiled blocks.
+
+    Semantically identical to {!Pc_vm} (Algorithm 2), but the interpreter
+    work is done once, ahead of time — the analogue of handing the whole
+    runtime to XLA instead of walking the program step by step:
+
+    - every variable's storage is resolved and preallocated (static
+      element shapes are required, as on the paper's target platforms);
+    - every primitive is looked up once and closed over its storage;
+    - every block becomes one OCaml closure; per-block cost-model charges
+      (flops, op names, control counts) are precomputed constants.
+
+    The scheduling loop, masking semantics, scheduling heuristic and all
+    results are bitwise identical to {!Pc_vm}; only the host-side dispatch
+    overhead changes (measured in [bench/main.exe micro]). *)
+
+type t
+
+val compile : Prim.registry -> Stack_ir.program -> batch:int -> t
+(** Prepare a reusable executor for a fixed batch size. Raises
+    [Invalid_argument] if the program lacks inferred shapes for some
+    variable (compile the program with [input_shapes]). *)
+
+val run :
+  ?sched:Sched.t ->
+  ?engine:Engine.t ->
+  ?instrument:Instrument.t ->
+  ?max_steps:int ->
+  t ->
+  batch:Tensor.t list ->
+  Tensor.t list
+(** Execute on inputs whose batch dimension matches [compile]'s. The
+    executor is reusable: storage is reset from the inputs each run. *)
+
+exception Step_limit_exceeded

@@ -1,0 +1,292 @@
+type config = {
+  sched : Sched.t;
+  engine : Engine.t option;
+  instrument : Instrument.t option;
+  max_steps : int;
+  initial_depth : int;
+  top_cache : bool;
+  naive_stack_writes : bool;
+}
+
+let default_config =
+  {
+    sched = Sched.Earliest;
+    engine = None;
+    instrument = None;
+    max_steps = 100_000_000;
+    initial_depth = 4;
+    top_cache = true;
+    naive_stack_writes = false;
+  }
+
+exception Step_limit_exceeded
+
+(* The program-counter stack: same layout as Stacked but over ints. *)
+module Pc_stack = struct
+  type t = {
+    z : int;
+    mutable cap : int;
+    mutable data : int array;
+    sp : int array;
+    top : int array;
+  }
+
+  let create ~z ~bottom ~start ~initial_depth =
+    let cap = max 1 initial_depth in
+    let t =
+      { z; cap; data = Array.make (cap * z) 0; sp = Array.make z 1; top = Array.make z start }
+    in
+    for b = 0 to z - 1 do
+      t.data.(b) <- bottom
+    done;
+    t
+
+  let grow t =
+    let cap' = t.cap * 2 in
+    let data' = Array.make (cap' * t.z) 0 in
+    Array.blit t.data 0 data' 0 (t.cap * t.z);
+    t.cap <- cap';
+    t.data <- data'
+
+  let push t ~mask =
+    let need = ref 0 in
+    Array.iteri (fun b m -> if m && t.sp.(b) >= !need then need := t.sp.(b) + 1) mask;
+    while !need > t.cap do
+      grow t
+    done;
+    Array.iteri
+      (fun b m ->
+        if m then begin
+          t.data.((t.sp.(b) * t.z) + b) <- t.top.(b);
+          t.sp.(b) <- t.sp.(b) + 1
+        end)
+      mask
+
+  let pop t ~mask =
+    Array.iteri
+      (fun b m ->
+        if m then begin
+          if t.sp.(b) = 0 then
+            invalid_arg (Printf.sprintf "Pc_vm: pc stack underflow for member %d" b);
+          t.sp.(b) <- t.sp.(b) - 1;
+          t.top.(b) <- t.data.((t.sp.(b) * t.z) + b)
+        end)
+      mask
+
+  let set_top_masked t ~mask v =
+    Array.iteri (fun b m -> if m then t.top.(b) <- v) mask
+
+  let max_depth t = Array.fold_left max 0 t.sp
+end
+
+type storage = Reg of Tensor.t ref | Msk of Tensor.t ref | Stk of Stacked.t
+
+let batch_size batch =
+  match batch with
+  | [] -> invalid_arg "Pc_vm: at least one input required"
+  | first :: _ ->
+    if Tensor.rank first = 0 then
+      invalid_arg "Pc_vm: inputs must carry a leading batch dimension";
+    let z = (Tensor.shape first).(0) in
+    List.iter
+      (fun t ->
+        if Tensor.rank t = 0 || (Tensor.shape t).(0) <> z then
+          invalid_arg "Pc_vm: inputs disagree on the batch dimension")
+      batch;
+    z
+
+let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
+  let z = batch_size batch in
+  let halt = Stack_ir.halt p in
+  let nb = Array.length p.Stack_ir.blocks in
+  let store : (string, storage) Hashtbl.t = Hashtbl.create 64 in
+  let full_mask = Array.make z true in
+  (* Preallocate storage for variables with inferred shapes. *)
+  let allocate v elem =
+    let s =
+      match Stack_ir.class_of p v with
+      | Var_class.Temp -> Reg (ref (Tensor.zeros (Shape.concat_outer z elem)))
+      | Var_class.Masked -> Msk (ref (Tensor.zeros (Shape.concat_outer z elem)))
+      | Var_class.Stacked ->
+        Stk (Stacked.create ~z ~elem ~initial_depth:config.initial_depth ())
+    in
+    Hashtbl.replace store v s;
+    s
+  in
+  Ir_util.Smap.iter (fun v elem -> ignore (allocate v elem)) p.Stack_ir.shapes;
+  let storage_of v value_elem =
+    match Hashtbl.find_opt store v with
+    | Some s -> s
+    | None -> allocate v value_elem
+  in
+  let read v =
+    match Hashtbl.find_opt store v with
+    | Some (Reg r) | Some (Msk r) -> !r
+    | Some (Stk s) -> Stacked.top s
+    | None -> invalid_arg (Printf.sprintf "Pc_vm: read of unwritten variable %s" v)
+  in
+  (* Per-step accounting accumulators. *)
+  let traffic = ref 0. in
+  let charged_ops = ref [] in
+  let check_shape v cur_shape out =
+    if not (Shape.equal cur_shape (Tensor.shape out)) then
+      invalid_arg
+        (Printf.sprintf "Pc_vm: variable %s changes shape from %s to %s" v
+           (Shape.to_string cur_shape)
+           (Shape.to_string (Tensor.shape out)))
+  in
+  let write v ~mask out =
+    let row = Tensor.row_numel out in
+    match storage_of v (Vm_util.elem_shape_of_batched out) with
+    | Reg r ->
+      check_shape v (Tensor.shape !r) out;
+      (* Copy, never alias: [out] may be another variable's storage (a
+         register move), and that storage is mutated in place by later
+         masked writes. *)
+      Array.blit (Tensor.data out) 0 (Tensor.data !r) 0 (Tensor.numel out);
+      traffic := !traffic +. (Vm_util.bytes_per_elem *. float_of_int (z * row))
+    | Msk r ->
+      check_shape v (Tensor.shape !r) out;
+      Tensor.blit_rows_masked ~mask ~src:out ~dst:!r;
+      traffic := !traffic +. Vm_util.masked_write_bytes ~lanes:z ~row
+    | Stk s ->
+      check_shape v (Tensor.shape (Stacked.top s)) out;
+      Stacked.write_top_masked s ~mask out;
+      traffic := !traffic +. Vm_util.masked_write_bytes ~lanes:z ~row;
+      if config.naive_stack_writes then
+        (* Pre-O5 cost: the write would be a pop followed by a push. *)
+        traffic := !traffic +. (2. *. Vm_util.stack_move_bytes ~lanes:z ~row)
+  in
+  let read_charged v =
+    let t = read v in
+    (match Hashtbl.find_opt store v with
+    | Some (Stk _) when not config.top_cache ->
+      (* Without the top cache every stacked read is a gather. *)
+      traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Tensor.row_numel t)
+    | Some _ | None -> ());
+    t
+  in
+  (* Bind inputs. *)
+  if List.length p.Stack_ir.inputs <> List.length batch then
+    invalid_arg "Pc_vm: input count mismatch";
+  List.iter2 (fun v t -> write v ~mask:full_mask t) p.Stack_ir.inputs batch;
+  traffic := 0.;
+  charged_ops := [];
+  (* pc stack: bottom sentinel [halt], executing from block 0. *)
+  let pc = Pc_stack.create ~z ~bottom:halt ~start:0 ~initial_depth:config.initial_depth in
+  let counts = Array.make nb 0 in
+  let last = ref (-1) in
+  let members_of mask = Vm_util.indices_of_mask mask in
+  let all = Vm_util.all_members z in
+  let steps = ref 0 in
+  let rec vm_loop () =
+    Array.fill counts 0 nb 0;
+    for b = 0 to z - 1 do
+      if pc.Pc_stack.top.(b) < halt then
+        counts.(pc.Pc_stack.top.(b)) <- counts.(pc.Pc_stack.top.(b)) + 1
+    done;
+    match Sched.pick config.sched ~last:!last ~counts with
+    | None -> ()
+    | Some i ->
+      incr steps;
+      if !steps > config.max_steps then raise Step_limit_exceeded;
+      last := i;
+      let mask = Array.init z (fun b -> pc.Pc_stack.top.(b) = i) in
+      let members = members_of mask in
+      let n_active = Array.length members in
+      traffic := 0.;
+      charged_ops := [];
+      let record_prim name =
+        Option.iter
+          (fun ins -> Instrument.record_prim ins ~name ~useful:n_active ~issued:z)
+          config.instrument
+      in
+      let block = p.Stack_ir.blocks.(i) in
+      List.iter
+        (fun (op : Stack_ir.op) ->
+          match op with
+          | Stack_ir.Sprim { dst; prim; args } ->
+            let impl = Prim.find_exn reg prim in
+            let arg_tensors = List.map read_charged args in
+            let out = impl.Prim.batched ~members:all arg_tensors in
+            let elem_shapes = List.map Vm_util.elem_shape_of_batched arg_tensors in
+            charged_ops :=
+              (prim, impl.Prim.flops elem_shapes *. float_of_int z) :: !charged_ops;
+            record_prim prim;
+            write dst ~mask out
+          | Stack_ir.Sconst { dst; value } ->
+            let out = Tensor.broadcast_rows value z in
+            charged_ops :=
+              ("const", float_of_int (Tensor.numel value * z)) :: !charged_ops;
+            write dst ~mask out
+          | Stack_ir.Smov { dst; src } ->
+            let out = read_charged src in
+            charged_ops :=
+              ("mov", float_of_int (Tensor.row_numel out * z)) :: !charged_ops;
+            write dst ~mask out
+          | Stack_ir.Spush v -> (
+            match Hashtbl.find_opt store v with
+            | Some (Stk s) ->
+              Stacked.push s ~mask;
+              traffic :=
+                !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
+              Option.iter
+                (fun ins ->
+                  Instrument.record_push ins ~lanes:n_active;
+                  Instrument.record_depth ins (Stacked.max_depth s))
+                config.instrument
+            | Some (Reg _ | Msk _) ->
+              invalid_arg (Printf.sprintf "Pc_vm: push of non-stacked variable %s" v)
+            | None ->
+              invalid_arg (Printf.sprintf "Pc_vm: push of unwritten variable %s" v))
+          | Stack_ir.Spop v -> (
+            match Hashtbl.find_opt store v with
+            | Some (Stk s) ->
+              Stacked.pop s ~mask;
+              traffic :=
+                !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
+              Option.iter
+                (fun ins -> Instrument.record_pop ins ~lanes:n_active)
+                config.instrument
+            | Some (Reg _ | Msk _) ->
+              invalid_arg (Printf.sprintf "Pc_vm: pop of non-stacked variable %s" v)
+            | None ->
+              invalid_arg (Printf.sprintf "Pc_vm: pop of unwritten variable %s" v)))
+        block.Stack_ir.ops;
+      (* Terminator. *)
+      let control_ops = ref 2 in
+      (match block.Stack_ir.term with
+      | Stack_ir.Sjump j -> Pc_stack.set_top_masked pc ~mask j
+      | Stack_ir.Sbranch { cond; if_true; if_false } ->
+        incr control_ops;
+        let data = Tensor.data (read_charged cond) in
+        Array.iter
+          (fun b ->
+            pc.Pc_stack.top.(b) <- (if data.(b) <> 0. then if_true else if_false))
+          members
+      | Stack_ir.Spushjump { ret; entry } ->
+        Pc_stack.set_top_masked pc ~mask ret;
+        Pc_stack.push pc ~mask;
+        Pc_stack.set_top_masked pc ~mask entry;
+        traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1;
+        Option.iter
+          (fun ins -> Instrument.record_depth ins (Pc_stack.max_depth pc))
+          config.instrument
+      | Stack_ir.Sreturn ->
+        Pc_stack.pop pc ~mask;
+        traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1);
+      Option.iter
+        (fun eng ->
+          Engine.charge_block eng ~ops:(List.rev !charged_ops)
+            ~control_ops:!control_ops ~traffic_bytes:!traffic)
+        config.engine;
+      Option.iter
+        (fun ins -> Instrument.record_block ~block:i ins ~active:n_active ~batch:z)
+        config.instrument;
+      vm_loop ()
+  in
+  vm_loop ();
+  (* Fresh tensors: the VM's storage buffers must not escape. *)
+  List.map (fun v -> Tensor.copy (read v)) p.Stack_ir.outputs
+
+let final_max_depth = Instrument.max_depth

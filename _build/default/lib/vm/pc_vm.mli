@@ -1,0 +1,45 @@
+(** Program-counter autobatching — the paper's Algorithm 2.
+
+    Executes the merged stack-machine program ({!Stack_ir}) on a whole
+    batch with no host recursion at all: every batch member's call stack
+    lives in per-variable data stacks ({!Stacked}) and a program-counter
+    stack. The locally active set is recomputed every step from the pc
+    tops, so members at *different stack depths* batch together — the
+    property that lets NUTS chains synchronize on gradient evaluations
+    rather than trajectory boundaries (Figure 6), and the whole runtime
+    be a single non-recursive loop compilable to an XLA-style device
+    program (Figure 5).
+
+    Execution is masking-style (all lanes computed, inactive results
+    discarded), matching the paper's static-shape target platforms. *)
+
+type config = {
+  sched : Sched.t;
+  engine : Engine.t option;
+  instrument : Instrument.t option;
+  max_steps : int;
+  initial_depth : int;        (** initial per-variable stack capacity *)
+  top_cache : bool;
+      (** O4. The implementation always keeps the cache (reads are host
+          arrays either way); disabling charges the simulated cost of
+          re-gathering stacked reads, for the optimization ablation. *)
+  naive_stack_writes : bool;
+      (** O5 ablation: price every write to a stacked variable as the
+          uncancelled pop+push pair instead of an in-place update. *)
+}
+
+val default_config : config
+
+exception Step_limit_exceeded
+
+val run :
+  ?config:config ->
+  Prim.registry ->
+  Stack_ir.program ->
+  batch:Tensor.t list ->
+  Tensor.t list
+(** [run reg p ~batch] executes the program on inputs carrying a common
+    leading batch dimension; results do too. *)
+
+val final_max_depth : Instrument.t -> int
+(** Convenience alias of {!Instrument.max_depth}. *)

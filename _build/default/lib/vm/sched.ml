@@ -1,0 +1,30 @@
+type t = Earliest | Most_active | Round_robin
+
+let to_string = function
+  | Earliest -> "earliest"
+  | Most_active -> "most-active"
+  | Round_robin -> "round-robin"
+
+let all = [ Earliest; Most_active; Round_robin ]
+
+let pick policy ~last ~counts =
+  let n = Array.length counts in
+  let earliest () =
+    let rec go i = if i >= n then None else if counts.(i) > 0 then Some i else go (i + 1) in
+    go 0
+  in
+  match policy with
+  | Earliest -> earliest ()
+  | Most_active ->
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if counts.(i) > 0 && (!best < 0 || counts.(i) >= counts.(!best)) then best := i
+    done;
+    if !best < 0 then None else Some !best
+  | Round_robin ->
+    let rec go k remaining =
+      if remaining = 0 then None
+      else if counts.(k mod n) > 0 then Some (k mod n)
+      else go (k + 1) (remaining - 1)
+    in
+    if n = 0 then None else go (last + 1) n

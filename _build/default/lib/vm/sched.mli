@@ -1,0 +1,18 @@
+(** Basic-block selection heuristics (the paper's "second free choice").
+
+    Any non-starving policy is correct; the paper's Algorithm 1 and 2 use
+    [Earliest] — run the lowest-numbered block that has at least one
+    active member, which with source-ordered block emission is "earliest
+    in program order". [Most_active] greedily maximizes utilization of the
+    selected block; [Round_robin] cycles through blocks for fairness.
+    These are compared in the scheduling ablation (DESIGN.md A2). *)
+
+type t = Earliest | Most_active | Round_robin
+
+val to_string : t -> string
+val all : t list
+
+val pick : t -> last:int -> counts:int array -> int option
+(** Choose a block index with [counts.(i) > 0], or [None] if all zero.
+    [last] is the previously chosen block (for [Round_robin]; pass [-1]
+    initially). *)

@@ -1,0 +1,76 @@
+type t = {
+  z : int;
+  elem : Shape.t;
+  row : int;
+  mutable cap : int;
+  mutable data : float array;  (* cap * z * row *)
+  sp : int array;
+  top : Tensor.t;
+}
+
+let create ~z ~elem ?(initial_depth = 4) () =
+  if z <= 0 then invalid_arg "Stacked.create: batch size must be positive";
+  let row = Shape.numel elem in
+  {
+    z;
+    elem;
+    row;
+    cap = max 1 initial_depth;
+    data = Array.make (max 1 initial_depth * z * row) 0.;
+    sp = Array.make z 0;
+    top = Tensor.zeros (Shape.concat_outer z elem);
+  }
+
+let z t = t.z
+let elem t = t.elem
+let row t = t.row
+let top t = t.top
+
+let write_top_masked t ~mask value =
+  Tensor.blit_rows_masked ~mask ~src:value ~dst:t.top
+
+let grow t =
+  let cap' = t.cap * 2 in
+  let data' = Array.make (cap' * t.z * t.row) 0. in
+  Array.blit t.data 0 data' 0 (t.cap * t.z * t.row);
+  t.cap <- cap';
+  t.data <- data'
+
+let slot t d b = ((d * t.z) + b) * t.row
+
+let push t ~mask =
+  if Array.length mask <> t.z then invalid_arg "Stacked.push: mask length";
+  let need = ref 0 in
+  Array.iteri (fun b m -> if m && t.sp.(b) >= !need then need := t.sp.(b) + 1) mask;
+  while !need > t.cap do
+    grow t
+  done;
+  let top_data = Tensor.data t.top in
+  Array.iteri
+    (fun b m ->
+      if m then begin
+        Array.blit top_data (b * t.row) t.data (slot t t.sp.(b) b) t.row;
+        t.sp.(b) <- t.sp.(b) + 1
+      end)
+    mask
+
+let pop t ~mask =
+  if Array.length mask <> t.z then invalid_arg "Stacked.pop: mask length";
+  let top_data = Tensor.data t.top in
+  Array.iteri
+    (fun b m ->
+      if m then begin
+        if t.sp.(b) = 0 then
+          invalid_arg (Printf.sprintf "Stacked.pop: underflow for member %d" b);
+        t.sp.(b) <- t.sp.(b) - 1;
+        Array.blit t.data (slot t t.sp.(b) b) top_data (b * t.row) t.row
+      end)
+    mask
+
+let depth t b = t.sp.(b)
+
+let reset t =
+  Array.fill t.sp 0 t.z 0;
+  Array.fill (Tensor.data t.top) 0 (t.z * t.row) 0.
+let max_depth t = Array.fold_left max 0 t.sp
+let capacity t = t.cap

@@ -1,0 +1,41 @@
+(** Per-variable batched stacks with a cached top (optimization O4).
+
+    The logical stack of batch member [b] is
+    [data[0..sp(b)-1, b] ++ [top(b)]]: the cached top holds the current
+    value, the body holds the saved frames beneath it. Reads therefore
+    never gather; [push] scatters the top into the body (a caller save)
+    and [pop] gathers the saved row back (a restore). Capacity grows by
+    doubling — the paper's static depth limit D is only needed on
+    genuinely static-shape hardware. *)
+
+type t
+
+val create : z:int -> elem:Shape.t -> ?initial_depth:int -> unit -> t
+(** All tops start at zero, all stacks empty. *)
+
+val z : t -> int
+val elem : t -> Shape.t
+val row : t -> int
+(** Elements per member per stack level. *)
+
+val top : t -> Tensor.t
+(** The cached top, shape [z :: elem]. Shared buffer — do not mutate. *)
+
+val write_top_masked : t -> mask:bool array -> Tensor.t -> unit
+(** Replace the top value of the masked members ([value] is full-width). *)
+
+val push : t -> mask:bool array -> unit
+(** Duplicate the masked members' tops (save a frame). *)
+
+val pop : t -> mask:bool array -> unit
+(** Drop the masked members' tops, restoring the saved frame. Raises
+    [Invalid_argument] on underflow — an unbalanced program. *)
+
+val depth : t -> int -> int
+(** Number of saved frames below the top for one member. *)
+
+val reset : t -> unit
+(** Drop all saved frames and zero the tops (reuse between runs). *)
+
+val max_depth : t -> int
+val capacity : t -> int

@@ -1,0 +1,30 @@
+(* Shared helpers for the two autobatching runtimes. *)
+
+let bytes_per_elem = 8.
+
+let indices_of_mask mask =
+  let n = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 mask in
+  let out = Array.make n 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun i m ->
+      if m then begin
+        out.(!j) <- i;
+        incr j
+      end)
+    mask;
+  out
+
+let count_mask mask = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 mask
+
+(* A masked write in a static-shape (XLA-style) system is a select: read
+   old and new, write result. *)
+let masked_write_bytes ~lanes ~row = 3. *. bytes_per_elem *. float_of_int (lanes * row)
+
+(* A stack push/pop moves one row per lane between the stack body and the
+   cached top (scatter resp. gather), reading and writing each element. *)
+let stack_move_bytes ~lanes ~row = 2. *. bytes_per_elem *. float_of_int (lanes * row)
+
+let elem_shape_of_batched t = Shape.drop_outer (Tensor.shape t)
+
+let all_members z = Array.init z (fun i -> i)

@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Device Engine List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ad.ml: Ad Alcotest Array Gaussian_model Logistic_model Model Printf QCheck QCheck_alcotest Stdlib Tensor

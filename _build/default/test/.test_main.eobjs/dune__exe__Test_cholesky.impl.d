@@ -1,0 +1,1 @@
+test/test_cholesky.ml: Alcotest Cholesky List Printf QCheck QCheck_alcotest Splitmix Stdlib Tensor

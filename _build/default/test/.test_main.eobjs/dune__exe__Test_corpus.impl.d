@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Autobatch Filename List Parser Pc_jit Prim Printf Shape Stdlib String Sys Tensor Validate

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ablations Alcotest Array Batched_sampler Figure5 Figure6 Float Gaussian_model Lazy List Nuts Nuts_dsl Option Printf Sched Tensor

@@ -1,0 +1,1 @@
+test/test_mcmc.ml: Alcotest Array Counter_rng Diagnostics Dual_averaging Float Gaussian_model Hmc Leapfrog List Model Nuts Nuts_iter Printf Splitmix Stdlib Tensor

@@ -1,0 +1,1 @@
+test/test_models.ml: Ad Alcotest Array Autobatch Batched_sampler Eight_schools Float Funnel_model Gaussian_model List Logistic_model Model Nuts Nuts_dsl Prim Printf Splitmix Stdlib Tensor

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Autobatch Cfg Gaussian_model Lang List Lower_cfg Nuts Nuts_dsl Optimize Prim Printf QCheck QCheck_alcotest Shape Tensor Test_random_programs Validate

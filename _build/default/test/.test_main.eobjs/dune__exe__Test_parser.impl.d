@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Autobatch Interp Lang List Option Parser Prim Printf QCheck QCheck_alcotest Shape String Tensor Test_programs Test_random_programs Validate

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Autobatch List Local_vm Lower_stack Pc_jit Pc_vm Printf Sched Shape Stack_ir Tensor Test_programs

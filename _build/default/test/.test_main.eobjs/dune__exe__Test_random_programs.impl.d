@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Array Autobatch Format Interp_cfg Lang List Local_vm Pc_jit Pc_vm Prim Printf QCheck QCheck_alcotest Sched Shape String Tensor Validate

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Counter_rng Float Hashtbl Int64 QCheck QCheck_alcotest Splitmix Tensor

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array QCheck QCheck_alcotest Shape

@@ -1,0 +1,112 @@
+(* Tests for the simulated accelerator engine: the cost arithmetic is the
+   basis of the Figure 5 reproduction, so check it exactly. *)
+
+let t = Alcotest.test_case
+let check_f = Alcotest.(check (float 1e-15))
+
+let tiny_device =
+  {
+    Device.name = "tiny";
+    kernel_launch_overhead = 1.;
+    fused_launch_overhead = 10.;
+    host_op_overhead = 0.5;
+    flops_per_sec = 100.;
+    bytes_per_sec = 50.;
+    fused_flops_multiplier = 2.;
+  }
+
+let test_eager_block_cost () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Eager () in
+  Engine.charge_block e ~ops:[ ("a", 200.); ("b", 100.) ] ~control_ops:2 ~traffic_bytes:100.;
+  (* 4 launches × (1 + 0.5) + 300/100 + 100/50 = 6 + 3 + 2 = 11 *)
+  check_f "eager time" 11. (Engine.elapsed e);
+  let c = Engine.counters e in
+  Alcotest.(check int) "kernels" 4 c.Engine.kernel_launches;
+  Alcotest.(check int) "host ops" 4 c.Engine.host_ops;
+  Alcotest.(check int) "blocks" 1 c.Engine.blocks;
+  check_f "flops" 300. c.Engine.flops;
+  check_f "traffic" 100. c.Engine.traffic_bytes
+
+let test_fused_block_cost () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Fused () in
+  Engine.charge_block e ~ops:[ ("a", 200.); ("b", 100.) ] ~control_ops:5 ~traffic_bytes:100.;
+  (* 10 + 300/(100×2) + 2 = 13.5; control free inside fusion. *)
+  check_f "fused time" 13.5 (Engine.elapsed e);
+  Alcotest.(check int) "one fused launch" 1 (Engine.counters e).Engine.fused_launches;
+  Alcotest.(check int) "no eager kernels" 0 (Engine.counters e).Engine.kernel_launches
+
+let test_hybrid_block_cost () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Hybrid () in
+  Engine.charge_block e ~ops:[ ("a", 200.) ] ~control_ops:2 ~traffic_bytes:0.;
+  (* 10 + 2×(1+0.5) + 200/200 = 14 *)
+  check_f "hybrid time" 14. (Engine.elapsed e);
+  Alcotest.(check int) "fused" 1 (Engine.counters e).Engine.fused_launches;
+  Alcotest.(check int) "control kernels" 2 (Engine.counters e).Engine.kernel_launches
+
+let test_kernel_and_call () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Eager () in
+  Engine.charge_kernel e ~name:"k" ~flops:100.;
+  (* 1 + 0.5 + 1 = 2.5 *)
+  check_f "kernel time" 2.5 (Engine.elapsed e);
+  Engine.charge_host_call e;
+  (* + 4 × 0.5 *)
+  check_f "host call time" 4.5 (Engine.elapsed e);
+  Alcotest.(check int) "host calls" 1 (Engine.counters e).Engine.host_calls
+
+let test_traffic_and_reset () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Fused () in
+  Engine.charge_traffic e ~bytes:25.;
+  check_f "traffic time" 0.5 (Engine.elapsed e);
+  Engine.reset e;
+  check_f "reset time" 0. (Engine.elapsed e);
+  Alcotest.(check int) "reset counters" 0 (Engine.counters e).Engine.blocks
+
+let test_tally () =
+  let e = Engine.create ~device:tiny_device ~mode:Engine.Eager () in
+  Engine.charge_block e ~ops:[ ("grad", 1.); ("grad", 1.); ("add", 1.) ] ~control_ops:0
+    ~traffic_bytes:0.;
+  Engine.charge_kernel e ~name:"grad" ~flops:1.;
+  Alcotest.(check (list (pair string int))) "tally sorted desc"
+    [ ("grad", 3); ("add", 1) ] (Engine.op_tally e)
+
+let test_device_presets () =
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check bool) (d.Device.name ^ " overheads nonneg") true
+        (d.Device.kernel_launch_overhead >= 0.
+        && d.Device.fused_launch_overhead >= 0.
+        && d.Device.host_op_overhead >= 0.);
+      Alcotest.(check bool) (d.Device.name ^ " throughput positive") true
+        (d.Device.flops_per_sec > 0. && d.Device.bytes_per_sec > 0.
+       && d.Device.fused_flops_multiplier >= 1.))
+    [ Device.gpu; Device.cpu; Device.stan_cpu ];
+  Alcotest.(check bool) "gpu out-throughputs cpu" true
+    (Device.gpu.Device.flops_per_sec > Device.cpu.Device.flops_per_sec);
+  Alcotest.(check bool) "stan has zero overhead" true
+    (Device.stan_cpu.Device.kernel_launch_overhead = 0.)
+
+let prop_time_monotone =
+  QCheck.Test.make ~name:"engine time is monotone in work" ~count:100
+    (QCheck.pair QCheck.(float_range 0. 1e6) QCheck.(float_range 0. 1e6))
+    (fun (f1, f2) ->
+      let time_for f =
+        let e = Engine.create ~device:tiny_device ~mode:Engine.Fused () in
+        Engine.charge_block e ~ops:[ ("x", f) ] ~control_ops:1 ~traffic_bytes:0.;
+        Engine.elapsed e
+      in
+      (f1 <= f2) = (time_for f1 <= time_for f2) || time_for f1 = time_for f2)
+
+let suites =
+  [
+    ( "accel",
+      [
+        t "eager block cost" `Quick test_eager_block_cost;
+        t "fused block cost" `Quick test_fused_block_cost;
+        t "hybrid block cost" `Quick test_hybrid_block_cost;
+        t "kernel and host call" `Quick test_kernel_and_call;
+        t "traffic and reset" `Quick test_traffic_and_reset;
+        t "per-op tally" `Quick test_tally;
+        t "device presets" `Quick test_device_presets;
+        QCheck_alcotest.to_alcotest prop_time_monotone;
+      ] );
+  ]

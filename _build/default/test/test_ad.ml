@@ -1,0 +1,211 @@
+(* Tests for the reverse-mode autodiff tape. *)
+
+let t = Alcotest.test_case
+
+let grad_close ?(tol = 1e-5) name got want =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s vs %s" name (Tensor.to_string got) (Tensor.to_string want))
+    true
+    (Tensor.allclose ~rtol:tol ~atol:tol got want)
+
+let test_simple_chain () =
+  (* f(x) = sum ((2x + 1)^2); f'(x) = 4(2x+1). *)
+  let x = Tensor.of_list [ 0.; 1.; -2. ] in
+  let g =
+    Ad.grad1
+      (fun _tape v ->
+        Ad.sum (Ad.square (Ad.add_scalar (Ad.mul_scalar v 2.) 1.)))
+      x
+  in
+  grad_close "chain rule" g (Tensor.of_list [ 4.; 12.; -12. ])
+
+let test_binary_ops_vs_fd () =
+  let x = Tensor.of_list [ 0.3; -0.7; 1.2; 0.05 ] in
+  let check name build f_prim =
+    let g = Ad.grad1 (fun tape v -> build tape v) x in
+    let fd = Ad.finite_diff f_prim x in
+    grad_close name g fd
+  in
+  check "mul self"
+    (fun _tape v -> Ad.sum (Ad.mul v v))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.mul x x)));
+  check "div by const vec"
+    (fun tape v ->
+      let c = Ad.const tape (Tensor.of_list [ 2.; 3.; 4.; 5. ]) in
+      Ad.sum (Ad.div v c))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.div x (Tensor.of_list [ 2.; 3.; 4.; 5. ]))));
+  check "exp" (fun _tape v -> Ad.sum (Ad.exp v))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.exp x)));
+  check "tanh" (fun _tape v -> Ad.sum (Ad.tanh v))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.tanh x)));
+  check "sigmoid" (fun _tape v -> Ad.sum (Ad.sigmoid v))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.sigmoid x)));
+  check "log_sigmoid" (fun _tape v -> Ad.sum (Ad.log_sigmoid v))
+    (fun x -> Tensor.item (Tensor.sum (Tensor.log_sigmoid x)));
+  check "neg+sub"
+    (fun tape v ->
+      let c = Ad.const tape (Tensor.of_list [ 1.; 1.; 1.; 1. ]) in
+      Ad.sum (Ad.sub (Ad.neg v) c))
+    (fun x ->
+      Tensor.item (Tensor.sum (Tensor.sub (Tensor.neg x) (Tensor.ones [| 4 |]))))
+
+let test_positive_domain_ops () =
+  let x = Tensor.of_list [ 0.5; 1.5; 3. ] in
+  let g = Ad.grad1 (fun _ v -> Ad.sum (Ad.log v)) x in
+  grad_close "log" g (Tensor.map (fun v -> 1. /. v) x);
+  let g2 = Ad.grad1 (fun _ v -> Ad.sum (Ad.sqrt v)) x in
+  let fd = Ad.finite_diff (fun x -> Tensor.item (Tensor.sum (Tensor.sqrt x))) x in
+  grad_close "sqrt" g2 fd
+
+let test_dot_matvec_matmul () =
+  let x = Tensor.of_list [ 1.; -2.; 0.5 ] in
+  let y = Tensor.of_list [ 3.; 0.; -1. ] in
+  let tape = Ad.new_tape () in
+  let vx = Ad.input tape x and vy = Ad.input tape y in
+  let out = Ad.dot vx vy in
+  (match Ad.grad ~output:out ~inputs:[ vx; vy ] with
+  | [ gx; gy ] ->
+    grad_close "d dot / dx = y" gx y;
+    grad_close "d dot / dy = x" gy x
+  | _ -> Alcotest.fail "two grads");
+  let a = Tensor.create [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let g =
+    Ad.grad1
+      (fun tape v ->
+        let va = Ad.const tape a in
+        Ad.sum (Ad.matvec va v))
+      x
+  in
+  let fd = Ad.finite_diff (fun x -> Tensor.item (Tensor.sum (Tensor.matvec a x))) x in
+  grad_close "matvec wrt x" g fd;
+  (* matmul: d/dB sum(A B) = Aᵀ 1. *)
+  let b0 = Tensor.create [| 3; 2 |] [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 |] in
+  let gb =
+    Ad.grad1
+      (fun tape v ->
+        let va = Ad.const tape a in
+        Ad.sum (Ad.matmul va v))
+      b0
+  in
+  let fdb =
+    Ad.finite_diff (fun b -> Tensor.item (Tensor.sum (Tensor.matmul a b))) b0
+  in
+  grad_close "matmul wrt B" gb fdb
+
+let test_broadcast_adjoint_reduction () =
+  (* Scalar broadcast against a vector: the scalar's gradient is the sum
+     over the broadcast lanes. *)
+  let s0 = Tensor.scalar 2. in
+  let v = Tensor.of_list [ 1.; 2.; 3. ] in
+  let g =
+    Ad.grad1
+      (fun tape s ->
+        let vv = Ad.const tape v in
+        Ad.sum (Ad.mul s vv))
+      s0
+  in
+  grad_close "broadcast scalar grad" g (Tensor.scalar 6.)
+
+let test_fan_out_accumulates () =
+  (* x used twice: f = sum(x*x + x); f' = 2x + 1. *)
+  let x = Tensor.of_list [ 0.5; -1. ] in
+  let g = Ad.grad1 (fun _ v -> Ad.sum (Ad.add (Ad.mul v v) v)) x in
+  grad_close "fan-out" g (Tensor.of_list [ 2.; -1. ])
+
+let test_unused_input_zero_grad () =
+  let tape = Ad.new_tape () in
+  let x = Ad.input tape (Tensor.of_list [ 1.; 2. ]) in
+  let y = Ad.input tape (Tensor.of_list [ 3.; 4. ]) in
+  let out = Ad.sum x in
+  (match Ad.grad ~output:out ~inputs:[ x; y ] with
+  | [ _; gy ] -> grad_close "unused input" gy (Tensor.zeros [| 2 |])
+  | _ -> Alcotest.fail "two grads")
+
+let test_grad_errors () =
+  let tape = Ad.new_tape () in
+  let x = Ad.input tape (Tensor.of_list [ 1.; 2. ]) in
+  Alcotest.check_raises "non-scalar output"
+    (Invalid_argument "Ad.grad: output must be a one-element tensor") (fun () ->
+      ignore (Ad.grad ~output:x ~inputs:[ x ]));
+  let other = Ad.new_tape () in
+  let y = Ad.input other (Tensor.scalar 1.) in
+  Alcotest.check_raises "mixed tapes"
+    (Invalid_argument "Ad: operands from different tapes") (fun () ->
+      ignore (Ad.add x y))
+
+let test_model_gradients_vs_ad () =
+  (* The logistic-regression hand gradient equals the AD gradient of the
+     hand logp. *)
+  let logistic = Logistic_model.create ~n:50 ~dim:7 () in
+  let m = logistic.Logistic_model.model in
+  let x = logistic.Logistic_model.x and y = logistic.Logistic_model.y in
+  let beta = Tensor.init [| 7 |] (fun i -> 0.1 *. float_of_int (i.(0) - 3)) in
+  let ad_grad =
+    Ad.grad1
+      (fun tape b ->
+        let vx = Ad.const tape x and vy = Ad.const tape y in
+        let z = Ad.matvec vx b in
+        let ll =
+          Ad.sum (Ad.add (Ad.log_sigmoid (Ad.neg z)) (Ad.mul vy z))
+        in
+        Ad.add ll (Ad.mul_scalar (Ad.dot b b) (-0.5)))
+      beta
+  in
+  grad_close ~tol:1e-8 "logistic grad = AD grad" (m.Model.grad beta) ad_grad;
+  (* And the Gaussian. *)
+  let gaussian = Gaussian_model.create ~dim:6 () in
+  let gm = gaussian.Gaussian_model.model in
+  let q = Tensor.init [| 6 |] (fun i -> Stdlib.sin (float_of_int i.(0))) in
+  let ad_g =
+    Ad.grad1
+      (fun tape v ->
+        let prec = Ad.const tape gaussian.Gaussian_model.precision in
+        Ad.mul_scalar (Ad.dot v (Ad.matvec prec v)) (-0.5))
+      q
+  in
+  grad_close ~tol:1e-8 "gaussian grad = AD grad" (gm.Model.grad q) ad_g
+
+let prop_grad_matches_fd =
+  (* Random small compositions of smooth ops checked against finite
+     differences. *)
+  QCheck.Test.make ~name:"AD gradient matches finite differences" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 5)
+           (list_size (int_range 2 5) (float_range (-1.5) 1.5))))
+    (fun (variant, xs) ->
+      let x = Tensor.of_list xs in
+      let build tape v =
+        match variant with
+        | 1 -> Ad.sum (Ad.tanh (Ad.mul v v))
+        | 2 -> Ad.sum (Ad.sigmoid (Ad.add v (Ad.mul_scalar v 2.)))
+        | 3 -> Ad.dot v v
+        | 4 -> Ad.sum (Ad.exp (Ad.mul_scalar (Ad.square v) (-0.5)))
+        | _ ->
+          let c = Ad.const tape (Tensor.full (Tensor.shape (Ad.value v)) 0.7) in
+          Ad.sum (Ad.mul (Ad.tanh v) c)
+      in
+      let prim x =
+        let tape = Ad.new_tape () in
+        Tensor.item (Ad.value (build tape (Ad.input tape x)))
+      in
+      let g = Ad.grad1 build x in
+      let fd = Ad.finite_diff prim x in
+      Tensor.allclose ~rtol:1e-4 ~atol:1e-5 g fd)
+
+let suites =
+  [
+    ( "ad",
+      [
+        t "chain rule" `Quick test_simple_chain;
+        t "binary ops vs finite diff" `Quick test_binary_ops_vs_fd;
+        t "positive-domain ops" `Quick test_positive_domain_ops;
+        t "dot, matvec, matmul" `Quick test_dot_matvec_matmul;
+        t "broadcast adjoint reduction" `Quick test_broadcast_adjoint_reduction;
+        t "fan-out accumulates" `Quick test_fan_out_accumulates;
+        t "unused input zero grad" `Quick test_unused_input_zero_grad;
+        t "error handling" `Quick test_grad_errors;
+        t "model gradients vs AD" `Quick test_model_gradients_vs_ad;
+        QCheck_alcotest.to_alcotest prop_grad_matches_fd;
+      ] );
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "autobatch"
+    (List.concat
+       [
+         Test_shape.suites;
+         Test_tensor.suites;
+         Test_cholesky.suites;
+         Test_rng.suites;
+         Test_accel.suites;
+         Test_ir.suites;
+         Test_parser.suites;
+         Test_tools.suites;
+         Test_optimize.suites;
+         Test_corpus.suites;
+         Test_vm.suites;
+         Test_pipeline.suites;
+         Test_random_programs.suites;
+         Test_ad.suites;
+         Test_models.suites;
+         Test_mcmc.suites;
+         Test_nuts_equivalence.suites;
+         Test_harness.suites;
+       ])

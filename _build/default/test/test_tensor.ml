@@ -1,0 +1,270 @@
+(* Unit and property tests for the tensor substrate. *)
+
+let t = Alcotest.test_case
+let check_f = Alcotest.(check (float 1e-12))
+
+let close ?(tol = 1e-9) a b msg =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s vs %s" msg (Tensor.to_string a) (Tensor.to_string b))
+    true
+    (Tensor.allclose ~rtol:tol ~atol:tol a b)
+
+let test_construction () =
+  let z = Tensor.zeros [| 2; 3 |] in
+  Alcotest.(check int) "numel" 6 (Tensor.numel z);
+  check_f "zero" 0. (Tensor.get z [| 1; 2 |]);
+  let o = Tensor.ones [| 3 |] in
+  check_f "one" 1. (Tensor.get o [| 2 |]);
+  let f = Tensor.full [| 2 |] 3.5 in
+  check_f "full" 3.5 (Tensor.get f [| 0 |]);
+  check_f "scalar item" 7. (Tensor.item (Tensor.scalar 7.));
+  let a = Tensor.arange 4 in
+  close a (Tensor.of_list [ 0.; 1.; 2.; 3. ]) "arange";
+  let e = Tensor.eye 3 in
+  check_f "eye diag" 1. (Tensor.get e [| 1; 1 |]);
+  check_f "eye off" 0. (Tensor.get e [| 0; 2 |]);
+  Alcotest.check_raises "create size mismatch"
+    (Invalid_argument "Tensor.create: shape [3] wants 3 elements, got 2")
+    (fun () -> ignore (Tensor.create [| 3 |] [| 1.; 2. |]))
+
+let test_of_array_copies () =
+  let src = [| 1.; 2. |] in
+  let a = Tensor.of_array [| 2 |] src in
+  src.(0) <- 99.;
+  check_f "of_array copies" 1. (Tensor.get a [| 0 |])
+
+let test_init_set () =
+  let a = Tensor.init [| 2; 2 |] (fun i -> float_of_int ((i.(0) * 10) + i.(1))) in
+  check_f "init" 11. (Tensor.get a [| 1; 1 |]);
+  Tensor.set a [| 0; 1 |] 42.;
+  check_f "set" 42. (Tensor.get a [| 0; 1 |])
+
+let test_reshape () =
+  let a = Tensor.arange 6 in
+  let b = Tensor.reshape a [| 2; 3 |] in
+  check_f "reshape view" 5. (Tensor.get b [| 1; 2 |]);
+  Alcotest.check_raises "bad reshape"
+    (Invalid_argument "Tensor.reshape: cannot view [6] as [4]") (fun () ->
+      ignore (Tensor.reshape a [| 4 |]))
+
+let test_elementwise_broadcast () =
+  let a = Tensor.of_list [ 1.; 2.; 3. ] in
+  let s = Tensor.scalar 10. in
+  close (Tensor.add a s) (Tensor.of_list [ 11.; 12.; 13. ]) "add scalar";
+  let m = Tensor.init [| 2; 3 |] (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+  (* [2;3] + [3] broadcasts along rows. *)
+  close (Tensor.add m a)
+    (Tensor.create [| 2; 3 |] [| 1.; 3.; 5.; 4.; 6.; 8. |])
+    "row broadcast";
+  (* [2;1] * [1;3] outer-style broadcast. *)
+  let col = Tensor.create [| 2; 1 |] [| 2.; 3. |] in
+  let row = Tensor.create [| 1; 3 |] [| 1.; 10.; 100. |] in
+  close (Tensor.mul col row)
+    (Tensor.create [| 2; 3 |] [| 2.; 20.; 200.; 3.; 30.; 300. |])
+    "outer broadcast";
+  Alcotest.check_raises "incompatible"
+    (Invalid_argument "Shape.broadcast2: incompatible shapes [2] and [3]")
+    (fun () -> ignore (Tensor.add (Tensor.zeros [| 2 |]) (Tensor.zeros [| 3 |])))
+
+let test_math_functions () =
+  let x = Tensor.of_list [ -2.; 0.; 2. ] in
+  close (Tensor.abs x) (Tensor.of_list [ 2.; 0.; 2. ]) "abs";
+  close (Tensor.sign x) (Tensor.of_list [ -1.; 0.; 1. ]) "sign";
+  close (Tensor.neg x) (Tensor.of_list [ 2.; 0.; -2. ]) "neg";
+  close (Tensor.square x) (Tensor.of_list [ 4.; 0.; 4. ]) "square";
+  close ~tol:1e-9 (Tensor.exp (Tensor.scalar 1.)) (Tensor.scalar (Float.exp 1.)) "exp";
+  close ~tol:1e-9 (Tensor.log (Tensor.scalar (Float.exp 1.))) (Tensor.scalar 1.) "log e";
+  check_f "sigmoid 0" 0.5 (Tensor.item (Tensor.sigmoid (Tensor.scalar 0.)));
+  (* Stability: big negative input must not overflow. *)
+  let ls = Tensor.item (Tensor.log_sigmoid (Tensor.scalar (-800.))) in
+  Alcotest.(check bool) "log_sigmoid stable" true (ls < -700. && Float.is_finite ls);
+  let lsp = Tensor.item (Tensor.log_sigmoid (Tensor.scalar 800.)) in
+  Alcotest.(check bool) "log_sigmoid(+big) ~ 0" true (Float.abs lsp < 1e-300)
+
+let test_comparisons_logic () =
+  let a = Tensor.of_list [ 1.; 2.; 3. ] in
+  let b = Tensor.of_list [ 2.; 2.; 2. ] in
+  close (Tensor.lt a b) (Tensor.of_list [ 1.; 0.; 0. ]) "lt";
+  close (Tensor.le a b) (Tensor.of_list [ 1.; 1.; 0. ]) "le";
+  close (Tensor.gt a b) (Tensor.of_list [ 0.; 0.; 1. ]) "gt";
+  close (Tensor.eq a b) (Tensor.of_list [ 0.; 1.; 0. ]) "eq";
+  close
+    (Tensor.logical_and (Tensor.le a b) (Tensor.ge a b))
+    (Tensor.of_list [ 0.; 1.; 0. ])
+    "and";
+  close (Tensor.logical_not (Tensor.eq a b)) (Tensor.of_list [ 1.; 0.; 1. ]) "not"
+
+let test_where () =
+  let c = Tensor.of_list [ 1.; 0.; 1. ] in
+  let a = Tensor.of_list [ 10.; 20.; 30. ] in
+  let b = Tensor.of_list [ -1.; -2.; -3. ] in
+  close (Tensor.where c a b) (Tensor.of_list [ 10.; -2.; 30. ]) "where";
+  (* NaN payloads must pass through exactly. *)
+  let a_nan = Tensor.of_list [ Float.nan; 20.; 30. ] in
+  let r = Tensor.where c a_nan b in
+  Alcotest.(check bool) "where keeps NaN payload" true
+    (Float.is_nan (Tensor.get r [| 0 |]));
+  (* Scalar condition broadcast. *)
+  close (Tensor.where (Tensor.scalar 0.) a b) b "scalar cond"
+
+let test_reductions () =
+  let m = Tensor.create [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  check_f "sum all" 21. (Tensor.item (Tensor.sum m));
+  close (Tensor.sum ~axis:0 m) (Tensor.of_list [ 5.; 7.; 9. ]) "sum axis 0";
+  close (Tensor.sum ~axis:1 m) (Tensor.of_list [ 6.; 15. ]) "sum axis 1";
+  close (Tensor.mean ~axis:1 m) (Tensor.of_list [ 2.; 5. ]) "mean axis 1";
+  check_f "mean all" 3.5 (Tensor.item (Tensor.mean m));
+  close (Tensor.max_reduce ~axis:0 m) (Tensor.of_list [ 4.; 5.; 6. ]) "max axis 0";
+  close (Tensor.min_reduce ~axis:1 m) (Tensor.of_list [ 1.; 4. ]) "min axis 1";
+  close (Tensor.sum_last m) (Tensor.of_list [ 6.; 15. ]) "sum_last";
+  (* Rank-3 middle-axis reduction. *)
+  let c = Tensor.init [| 2; 3; 2 |] (fun i -> float_of_int ((i.(0) * 6) + (i.(1) * 2) + i.(2))) in
+  close (Tensor.sum ~axis:1 c)
+    (Tensor.create [| 2; 2 |] [| 6.; 9.; 24.; 27. |])
+    "sum middle axis"
+
+let test_linalg () =
+  let a = Tensor.create [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = Tensor.create [| 3; 2 |] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  close (Tensor.matmul a b)
+    (Tensor.create [| 2; 2 |] [| 58.; 64.; 139.; 154. |])
+    "matmul";
+  let x = Tensor.of_list [ 1.; 0.; -1. ] in
+  close (Tensor.matvec a x) (Tensor.of_list [ -2.; -2. ]) "matvec";
+  check_f "dot" 14. (Tensor.item (Tensor.dot (Tensor.of_list [ 1.; 2.; 3. ]) (Tensor.of_list [ 1.; 2.; 3. ])));
+  close (Tensor.transpose a)
+    (Tensor.create [| 3; 2 |] [| 1.; 4.; 2.; 5.; 3.; 6. |])
+    "transpose";
+  close
+    (Tensor.outer (Tensor.of_list [ 1.; 2. ]) (Tensor.of_list [ 3.; 4. ]))
+    (Tensor.create [| 2; 2 |] [| 3.; 4.; 6.; 8. |])
+    "outer";
+  Alcotest.check_raises "matmul inner mismatch"
+    (Invalid_argument "Tensor.matmul: inner dimensions 3 and 2 differ") (fun () ->
+      ignore (Tensor.matmul a (Tensor.zeros [| 2; 2 |])))
+
+let test_rows () =
+  let m = Tensor.init [| 4; 2 |] (fun i -> float_of_int ((i.(0) * 2) + i.(1))) in
+  Alcotest.(check int) "nrows" 4 (Tensor.nrows m);
+  Alcotest.(check int) "row_numel" 2 (Tensor.row_numel m);
+  close (Tensor.take_rows m [| 2; 0; 2 |])
+    (Tensor.create [| 3; 2 |] [| 4.; 5.; 0.; 1.; 4.; 5. |])
+    "take_rows";
+  let src = Tensor.create [| 2; 2 |] [| 100.; 101.; 200.; 201. |] in
+  close (Tensor.put_rows m [| 3; 1 |] src)
+    (Tensor.create [| 4; 2 |] [| 0.; 1.; 200.; 201.; 4.; 5.; 100.; 101. |])
+    "put_rows";
+  let mask = [| true; false; false; true |] in
+  let alt = Tensor.full [| 4; 2 |] 9. in
+  close (Tensor.select_rows mask alt m)
+    (Tensor.create [| 4; 2 |] [| 9.; 9.; 2.; 3.; 4.; 5.; 9.; 9. |])
+    "select_rows";
+  let dst = Tensor.copy m in
+  Tensor.blit_rows_masked ~mask ~src:alt ~dst;
+  close dst
+    (Tensor.create [| 4; 2 |] [| 9.; 9.; 2.; 3.; 4.; 5.; 9.; 9. |])
+    "blit_rows_masked";
+  let dst2 = Tensor.copy m in
+  Tensor.blit_rows_indexed ~idx:[| 1 |] ~src:(Tensor.create [| 1; 2 |] [| 7.; 8. |]) ~dst:dst2;
+  close dst2
+    (Tensor.create [| 4; 2 |] [| 0.; 1.; 7.; 8.; 4.; 5.; 6.; 7. |])
+    "blit_rows_indexed";
+  close (Tensor.slice_row m 2) (Tensor.of_list [ 4.; 5. ]) "slice_row";
+  close
+    (Tensor.stack_rows [ Tensor.of_list [ 1.; 2. ]; Tensor.of_list [ 3.; 4. ] ])
+    (Tensor.create [| 2; 2 |] [| 1.; 2.; 3.; 4. |])
+    "stack_rows";
+  close
+    (Tensor.concat_rows [ Tensor.create [| 1; 2 |] [| 1.; 2. |]; Tensor.create [| 2; 2 |] [| 3.; 4.; 5.; 6. |] ])
+    (Tensor.create [| 3; 2 |] [| 1.; 2.; 3.; 4.; 5.; 6. |])
+    "concat_rows";
+  close (Tensor.broadcast_rows (Tensor.of_list [ 1.; 2. ]) 3)
+    (Tensor.create [| 3; 2 |] [| 1.; 2.; 1.; 2.; 1.; 2. |])
+    "broadcast_rows"
+
+let test_equality () =
+  let a = Tensor.of_list [ 1.; Float.nan ] in
+  let b = Tensor.of_list [ 1.; Float.nan ] in
+  Alcotest.(check bool) "NaN equal to NaN" true (Tensor.equal a b);
+  Alcotest.(check bool) "allclose NaN" true (Tensor.allclose a b);
+  Alcotest.(check bool) "NaN vs number" false
+    (Tensor.equal a (Tensor.of_list [ 1.; 2. ]));
+  Alcotest.(check bool) "shape mismatch" false
+    (Tensor.equal (Tensor.zeros [| 2 |]) (Tensor.zeros [| 2; 1 |]))
+
+(* Properties *)
+
+let arb_vec =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+    QCheck.Gen.(list_size (int_range 1 12) (float_range (-100.) 100.))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"tensor add commutes" ~count:200 (QCheck.pair arb_vec arb_vec)
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      let ta = Tensor.of_list (List.filteri (fun i _ -> i < n) a) in
+      let tb = Tensor.of_list (List.filteri (fun i _ -> i < n) b) in
+      Tensor.equal (Tensor.add ta tb) (Tensor.add tb ta))
+
+let prop_sum_linear =
+  QCheck.Test.make ~name:"sum (a+b) = sum a + sum b" ~count:200
+    (QCheck.pair arb_vec arb_vec) (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      let ta = Tensor.of_list (List.filteri (fun i _ -> i < n) a) in
+      let tb = Tensor.of_list (List.filteri (fun i _ -> i < n) b) in
+      Float.abs
+        (Tensor.item (Tensor.sum (Tensor.add ta tb))
+        -. (Tensor.item (Tensor.sum ta) +. Tensor.item (Tensor.sum tb)))
+      < 1e-6)
+
+let prop_take_put_roundtrip =
+  QCheck.Test.make ~name:"put_rows t idx (take_rows t idx) = t" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 8 >>= fun z ->
+         list_size (int_bound 6) (int_bound (z - 1)) >|= fun idx -> (z, idx)))
+    (fun (z, idx) ->
+      let m = Tensor.init [| z; 3 |] (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+      let idx = Array.of_list idx in
+      Tensor.equal m (Tensor.put_rows m idx (Tensor.take_rows m idx)))
+
+let prop_transpose_involutive =
+  QCheck.Test.make ~name:"transpose (transpose m) = m" ~count:100
+    (QCheck.pair QCheck.(int_range 1 6) QCheck.(int_range 1 6)) (fun (n, m) ->
+      let a = Tensor.init [| n; m |] (fun i -> float_of_int ((i.(0) * 17) + i.(1))) in
+      Tensor.equal a (Tensor.transpose (Tensor.transpose a)))
+
+let prop_matmul_transpose =
+  QCheck.Test.make ~name:"(AB)^T = B^T A^T" ~count:100
+    (QCheck.triple QCheck.(int_range 1 5) QCheck.(int_range 1 5) QCheck.(int_range 1 5))
+    (fun (n, k, m) ->
+      let a = Tensor.init [| n; k |] (fun i -> Stdlib.sin (float_of_int ((i.(0) * 7) + i.(1)))) in
+      let b = Tensor.init [| k; m |] (fun i -> Stdlib.cos (float_of_int ((i.(0) * 5) + i.(1)))) in
+      Tensor.allclose ~rtol:1e-12 ~atol:1e-12
+        (Tensor.transpose (Tensor.matmul a b))
+        (Tensor.matmul (Tensor.transpose b) (Tensor.transpose a)))
+
+let suites =
+  [
+    ( "tensor",
+      [
+        t "construction" `Quick test_construction;
+        t "of_array copies" `Quick test_of_array_copies;
+        t "init and set" `Quick test_init_set;
+        t "reshape" `Quick test_reshape;
+        t "elementwise broadcast" `Quick test_elementwise_broadcast;
+        t "math functions" `Quick test_math_functions;
+        t "comparisons and logic" `Quick test_comparisons_logic;
+        t "where" `Quick test_where;
+        t "reductions" `Quick test_reductions;
+        t "linear algebra" `Quick test_linalg;
+        t "row operations" `Quick test_rows;
+        t "equality semantics" `Quick test_equality;
+        QCheck_alcotest.to_alcotest prop_add_commutes;
+        QCheck_alcotest.to_alcotest prop_sum_linear;
+        QCheck_alcotest.to_alcotest prop_take_put_roundtrip;
+        QCheck_alcotest.to_alcotest prop_transpose_involutive;
+        QCheck_alcotest.to_alcotest prop_matmul_transpose;
+      ] );
+  ]
