@@ -1,14 +1,16 @@
 (* Benchmark harness.
 
-   Two layers, both run by `dune exec bench/main.exe`:
+   Three layers, all run by `dune exec bench/main.exe`:
 
    1. Bechamel micro-benchmarks (real wall-clock, OLS-estimated time/run)
       of the substrate and both autobatching runtimes.
    2. The paper-figure harnesses (Figure 5, Figure 6) and the design
       ablations (A1-A3), printed as the same series the paper plots.
+   3. The sharded runtime's wall-clock scaling: batched NUTS split across
+      1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
-   Pass a subset of [micro|figure5|figure6|ablations] as argv to run only
-   those stages (default: all, with bench-sized figure parameters). *)
+   Pass a subset of [micro|figure5|figure6|ablations|shard] as argv to run
+   only those stages (default: all, with bench-sized parameters). *)
 
 open Bechamel
 open Toolkit
@@ -187,11 +189,56 @@ let run_ablations () =
     (Ablations.stack_optimizations ());
   print_newline ()
 
+let run_shard () =
+  (* Real wall-clock scaling of the domain-parallel sharded runtime: the
+     same batched-NUTS program split across 1/2/4/8 shards, one OCaml
+     domain per shard (Shard_vm). Best of 3 runs per point. Speedup over
+     the host's core count is physically impossible, so the recommended
+     domain count is printed alongside the table. *)
+  let gaussian = Gaussian_model.create ~dim:20 () in
+  let model = gaussian.Gaussian_model.model in
+  let reg, _ = Nuts_dsl.setup ~model () in
+  let q0 = Tensor.zeros [| 20 |] in
+  let eps = Nuts.find_reasonable_eps ~model ~q0 () in
+  let cfg = Nuts.default_config ~eps () in
+  let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
+  let compiled =
+    Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+  in
+  let z = 32 in
+  let batch = Nuts_dsl.inputs ~q0 ~eps ~n_iter:2 ~n_burn:0 ~batch:z () in
+  let time_point devices =
+    let config =
+      { Shard_vm.default_config with mesh = Mesh.gpu_pod ~n:devices () }
+    in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Autobatch.run_sharded ~config compiled ~batch);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  Printf.printf
+    "== Sharded NUTS wall clock (z=%d, dim=20, one domain per shard) ==\n" z;
+  Printf.printf "host reports Domain.recommended_domain_count = %d\n"
+    (Domain.recommended_domain_count ());
+  let base = time_point 1 in
+  Table.print_stdout
+    ~header:[ "devices"; "wall (best of 3)"; "speedup vs 1" ]
+    ~rows:
+      (List.map
+         (fun d ->
+           let t = if d = 1 then base else time_point d in
+           [ string_of_int d; Table.si t ^ "s"; Printf.sprintf "%.2fx" (base /. t) ])
+         [ 1; 2; 4; 8 ]);
+  print_newline ()
+
 let () =
   let stages =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as picked) -> picked
-    | _ -> [ "micro"; "figure5"; "figure6"; "ablations" ]
+    | _ -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard" ]
   in
   List.iter
     (fun stage ->
@@ -200,8 +247,9 @@ let () =
       | "figure5" -> run_figure5 ()
       | "figure6" -> run_figure6 ()
       | "ablations" -> run_ablations ()
+      | "shard" -> run_shard ()
       | other ->
-        Printf.eprintf "unknown stage %S (expected micro|figure5|figure6|ablations)\n"
-          other;
+        Printf.eprintf
+          "unknown stage %S (expected micro|figure5|figure6|ablations|shard)\n" other;
         exit 1)
     stages

@@ -94,6 +94,75 @@ let ablations_cmd =
     (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md A1-A3).")
     Term.(const run $ dim $ batch $ n_iter)
 
+let scaling_cmd =
+  let run devices per_device total dim n_iter link_name algo_name csv =
+    let link =
+      match link_name with
+      | "nvlink" -> Mesh.nvlink
+      | "pcie" -> Mesh.pcie
+      | "ethernet" -> Mesh.ethernet
+      | other ->
+        Printf.eprintf "unknown link %S (nvlink|pcie|ethernet)\n" other;
+        exit 1
+    in
+    let collective =
+      match algo_name with
+      | "ring" -> Collectives.Ring
+      | "tree" -> Collectives.Tree
+      | other ->
+        Printf.eprintf "unknown collective algorithm %S (ring|tree)\n" other;
+        exit 1
+    in
+    if List.exists (fun d -> d <= 0) devices then begin
+      Printf.eprintf "device counts must be positive (got %s)\n"
+        (String.concat "," (List.map string_of_int devices));
+      exit 1
+    end;
+    let scale =
+      {
+        Scaling.default_scale with
+        Scaling.devices =
+          (match devices with [] -> Scaling.default_scale.Scaling.devices | ds -> ds);
+        per_device; total; dim; n_iter; link; collective;
+      }
+    in
+    let points = Scaling.run ~scale () in
+    Scaling.print points;
+    Option.iter (fun path -> write_file path (Scaling.to_csv points)) csv
+  in
+  let devices =
+    Arg.(value & opt (list int) [] & info [ "devices" ] ~docv:"N,N,..."
+           ~doc:"Mesh sizes to sweep (default 1,2,4,8).")
+  in
+  let per_device =
+    Arg.(value & opt int 16 & info [ "per-device" ]
+           ~doc:"Weak scaling: chains per device.")
+  in
+  let total =
+    Arg.(value & opt int 64 & info [ "total" ] ~doc:"Strong scaling: total chains.")
+  in
+  let dim = Arg.(value & opt int 20 & info [ "dim" ] ~doc:"Gaussian dimension.") in
+  let n_iter =
+    Arg.(value & opt int 2 & info [ "n-iter" ] ~doc:"Trajectories per chain.")
+  in
+  let link =
+    Arg.(value & opt string "nvlink"
+         & info [ "link" ] ~doc:"Interconnect: nvlink, pcie, or ethernet.")
+  in
+  let algo =
+    Arg.(value & opt string "ring"
+         & info [ "collective" ] ~doc:"Collective schedule: ring or tree.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Weak/strong scaling of sharded batched NUTS across a device mesh \
+             (Figure 7; each simulated device is a real OCaml domain).")
+    Term.(const run $ devices $ per_device $ total $ dim $ n_iter $ link $ algo $ csv)
+
 let known_programs () =
   [
     ("fib", Examples_programs.fib);
@@ -254,7 +323,8 @@ let profile_cmd =
     Term.(const run $ prog_pos_arg $ batch $ vm)
 
 let sample_cmd =
-  let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt =
+  let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt
+      devices =
     let model =
       match model_name with
       | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
@@ -282,8 +352,8 @@ let sample_cmd =
         exit 1
     in
     let s =
-      Batched_sampler.run ~variant ~adapt:(not no_adapt) ~collect ~model ~chains
-        ~n_iter ~n_burn ()
+      Batched_sampler.run ~variant ~adapt:(not no_adapt) ~collect ~devices ~model
+        ~chains ~n_iter ~n_burn ()
     in
     Format.printf "%s: %a@." model.Model.name Batched_sampler.pp_summary s
   in
@@ -308,11 +378,18 @@ let sample_cmd =
   let no_adapt =
     Arg.(value & flag & info [ "no-adapt" ] ~doc:"Skip warmup adaptation.")
   in
+  let devices =
+    Arg.(value & opt int 1
+         & info [ "devices" ]
+             ~doc:"Shard the chain dimension across this many simulated devices, \
+                   one OCaml domain each; results are bitwise identical to one \
+                   device.")
+  in
   Cmd.v
     (Cmd.info "sample"
        ~doc:"Run batched NUTS on a built-in target and summarize the posterior.")
     Term.(const run $ model $ dim $ chains $ n_iter $ n_burn $ variant $ collect
-          $ no_adapt)
+          $ no_adapt $ devices)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -323,6 +400,6 @@ let () =
              ~doc:"Reproduction experiments for 'Automatically Batching \
                    Control-Intensive Programs for Modern Accelerators'.")
           [
-            figure5_cmd; figure6_cmd; ablations_cmd; inspect_cmd; dot_cmd;
-            run_file_cmd; profile_cmd; sample_cmd;
+            figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; inspect_cmd;
+            dot_cmd; run_file_cmd; profile_cmd; sample_cmd;
           ]))

@@ -13,7 +13,32 @@ type counters = {
   blocks : int;
   flops : float;
   traffic_bytes : float;
+  elapsed_seconds : float;
 }
+
+let zero_counters =
+  {
+    kernel_launches = 0;
+    fused_launches = 0;
+    host_ops = 0;
+    host_calls = 0;
+    blocks = 0;
+    flops = 0.;
+    traffic_bytes = 0.;
+    elapsed_seconds = 0.;
+  }
+
+let add_counters a b =
+  {
+    kernel_launches = a.kernel_launches + b.kernel_launches;
+    fused_launches = a.fused_launches + b.fused_launches;
+    host_ops = a.host_ops + b.host_ops;
+    host_calls = a.host_calls + b.host_calls;
+    blocks = a.blocks + b.blocks;
+    flops = a.flops +. b.flops;
+    traffic_bytes = a.traffic_bytes +. b.traffic_bytes;
+    elapsed_seconds = a.elapsed_seconds +. b.elapsed_seconds;
+  }
 
 type state = {
   mutable kernel_launches : int;
@@ -146,7 +171,18 @@ let counters t =
     blocks = t.st.blocks;
     flops = t.st.flops;
     traffic_bytes = t.st.traffic_bytes;
+    elapsed_seconds = t.st.time;
   }
+
+let merge t (c : counters) =
+  t.st.kernel_launches <- t.st.kernel_launches + c.kernel_launches;
+  t.st.fused_launches <- t.st.fused_launches + c.fused_launches;
+  t.st.host_ops <- t.st.host_ops + c.host_ops;
+  t.st.host_calls <- t.st.host_calls + c.host_calls;
+  t.st.blocks <- t.st.blocks + c.blocks;
+  t.st.flops <- t.st.flops +. c.flops;
+  t.st.traffic_bytes <- t.st.traffic_bytes +. c.traffic_bytes;
+  t.st.time <- t.st.time +. c.elapsed_seconds
 
 let op_tally t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
@@ -155,6 +191,6 @@ let op_tally t =
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
     "@[<hov 2>kernels %d,@ fused %d,@ host-ops %d,@ host-calls %d,@ blocks %d,@ \
-     %.3g flops,@ %.3g bytes@]"
+     %.3g flops,@ %.3g bytes,@ %.3gs@]"
     c.kernel_launches c.fused_launches c.host_ops c.host_calls c.blocks c.flops
-    c.traffic_bytes
+    c.traffic_bytes c.elapsed_seconds

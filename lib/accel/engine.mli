@@ -25,7 +25,13 @@ type counters = {
   blocks : int;           (** basic blocks executed *)
   flops : float;          (** arithmetic performed *)
   traffic_bytes : float;  (** stack gather/scatter + masked-update traffic *)
+  elapsed_seconds : float;  (** simulated seconds accumulated *)
 }
+
+val zero_counters : counters
+
+val add_counters : counters -> counters -> counters
+(** Fieldwise sum; the identity is {!zero_counters}. *)
 
 type t
 
@@ -54,6 +60,15 @@ val elapsed : t -> float
 
 val reset : t -> unit
 val counters : t -> counters
+
+val merge : t -> counters -> unit
+(** Fold another engine's snapshot into this one's mutable state (counts
+    and simulated time both accumulate). This is how per-shard engines are
+    combined after a multi-device run without reaching into each other's
+    state: snapshot each shard with {!counters}, [merge] into a fresh
+    engine. Per-op tallies are not part of a snapshot and do not merge. *)
+
+
 val op_tally : t -> (string * int) list
 (** Per-primitive-name dispatch counts, sorted descending. *)
 

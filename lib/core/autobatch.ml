@@ -22,6 +22,12 @@ let compile ?registry ?options ?(optimize = false) ?input_shapes
 
 let run_local ?config c ~batch = Local_vm.run ?config c.registry c.cfg ~batch
 let run_pc ?config c ~batch = Pc_vm.run ?config c.registry c.stack ~batch
+
+let run_sharded ?config ?(runtime = `Pc) c ~batch =
+  let program =
+    match runtime with `Pc -> `Pc c.stack | `Local -> `Local c.cfg
+  in
+  Shard_vm.run ?config c.registry program ~batch
 let jit c ~batch = Pc_jit.compile c.registry c.stack ~batch
 
 let run_single ?max_steps c ~member ~args =

@@ -51,6 +51,16 @@ val run_local :
 val run_pc : ?config:Pc_vm.config -> compiled -> batch:Tensor.t list -> Tensor.t list
 (** Program-counter autobatching (Algorithm 2) over a batch. *)
 
+val run_sharded :
+  ?config:Shard_vm.config ->
+  ?runtime:[ `Pc | `Local ] ->
+  compiled ->
+  batch:Tensor.t list ->
+  Shard_vm.result
+(** Shard the batch dimension across a device mesh ({!Shard_vm}), one
+    OCaml domain per shard; [runtime] picks the per-shard VM (default
+    [`Pc]). Outputs are bitwise identical to the unsharded run. *)
+
 val jit : compiled -> batch:int -> Pc_jit.t
 (** Precompile the stack program's blocks into closures for a fixed batch
     size ({!Pc_jit}); requires the program to have been compiled with

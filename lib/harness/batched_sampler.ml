@@ -12,9 +12,10 @@ type summary = {
 }
 
 let run ?(seed = 0x5EEDL) ?(variant = Nuts.Slice) ?(adapt = true)
-    ?(collect = `Moments) ?q0 ~model ~chains ~n_iter ~n_burn () =
+    ?(collect = `Moments) ?(devices = 1) ?q0 ~model ~chains ~n_iter ~n_burn () =
   if chains <= 0 || n_iter <= 0 || n_burn < 0 || n_burn >= n_iter then
     invalid_arg "Batched_sampler.run: bad chain/iteration counts";
+  if devices <= 0 then invalid_arg "Batched_sampler.run: devices must be positive";
   let dim = model.Model.dim in
   let q0 = match q0 with Some q -> q | None -> Tensor.zeros [| dim |] in
   let eps, minv, q_start =
@@ -31,14 +32,31 @@ let run ?(seed = 0x5EEDL) ?(variant = Nuts.Slice) ?(adapt = true)
     Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
   in
   let instrument = Instrument.create () in
-  let config = { Pc_vm.default_config with instrument = Some instrument } in
+  (* One execution path for both collection modes: single-device through
+     the program-counter VM, multi-device through the sharded runtime
+     (bitwise-identical results either way — see Shard_vm). *)
+  let exec =
+    if devices = 1 then begin
+      let config = { Pc_vm.default_config with instrument = Some instrument } in
+      fun batch -> Autobatch.run_pc ~config compiled ~batch
+    end
+    else begin
+      let config =
+        { Shard_vm.default_config with mesh = Mesh.gpu_pod ~n:devices () }
+      in
+      fun batch ->
+        let r = Autobatch.run_sharded ~config compiled ~batch in
+        Instrument.merge ~into:instrument r.Shard_vm.instrument;
+        r.Shard_vm.outputs
+    end
+  in
   let kept_draws = (n_iter - n_burn) * chains in
   match collect with
   | `Moments ->
     let batch =
       Nuts_dsl.inputs ~minv ~q0:q_start ~eps ~n_iter ~n_burn ~batch:chains ()
     in
-    let outputs = Autobatch.run_pc ~config compiled ~batch in
+    let outputs = exec batch in
     let kf = float_of_int kept_draws in
     let mean = Tensor.mul_scalar (Tensor.sum ~axis:0 (List.nth outputs 1)) (1. /. kf) in
     let ex2 = Tensor.mul_scalar (Tensor.sum ~axis:0 (List.nth outputs 2)) (1. /. kf) in
@@ -76,7 +94,7 @@ let run ?(seed = 0x5EEDL) ?(variant = Nuts.Slice) ?(adapt = true)
           Tensor.broadcast_rows minv z;
         ]
       in
-      let outputs = Autobatch.run_pc ~config compiled ~batch in
+      let outputs = exec batch in
       q_cur := List.nth outputs 0;
       cnt_cur := List.nth outputs 3;
       for c = 0 to chains - 1 do

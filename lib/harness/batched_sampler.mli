@@ -34,6 +34,7 @@ val run :
   ?variant:Nuts.variant ->
   ?adapt:bool ->
   ?collect:[ `Moments | `Samples ] ->
+  ?devices:int ->
   ?q0:Tensor.t ->
   model:Model.t ->
   chains:int ->
@@ -41,8 +42,11 @@ val run :
   n_burn:int ->
   unit ->
   summary
-(** Defaults: slice variant, adaptation on, [`Moments], [q0] zero.
-    [n_iter] counts post-warmup trajectories per chain; the first
-    [n_burn] of them are excluded from the summary. *)
+(** Defaults: slice variant, adaptation on, [`Moments], one device,
+    [q0] zero. [n_iter] counts post-warmup trajectories per chain; the
+    first [n_burn] of them are excluded from the summary. With
+    [devices > 1] the chain dimension is sharded across that many
+    domains-backed simulated devices ({!Shard_vm}); the summary is
+    bitwise identical to the single-device run. *)
 
 val pp_summary : Format.formatter -> summary -> unit

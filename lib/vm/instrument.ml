@@ -41,6 +41,32 @@ let reset t =
   t.pop_lanes <- 0;
   t.max_depth <- 0
 
+let merge ~into src =
+  Hashtbl.iter
+    (fun name (s : prim_stats) ->
+      match Hashtbl.find_opt into.prims name with
+      | Some d ->
+        d.useful <- d.useful + s.useful;
+        d.issued <- d.issued + s.issued
+      | None -> Hashtbl.add into.prims name { useful = s.useful; issued = s.issued })
+    src.prims;
+  Hashtbl.iter
+    (fun b (s : block_stats) ->
+      match Hashtbl.find_opt into.per_block b with
+      | Some d ->
+        d.execs <- d.execs + s.execs;
+        d.active <- d.active + s.active
+      | None -> Hashtbl.add into.per_block b { execs = s.execs; active = s.active })
+    src.per_block;
+  into.blocks <- into.blocks + src.blocks;
+  into.active_total <- into.active_total + src.active_total;
+  into.batch_total <- into.batch_total + src.batch_total;
+  into.pushes <- into.pushes + src.pushes;
+  into.pops <- into.pops + src.pops;
+  into.push_lanes <- into.push_lanes + src.push_lanes;
+  into.pop_lanes <- into.pop_lanes + src.pop_lanes;
+  if src.max_depth > into.max_depth then into.max_depth <- src.max_depth
+
 let stats_for t name =
   match Hashtbl.find_opt t.prims name with
   | Some s -> s

@@ -12,6 +12,11 @@ type t
 val create : unit -> t
 val reset : t -> unit
 
+val merge : into:t -> t -> unit
+(** Absorb another instrument's observations (counts sum, max depth takes
+    the max). Used to combine the per-shard instruments of a multi-device
+    run into one report. *)
+
 val record_prim : t -> name:string -> useful:int -> issued:int -> unit
 
 (** [record_block ?block t ~active ~batch] records one executed block;

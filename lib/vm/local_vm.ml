@@ -6,6 +6,7 @@ type config = {
   engine : Engine.t option;
   instrument : Instrument.t option;
   max_steps : int;
+  member_base : int;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     engine = None;
     instrument = None;
     max_steps = 100_000_000;
+    member_base = 0;
   }
 
 exception Step_limit_exceeded
@@ -151,10 +153,14 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
                     args;
                   List.map (fun a -> Tensor.take_rows (lookup a) members) args
               in
+              (* Global member identities for the RNG primitives; row
+                 gathers/scatters below keep using the local [members]. *)
               let row_members =
                 match style with
-                | Masking -> Vm_util.all_members z
-                | Gather_scatter -> members
+                | Masking -> Array.init z (fun b -> config.member_base + b)
+                | Gather_scatter ->
+                  if config.member_base = 0 then members
+                  else Array.map (fun b -> config.member_base + b) members
                 | Adaptive _ -> assert false
               in
               let out = impl.Prim.batched ~members:row_members arg_tensors in

@@ -29,6 +29,9 @@ type config = {
   engine : Engine.t option;        (** simulated-cost accounting *)
   instrument : Instrument.t option;
   max_steps : int;                 (** bound on VM scheduling steps *)
+  member_base : int;
+      (** Global index of lane 0, for sharded execution: lane [i] draws
+          the RNG streams of batch member [member_base + i]. Default 0. *)
 }
 
 val default_config : config

@@ -6,6 +6,7 @@ type config = {
   initial_depth : int;
   top_cache : bool;
   naive_stack_writes : bool;
+  member_base : int;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     initial_depth = 4;
     top_cache = true;
     naive_stack_writes = false;
+    member_base = 0;
   }
 
 exception Step_limit_exceeded
@@ -177,7 +179,10 @@ let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
   let counts = Array.make nb 0 in
   let last = ref (-1) in
   let members_of mask = Vm_util.indices_of_mask mask in
-  let all = Vm_util.all_members z in
+  (* RNG member identities: lane [i] of this VM is global batch member
+     [member_base + i], so a shard of a larger batch draws the same random
+     streams it would draw in the unsharded run. *)
+  let all = Array.init z (fun i -> config.member_base + i) in
   let steps = ref 0 in
   let rec vm_loop () =
     Array.fill counts 0 nb 0;

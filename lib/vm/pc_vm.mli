@@ -26,11 +26,35 @@ type config = {
   naive_stack_writes : bool;
       (** O5 ablation: price every write to a stacked variable as the
           uncancelled pop+push pair instead of an in-place update. *)
+  member_base : int;
+      (** Global index of lane 0, for sharded execution: lane [i] draws
+          the RNG streams of batch member [member_base + i]. Default 0. *)
 }
 
 val default_config : config
 
 exception Step_limit_exceeded
+
+(** The program-counter stack: the {!Stacked} layout over block indices.
+    Exposed for direct testing of the hot growth/underflow paths the VM
+    (and each shard of a sharded run) exercises. *)
+module Pc_stack : sig
+  type t = {
+    z : int;
+    mutable cap : int;
+    mutable data : int array;  (** [cap × z], depth-major *)
+    sp : int array;            (** per-member stack pointer *)
+    top : int array;           (** cached top element per member *)
+  }
+
+  val create : z:int -> bottom:int -> start:int -> initial_depth:int -> t
+  val push : t -> mask:bool array -> unit
+  val pop : t -> mask:bool array -> unit
+  (** Raises [Invalid_argument] on underflow of any masked member. *)
+
+  val set_top_masked : t -> mask:bool array -> int -> unit
+  val max_depth : t -> int
+end
 
 val run :
   ?config:config ->

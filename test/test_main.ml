@@ -19,5 +19,6 @@ let () =
          Test_models.suites;
          Test_mcmc.suites;
          Test_nuts_equivalence.suites;
+         Test_shard.suites;
          Test_harness.suites;
        ])

@@ -368,4 +368,58 @@ let jit_suite =
       t "instrumentation matches" `Quick test_jit_instrument;
     ] )
 
-let suites = suites @ [ jit_suite ]
+(* ---------- the program-counter stack itself ---------- *)
+
+let test_pc_stack_growth () =
+  (* Start with capacity 1 and push far past it: the backing array must
+     regrow without losing any member's saved frames. *)
+  let z = 3 in
+  let s = Pc_vm.Pc_stack.create ~z ~bottom:99 ~start:0 ~initial_depth:1 in
+  let all = Array.make z true in
+  let only b = Array.init z (fun i -> i = b) in
+  for depth = 1 to 20 do
+    Pc_vm.Pc_stack.set_top_masked s ~mask:all depth;
+    Pc_vm.Pc_stack.push s ~mask:all
+  done;
+  Alcotest.(check bool) "capacity grew" true (s.Pc_vm.Pc_stack.cap >= 21);
+  Alcotest.(check int) "max depth" 21 (Pc_vm.Pc_stack.max_depth s);
+  (* Unwind member 1 alone; its frames come back in LIFO order while the
+     other members' stacks are untouched. *)
+  for depth = 20 downto 1 do
+    Pc_vm.Pc_stack.pop s ~mask:(only 1);
+    Alcotest.(check int)
+      (Printf.sprintf "member 1 depth %d" depth)
+      depth s.Pc_vm.Pc_stack.top.(1)
+  done;
+  Pc_vm.Pc_stack.pop s ~mask:(only 1);
+  Alcotest.(check int) "member 1 bottom" 99 s.Pc_vm.Pc_stack.top.(1);
+  Alcotest.(check int) "member 0 untouched" 21 s.Pc_vm.Pc_stack.sp.(0)
+
+let test_pc_stack_masked_push () =
+  let z = 2 in
+  let s = Pc_vm.Pc_stack.create ~z ~bottom:(-1) ~start:7 ~initial_depth:2 in
+  (* Push only member 0: member 1's stack pointer must not move. *)
+  Pc_vm.Pc_stack.push s ~mask:[| true; false |];
+  Alcotest.(check int) "member 0 sp" 2 s.Pc_vm.Pc_stack.sp.(0);
+  Alcotest.(check int) "member 1 sp" 1 s.Pc_vm.Pc_stack.sp.(1);
+  Pc_vm.Pc_stack.pop s ~mask:[| true; false |];
+  Alcotest.(check int) "member 0 restored" 7 s.Pc_vm.Pc_stack.top.(0)
+
+let test_pc_stack_underflow () =
+  let s = Pc_vm.Pc_stack.create ~z:2 ~bottom:0 ~start:0 ~initial_depth:1 in
+  (* Each member starts with the single bottom sentinel frame: one pop is
+     fine, a second must raise rather than read out of bounds. *)
+  Pc_vm.Pc_stack.pop s ~mask:[| false; true |];
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Pc_vm: pc stack underflow for member 1") (fun () ->
+      Pc_vm.Pc_stack.pop s ~mask:[| false; true |])
+
+let pc_stack_suite =
+  ( "pc-stack",
+    [
+      t "growth preserves frames" `Quick test_pc_stack_growth;
+      t "masked push isolates members" `Quick test_pc_stack_masked_push;
+      t "underflow raises" `Quick test_pc_stack_underflow;
+    ] )
+
+let suites = suites @ [ jit_suite; pc_stack_suite ]
