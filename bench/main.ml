@@ -9,8 +9,9 @@
    3. The sharded runtime's wall-clock scaling: batched NUTS split across
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
-   Pass a subset of [micro|figure5|figure6|ablations|shard] as argv to run
-   only those stages (default: all, with bench-sized parameters). *)
+   Pass a subset of [micro|figure5|figure6|ablations|shard|serve] as argv
+   to run only those stages (default: all, with bench-sized parameters).
+   [--seed N] anywhere in argv reseeds every stochastic stage. *)
 
 open Bechamel
 open Toolkit
@@ -155,7 +156,7 @@ let run_micro () =
 
 (* ---------- figures and ablations ---------- *)
 
-let run_figure5 () =
+let run_figure5 ?seed () =
   (* Bench-sized: the tuned sampler takes deep trees on this model, so the
      full default sweep belongs to the CLI (`experiments figure5`). *)
   let scale =
@@ -167,29 +168,40 @@ let run_figure5 () =
       n_iter = 1;
     }
   in
+  let scale =
+    match seed with None -> scale | Some s -> { scale with Figure5.seed = s }
+  in
   Figure5.print (Figure5.run ~scale ());
   print_newline ()
 
-let run_figure6 () =
-  let stats = Figure6.run ~dim:50 ~batch_sizes:[ 1; 2; 4; 8; 16; 32; 64; 128 ] () in
+let run_figure6 ?seed () =
+  let stats =
+    Figure6.run ~dim:50 ~batch_sizes:[ 1; 2; 4; 8; 16; 32; 64; 128 ] ?seed ()
+  in
   Figure6.print stats;
   print_newline ()
 
-let run_ablations () =
+let run_ablations ?seed () =
   Ablations.print
     ~title:"Ablation A1: masking vs gather/scatter (local static, CPU eager)"
-    (Ablations.masking_vs_gather ());
+    (Ablations.masking_vs_gather ?seed ());
   print_newline ();
   Ablations.print
     ~title:"Ablation A2: block scheduling heuristics (program counter, GPU fused)"
-    (Ablations.schedulers ());
+    (Ablations.schedulers ?seed ());
   print_newline ();
   Ablations.print
     ~title:"Ablation A3: stack compiler optimizations O2-O5 (program counter, GPU fused)"
-    (Ablations.stack_optimizations ());
+    (Ablations.stack_optimizations ?seed ());
   print_newline ()
 
-let run_shard () =
+let run_serve ?seed () =
+  (* Bench-sized serving comparison: one load level, all three policies. *)
+  Serving.print
+    (Serving.run ~dim:10 ~lanes:8 ~n_requests:24 ~loads:[ 0.9 ] ?seed ());
+  print_newline ()
+
+let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
      domain per shard (Shard_vm). Best of 3 runs per point. Speedup over
@@ -197,7 +209,7 @@ let run_shard () =
      domain count is printed alongside the table. *)
   let gaussian = Gaussian_model.create ~dim:20 () in
   let model = gaussian.Gaussian_model.model in
-  let reg, _ = Nuts_dsl.setup ~model () in
+  let reg, _ = Nuts_dsl.setup ?seed ~model () in
   let q0 = Tensor.zeros [| 20 |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in
   let cfg = Nuts.default_config ~eps () in
@@ -235,21 +247,37 @@ let run_shard () =
   print_newline ()
 
 let () =
+  let rec parse seed stages = function
+    | [] -> (seed, List.rev stages)
+    | "--seed" :: v :: rest -> (
+      match Int64.of_string_opt v with
+      | Some s -> parse (Some s) stages rest
+      | None ->
+        Printf.eprintf "invalid --seed %S (want a 64-bit integer)\n" v;
+        exit 1)
+    | "--seed" :: [] ->
+      Printf.eprintf "--seed needs a value\n";
+      exit 1
+    | s :: rest -> parse seed (s :: stages) rest
+  in
+  let seed, stages = parse None [] (List.tl (Array.to_list Sys.argv)) in
   let stages =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picked) -> picked
-    | _ -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard" ]
+    match stages with
+    | [] -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve" ]
+    | picked -> picked
   in
   List.iter
     (fun stage ->
       match stage with
       | "micro" -> run_micro ()
-      | "figure5" -> run_figure5 ()
-      | "figure6" -> run_figure6 ()
-      | "ablations" -> run_ablations ()
-      | "shard" -> run_shard ()
+      | "figure5" -> run_figure5 ?seed ()
+      | "figure6" -> run_figure6 ?seed ()
+      | "ablations" -> run_ablations ?seed ()
+      | "shard" -> run_shard ?seed ()
+      | "serve" -> run_serve ?seed ()
       | other ->
         Printf.eprintf
-          "unknown stage %S (expected micro|figure5|figure6|ablations|shard)\n" other;
+          "unknown stage %S (expected micro|figure5|figure6|ablations|shard|serve)\n"
+          other;
         exit 1)
     stages

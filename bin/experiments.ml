@@ -13,21 +13,32 @@ let batches_arg default =
   let doc = "Comma-separated batch sizes to sweep." in
   Arg.(value & opt (list int) default & info [ "batches" ] ~docv:"Z,Z,..." ~doc)
 
+(* Every stochastic subcommand takes --seed; None keeps its default. *)
+let seed_arg () =
+  let parse s =
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "invalid seed %S" s))
+  in
+  let seed_conv = Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%Ld" v) in
+  Arg.(value & opt (some seed_conv) None
+       & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed (64-bit integer).")
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
   close_out oc
 
 let figure5_cmd =
-  let run paper_scale batches n_data dim n_iter csv =
+  let run paper_scale batches n_data dim n_iter seed csv =
     let base = if paper_scale then Figure5.paper_scale else Figure5.default_scale in
     let scale =
       {
-        base with
         Figure5.batch_sizes = (match batches with [] -> base.Figure5.batch_sizes | bs -> bs);
         n_data = Option.value ~default:base.Figure5.n_data n_data;
         dim = Option.value ~default:base.Figure5.dim dim;
         n_iter = Option.value ~default:base.Figure5.n_iter n_iter;
+        seed = Option.value ~default:base.Figure5.seed seed;
       }
     in
     let points = Figure5.run ~scale () in
@@ -51,16 +62,20 @@ let figure5_cmd =
   Cmd.v
     (Cmd.info "figure5"
        ~doc:"NUTS throughput vs batch size on Bayesian logistic regression (paper Figure 5).")
-    Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ csv)
+    Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ seed_arg () $ csv)
 
 let figure6_cmd =
-  let run dim batches n_iter csv =
+  let run dim batches n_iter seed stats_flag csv =
     let stats =
       Figure6.run ~dim
         ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
-        ~n_iter ()
+        ~n_iter ?seed ()
     in
     Figure6.print stats;
+    if stats_flag then begin
+      print_newline ();
+      Figure6.print_occupancy stats
+    end;
     Option.iter (fun path -> write_file path (Figure6.to_csv stats)) csv
   in
   let csv =
@@ -71,31 +86,36 @@ let figure6_cmd =
   let n_iter =
     Arg.(value & opt int 10 & info [ "n-iter" ] ~doc:"Consecutive NUTS trajectories.")
   in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Also print the live-lane occupancy time series of the widest \
+                 program-counter run.")
+  in
   Cmd.v
     (Cmd.info "figure6"
        ~doc:"Batch-gradient utilization on the correlated Gaussian (paper Figure 6).")
-    Term.(const run $ dim $ batches_arg [] $ n_iter $ csv)
+    Term.(const run $ dim $ batches_arg [] $ n_iter $ seed_arg () $ stats_flag $ csv)
 
 let ablations_cmd =
-  let run dim batch n_iter =
+  let run dim batch n_iter seed =
     Ablations.print ~title:"Ablation A1: masking vs gather/scatter (local static, CPU eager)"
-      (Ablations.masking_vs_gather ~dim ~batch ~n_iter ());
+      (Ablations.masking_vs_gather ~dim ~batch ~n_iter ?seed ());
     print_newline ();
     Ablations.print ~title:"Ablation A2: block scheduling heuristics (program counter, GPU fused)"
-      (Ablations.schedulers ~dim ~batch ~n_iter ());
+      (Ablations.schedulers ~dim ~batch ~n_iter ?seed ());
     print_newline ();
     Ablations.print ~title:"Ablation A3: stack compiler optimizations O2-O5 (program counter, GPU fused)"
-      (Ablations.stack_optimizations ~dim ~batch ~n_iter ())
+      (Ablations.stack_optimizations ~dim ~batch ~n_iter ?seed ())
   in
   let dim = Arg.(value & opt int 50 & info [ "dim" ] ~doc:"Gaussian dimension.") in
   let batch = Arg.(value & opt int 32 & info [ "batch" ] ~doc:"Batch size.") in
   let n_iter = Arg.(value & opt int 3 & info [ "n-iter" ] ~doc:"Trajectories.") in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md A1-A3).")
-    Term.(const run $ dim $ batch $ n_iter)
+    Term.(const run $ dim $ batch $ n_iter $ seed_arg ())
 
 let scaling_cmd =
-  let run devices per_device total dim n_iter link_name algo_name csv =
+  let run devices per_device total dim n_iter link_name algo_name seed csv =
     let link =
       match link_name with
       | "nvlink" -> Mesh.nvlink
@@ -120,10 +140,10 @@ let scaling_cmd =
     end;
     let scale =
       {
-        Scaling.default_scale with
         Scaling.devices =
           (match devices with [] -> Scaling.default_scale.Scaling.devices | ds -> ds);
         per_device; total; dim; n_iter; link; collective;
+        seed = Option.value ~default:Scaling.default_scale.Scaling.seed seed;
       }
     in
     let points = Scaling.run ~scale () in
@@ -161,7 +181,8 @@ let scaling_cmd =
     (Cmd.info "scaling"
        ~doc:"Weak/strong scaling of sharded batched NUTS across a device mesh \
              (Figure 7; each simulated device is a real OCaml domain).")
-    Term.(const run $ devices $ per_device $ total $ dim $ n_iter $ link $ algo $ csv)
+    Term.(const run $ devices $ per_device $ total $ dim $ n_iter $ link $ algo
+          $ seed_arg () $ csv)
 
 let known_programs () =
   [
@@ -324,7 +345,7 @@ let profile_cmd =
 
 let sample_cmd =
   let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt
-      devices =
+      devices seed =
     let model =
       match model_name with
       | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
@@ -353,7 +374,7 @@ let sample_cmd =
     in
     let s =
       Batched_sampler.run ~variant ~adapt:(not no_adapt) ~collect ~devices ~model
-        ~chains ~n_iter ~n_burn ()
+        ~chains ~n_iter ~n_burn ?seed ()
     in
     Format.printf "%s: %a@." model.Model.name Batched_sampler.pp_summary s
   in
@@ -389,7 +410,75 @@ let sample_cmd =
     (Cmd.info "sample"
        ~doc:"Run batched NUTS on a built-in target and summarize the posterior.")
     Term.(const run $ model $ dim $ chains $ n_iter $ n_burn $ variant $ collect
-          $ no_adapt $ devices)
+          $ no_adapt $ devices $ seed_arg ())
+
+let serve_cmd =
+  let run dim lanes requests max_iter loads policies queue_depth closed_clients
+      seed csv =
+    let policies =
+      List.map
+        (function
+          | "fifo" -> Server.Fifo
+          | "shortest" -> Server.Shortest_first
+          | "synchronous" | "sync" -> Server.Synchronous
+          | other ->
+            Printf.eprintf "unknown policy %S (fifo|shortest|synchronous)\n"
+              other;
+            exit 1)
+        policies
+    in
+    let stats =
+      Serving.run ~dim ~lanes ~n_requests:requests ~max_iter
+        ?loads:(match loads with [] -> None | ls -> Some ls)
+        ~policies ~queue_depth ~closed_clients ?seed ()
+    in
+    Serving.print stats;
+    Option.iter (fun path -> write_file path (Serving.to_csv stats)) csv
+  in
+  let dim = Arg.(value & opt int 10 & info [ "dim" ] ~doc:"Gaussian dimension.") in
+  let lanes =
+    Arg.(value & opt int 8 & info [ "lanes" ] ~doc:"Device width (VM lanes).")
+  in
+  let requests =
+    Arg.(value & opt int 48 & info [ "requests" ] ~doc:"Requests per run.")
+  in
+  let max_iter =
+    Arg.(value & opt int 3
+         & info [ "max-iter" ]
+             ~doc:"Trajectories per request are uniform in 1..MAX (service-time \
+                   spread).")
+  in
+  let loads =
+    Arg.(value & opt (list float) []
+         & info [ "loads" ] ~docv:"L,L,..."
+             ~doc:"Offered loads as fractions of device capacity (default \
+                   0.6,0.9,1.3).")
+  in
+  let policies =
+    Arg.(value & opt (list string) [ "synchronous"; "fifo"; "shortest" ]
+         & info [ "policies" ] ~docv:"P,P,..."
+             ~doc:"Admission policies to compare: fifo, shortest, synchronous.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 1024 & info [ "queue-depth" ] ~doc:"Admission queue bound.")
+  in
+  let closed_clients =
+    Arg.(value & opt int (-1)
+         & info [ "closed-clients" ]
+             ~doc:"Closed-loop clients (default: one per lane; 0 disables the \
+                   closed-loop runs).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Continuous-batching request server: stream NUTS sampling requests \
+             through recyclable VM lanes and compare admission policies \
+             (throughput, latency percentiles, live-lane occupancy).")
+    Term.(const run $ dim $ lanes $ requests $ max_iter $ loads $ policies
+          $ queue_depth $ closed_clients $ seed_arg () $ csv)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -400,6 +489,6 @@ let () =
              ~doc:"Reproduction experiments for 'Automatically Batching \
                    Control-Intensive Programs for Modern Accelerators'.")
           [
-            figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; inspect_cmd;
-            dot_cmd; run_file_cmd; profile_cmd; sample_cmd;
+            figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
+            inspect_cmd; dot_cmd; run_file_cmd; profile_cmd; sample_cmd;
           ]))

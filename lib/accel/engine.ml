@@ -11,6 +11,8 @@ type counters = {
   host_ops : int;
   host_calls : int;
   blocks : int;
+  lane_refills : int;
+  lane_retires : int;
   flops : float;
   traffic_bytes : float;
   elapsed_seconds : float;
@@ -23,6 +25,8 @@ let zero_counters =
     host_ops = 0;
     host_calls = 0;
     blocks = 0;
+    lane_refills = 0;
+    lane_retires = 0;
     flops = 0.;
     traffic_bytes = 0.;
     elapsed_seconds = 0.;
@@ -35,6 +39,8 @@ let add_counters a b =
     host_ops = a.host_ops + b.host_ops;
     host_calls = a.host_calls + b.host_calls;
     blocks = a.blocks + b.blocks;
+    lane_refills = a.lane_refills + b.lane_refills;
+    lane_retires = a.lane_retires + b.lane_retires;
     flops = a.flops +. b.flops;
     traffic_bytes = a.traffic_bytes +. b.traffic_bytes;
     elapsed_seconds = a.elapsed_seconds +. b.elapsed_seconds;
@@ -46,6 +52,8 @@ type state = {
   mutable host_ops : int;
   mutable host_calls : int;
   mutable blocks : int;
+  mutable lane_refills : int;
+  mutable lane_retires : int;
   mutable flops : float;
   mutable traffic_bytes : float;
   mutable time : float;
@@ -64,6 +72,8 @@ let create ~device ~mode () =
         host_ops = 0;
         host_calls = 0;
         blocks = 0;
+        lane_refills = 0;
+        lane_retires = 0;
         flops = 0.;
         traffic_bytes = 0.;
         time = 0.;
@@ -101,6 +111,22 @@ let charge_kernel t ~name ~flops =
     +. t.device.Device.kernel_launch_overhead
     +. t.device.Device.host_op_overhead
     +. compute_time t flops
+
+(* Lane recycling in the continuous-batching server: a refill writes the
+   incoming request's input rows and a retire reads the finished lane's
+   output rows, each dispatched from the host like any other small
+   bookkeeping action. *)
+let charge_refill t ~bytes =
+  t.st.lane_refills <- t.st.lane_refills + 1;
+  t.st.host_ops <- t.st.host_ops + 1;
+  t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
+  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes
+
+let charge_retire t ~bytes =
+  t.st.lane_retires <- t.st.lane_retires + 1;
+  t.st.host_ops <- t.st.host_ops + 1;
+  t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
+  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes
 
 let charge_host_call t =
   t.st.host_calls <- t.st.host_calls + 1;
@@ -157,6 +183,8 @@ let reset t =
   t.st.host_ops <- 0;
   t.st.host_calls <- 0;
   t.st.blocks <- 0;
+  t.st.lane_refills <- 0;
+  t.st.lane_retires <- 0;
   t.st.flops <- 0.;
   t.st.traffic_bytes <- 0.;
   t.st.time <- 0.;
@@ -169,6 +197,8 @@ let counters t =
     host_ops = t.st.host_ops;
     host_calls = t.st.host_calls;
     blocks = t.st.blocks;
+    lane_refills = t.st.lane_refills;
+    lane_retires = t.st.lane_retires;
     flops = t.st.flops;
     traffic_bytes = t.st.traffic_bytes;
     elapsed_seconds = t.st.time;
@@ -180,6 +210,8 @@ let merge t (c : counters) =
   t.st.host_ops <- t.st.host_ops + c.host_ops;
   t.st.host_calls <- t.st.host_calls + c.host_calls;
   t.st.blocks <- t.st.blocks + c.blocks;
+  t.st.lane_refills <- t.st.lane_refills + c.lane_refills;
+  t.st.lane_retires <- t.st.lane_retires + c.lane_retires;
   t.st.flops <- t.st.flops +. c.flops;
   t.st.traffic_bytes <- t.st.traffic_bytes +. c.traffic_bytes;
   t.st.time <- t.st.time +. c.elapsed_seconds

@@ -23,6 +23,8 @@ type counters = {
   host_ops : int;         (** host-language dispatch actions *)
   host_calls : int;       (** host-language function calls (local-VM recursion) *)
   blocks : int;           (** basic blocks executed *)
+  lane_refills : int;     (** serving: lanes recycled with a new request *)
+  lane_retires : int;     (** serving: finished lanes drained of outputs *)
   flops : float;          (** arithmetic performed *)
   traffic_bytes : float;  (** stack gather/scatter + masked-update traffic *)
   elapsed_seconds : float;  (** simulated seconds accumulated *)
@@ -52,6 +54,14 @@ val charge_kernel : t -> name:string -> flops:float -> unit
 
 val charge_host_call : t -> unit
 (** A host-language function call (the local VM's recursion into Python). *)
+
+val charge_refill : t -> bytes:float -> unit
+(** A continuous-batching lane refill: one host dispatch plus writing the
+    incoming request's input rows ([bytes]) to the device. *)
+
+val charge_retire : t -> bytes:float -> unit
+(** A continuous-batching lane retirement: one host dispatch plus reading
+    the finished lane's output rows ([bytes]) back. *)
 
 val charge_traffic : t -> bytes:float -> unit
 

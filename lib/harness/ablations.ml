@@ -10,8 +10,9 @@ let nuts_setup ~dim ~seed =
   let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
   (model, reg, prog, q0, eps)
 
-let masking_vs_gather ?(dim = 50) ?(batch = 32) ?(n_iter = 3) () =
-  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed:0x5EEDL in
+let masking_vs_gather ?(dim = 50) ?(batch = 32) ?(n_iter = 3)
+    ?(seed = 0x5EEDL) () =
+  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed in
   let compiled =
     Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
   in
@@ -55,8 +56,8 @@ let masking_vs_gather ?(dim = 50) ?(batch = 32) ?(n_iter = 3) () =
     rows;
   }
 
-let schedulers ?(dim = 50) ?(batch = 32) ?(n_iter = 3) () =
-  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed:0x5EEDL in
+let schedulers ?(dim = 50) ?(batch = 32) ?(n_iter = 3) ?(seed = 0x5EEDL) () =
+  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed in
   let compiled =
     Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
   in
@@ -90,8 +91,9 @@ let schedulers ?(dim = 50) ?(batch = 32) ?(n_iter = 3) () =
     rows;
   }
 
-let stack_optimizations ?(dim = 50) ?(batch = 32) ?(n_iter = 3) () =
-  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed:0x5EEDL in
+let stack_optimizations ?(dim = 50) ?(batch = 32) ?(n_iter = 3)
+    ?(seed = 0x5EEDL) () =
+  let model, reg, prog, q0, eps = nuts_setup ~dim ~seed in
   let input_shapes = Nuts_dsl.input_shapes ~model in
   let batch_inputs = Nuts_dsl.inputs ~q0 ~eps ~n_iter ~n_burn:0 ~batch () in
   let variants =

@@ -4,6 +4,8 @@ type stats = {
   points : point list;
   mean_grads_per_trajectory : float;
   max_grads_per_trajectory : float;
+  pc_occupancy : (int * float) list;
+  pc_mean_occupancy : float;
 }
 
 let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ])
@@ -30,6 +32,9 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
   let util_of instrument =
     Option.value ~default:1. (Instrument.utilization instrument ~name:"grad")
   in
+  (* Keep the program-counter instrument of the widest run: its live-lane
+     gauge is the occupancy time series the --stats flag reports. *)
+  let widest = ref None in
   let points =
     List.map
       (fun z ->
@@ -41,8 +46,17 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
         let pc_ins = Instrument.create () in
         let pc_config = { Pc_vm.default_config with instrument = Some pc_ins } in
         ignore (Autobatch.run_pc ~config:pc_config compiled ~batch:(inputs z));
+        (match !widest with
+        | Some (z0, _) when z0 >= z -> ()
+        | _ -> widest := Some (z, pc_ins));
         { batch = z; local_util = util_of local_ins; pc_util = util_of pc_ins })
       batch_sizes
+  in
+  let pc_occupancy, pc_mean_occupancy =
+    match !widest with
+    | Some (_, ins) ->
+      (Instrument.occupancy_series ins, Instrument.mean_occupancy ins)
+    | None -> ([], 1.)
   in
   (* Trajectory-length statistics from reference chains. *)
   let n_chains = 32 in
@@ -73,6 +87,8 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
     points;
     mean_grads_per_trajectory = Diagnostics.mean grads;
     max_grads_per_trajectory = Array.fold_left Float.max 0. grads;
+    pc_occupancy;
+    pc_mean_occupancy;
   }
 
 let to_csv stats =
@@ -87,6 +103,18 @@ let to_csv stats =
     (Printf.sprintf "# grads/trajectory mean=%.3f max=%.3f\n"
        stats.mean_grads_per_trajectory stats.max_grads_per_trajectory);
   Buffer.contents buf
+
+let print_occupancy stats =
+  Printf.printf
+    "live-lane occupancy over the widest program-counter run (mean %.3f):\n"
+    stats.pc_mean_occupancy;
+  let bar occ =
+    let w = int_of_float (Float.round (occ *. 40.)) in
+    String.make (max 0 (min 40 w)) '#'
+  in
+  List.iter
+    (fun (step, occ) -> Printf.printf "%8d  %.3f  %s\n" step occ (bar occ))
+    stats.pc_occupancy
 
 let print stats =
   print_endline

@@ -28,6 +28,10 @@ type stats = {
   (** per-trajectory gradient-count statistics from reference chains; the
       paper reads the local-static curve as "the longest trajectory tends
       to be about four times longer than the average". *)
+  pc_occupancy : (int * float) list;
+  (** live-lane occupancy time series (downsampled) from the widest
+      program-counter run — the lanes draining as chains finish *)
+  pc_mean_occupancy : float;
 }
 
 val run :
@@ -41,6 +45,9 @@ val run :
 (** Defaults: dim 100, rho 0.7, batch sizes 1…256, 10 trajectories. *)
 
 val print : stats -> unit
+
+val print_occupancy : stats -> unit
+(** The occupancy time series as a text sparkline (one row per bucket). *)
 
 val to_csv : stats -> string
 (** [batch,local_util,pc_util] rows plus a trailing comment line with the

@@ -1,0 +1,58 @@
+(** Serving experiment: stream NUTS sampling requests through the
+    continuous-batching server and measure what lane recycling buys.
+
+    Each request is a single NUTS chain on the correlated-Gaussian test
+    problem with a randomized trajectory count, so service times genuinely
+    vary — the regime where a synchronous fixed batch pays the
+    wait-for-slowest tax (Figure 6) and continuous refill does not.
+
+    Two load generators: open-loop Poisson arrivals at a rate calibrated
+    so load 1.0 saturates the device ([rate = load * lanes /
+    solo_service]), and a closed loop of [closed_clients] clients that
+    each issue a fresh request on completion. Every policy sees the same
+    trace at the same load, so comparisons are paired. *)
+
+type point = {
+  mode : string;  (** ["open"] or ["closed"] *)
+  policy : Server.policy;
+  load : float;  (** offered load as a fraction of device capacity *)
+  offered : float;  (** requests per clock unit (closed loop: measured) *)
+  completed : int;
+  shed : int;
+  throughput : float;  (** completions per clock unit *)
+  mean_occupancy : float;  (** mean live-lane fraction *)
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** total (queueing + service) latency percentiles *)
+  makespan : float;
+}
+
+type stats = {
+  lanes : int;
+  n_requests : int;
+  solo_service : float;
+      (** mean clock units to serve one request alone — the capacity
+          calibration constant *)
+  points : point list;
+}
+
+val run :
+  ?dim:int ->
+  ?rho:float ->
+  ?lanes:int ->
+  ?n_requests:int ->
+  ?max_iter:int ->
+  ?loads:float list ->
+  ?policies:Server.policy list ->
+  ?queue_depth:int ->
+  ?closed_clients:int ->
+  ?seed:int64 ->
+  unit ->
+  stats
+(** Defaults: dim 10, rho 0.7, 8 lanes, 48 requests of 1–3 trajectories,
+    loads [0.6; 0.9; 1.3], all three policies, queue depth 1024,
+    [closed_clients = lanes] (0 disables the closed-loop runs). *)
+
+val print : stats -> unit
+val to_csv : stats -> string

@@ -1,0 +1,11 @@
+(** Fixed-width text tables for the experiment harness output. *)
+
+val print : header:string list -> rows:string list list -> Format.formatter -> unit
+(** Column widths fit the widest cell; the first column is left-aligned,
+    the rest right-aligned. *)
+
+val print_stdout : header:string list -> rows:string list list -> unit
+
+val si : float -> string
+(** Render with an SI suffix (k/M/G) at two decimals; scientific notation
+    below 1. *)

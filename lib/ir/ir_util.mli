@@ -1,0 +1,6 @@
+(** Shared string-keyed containers for the IR passes. *)
+
+module Sset : Set.S with type elt = string
+module Smap : Map.S with type key = string
+
+val sset_of_list : string list -> Sset.t

@@ -34,4 +34,10 @@ module Stream = struct
     if n <= 0 then invalid_arg "Splitmix.Stream.int_below: non-positive bound";
     (* Rejection-free modulo is fine for test workloads. *)
     Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+  let exponential t ~rate =
+    if rate <= 0. then
+      invalid_arg "Splitmix.Stream.exponential: non-positive rate";
+    (* uniform is in the open interval, so log never sees 0 *)
+    -.Stdlib.log (uniform t) /. rate
 end

@@ -33,4 +33,8 @@ module Stream : sig
 
   val int_below : t -> int -> int
   (** Uniform in [0, n); raises on n <= 0. *)
+
+  val exponential : t -> rate:float -> float
+  (** Exponential with the given rate (Poisson interarrival times);
+      raises on rate <= 0. *)
 end

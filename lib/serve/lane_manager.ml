@@ -1,0 +1,94 @@
+type completion = {
+  request : Request.t;
+  outputs : Tensor.t list;
+  started : float;
+  finished : float;
+}
+
+type in_flight = { req : Request.t; lanes : int array; started : float }
+
+type t = {
+  vm : Pc_vm.Lanes.t;
+  engine : Engine.t option;
+  z : int;
+  mutable flight : in_flight list;  (* admission order *)
+}
+
+let create ?(config = Pc_vm.default_config) ~program ~lanes () =
+  if lanes <= 0 then invalid_arg "Lane_manager.create: need at least one lane";
+  {
+    vm =
+      Pc_vm.Lanes.create ~config program.Autobatch.registry
+        program.Autobatch.stack ~z:lanes;
+    engine = config.Pc_vm.engine;
+    z = lanes;
+    flight = [];
+  }
+
+let z t = t.z
+let vm t = t.vm
+let free_lanes t = Pc_vm.Lanes.free_count t.vm
+let live_lanes t = Pc_vm.Lanes.live_count t.vm
+let in_flight t = List.length t.flight
+let steps t = Pc_vm.Lanes.steps t.vm
+
+let fits t r = Request.width r <= free_lanes t
+
+let bytes_of outputs =
+  List.fold_left (fun acc x -> acc +. (8. *. float_of_int (Tensor.numel x))) 0. outputs
+
+let admit t ~now r =
+  let w = Request.width r in
+  let lanes = Array.make w (-1) in
+  let k = ref 0 in
+  for lane = 0 to t.z - 1 do
+    if !k < w && not (Pc_vm.Lanes.occupied t.vm ~lane) then begin
+      lanes.(!k) <- lane;
+      incr k
+    end
+  done;
+  if !k < w then
+    invalid_arg
+      (Printf.sprintf "Lane_manager.admit: request %d wants %d lanes, %d free"
+         r.Request.id w (free_lanes t));
+  Array.iteri
+    (fun i lane ->
+      let inputs = Request.lane_inputs r ~row:i in
+      Pc_vm.Lanes.load t.vm ~lane ~member:(r.Request.member + i) ~inputs;
+      Option.iter (fun e -> Engine.charge_refill e ~bytes:(bytes_of inputs)) t.engine)
+    lanes;
+  t.flight <- t.flight @ [ { req = r; lanes; started = now } ]
+
+let step t = Pc_vm.Lanes.step t.vm
+
+(* Retire every request whose lanes have all halted; their output rows are
+   frozen (masked writes never touch a halted lane), so extraction
+   mid-superstep reads exactly what an end-of-run read would. *)
+let poll t ~now =
+  let finished, rest =
+    List.partition
+      (fun f ->
+        Array.for_all (fun lane -> Pc_vm.Lanes.finished t.vm ~lane) f.lanes)
+      t.flight
+  in
+  t.flight <- rest;
+  List.map
+    (fun f ->
+      let per_lane =
+        Array.map
+          (fun lane ->
+            let outs = Pc_vm.Lanes.retire t.vm ~lane in
+            Option.iter
+              (fun e -> Engine.charge_retire e ~bytes:(bytes_of outs))
+              t.engine;
+            outs)
+          f.lanes
+      in
+      let n_outputs = List.length per_lane.(0) in
+      let outputs =
+        List.init n_outputs (fun j ->
+            Tensor.stack_rows
+              (Array.to_list (Array.map (fun outs -> List.nth outs j) per_lane)))
+      in
+      { request = f.req; outputs; started = f.started; finished = now })
+    finished

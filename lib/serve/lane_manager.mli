@@ -1,0 +1,47 @@
+(** Owner of the batch dimension: maps requests onto recyclable VM lanes.
+
+    Wraps a {!Pc_vm.Lanes} pool with request-level bookkeeping: [admit]
+    loads a request's rows onto the lowest free lanes (lane [i] gets RNG
+    member [request.member + i] — the member-offset technique that makes
+    serving bitwise-identical to solo execution), [step] advances the
+    whole pool one scheduled block, and [poll] retires every request whose
+    lanes have all halted, freeing them for the next admission
+    mid-superstep. Refill and retire events are charged to the VM
+    config's engine ({!Engine.charge_refill} / {!Engine.charge_retire}). *)
+
+type completion = {
+  request : Request.t;
+  outputs : Tensor.t list;
+      (** leading width dimension, exactly as [run_pc] would return *)
+  started : float;
+  finished : float;
+}
+
+type t
+
+val create : ?config:Pc_vm.config -> program:Autobatch.compiled -> lanes:int -> unit -> t
+(** A pool of [lanes] idle lanes for one compiled program. The VM config's
+    [engine]/[instrument]/[sched] apply to the pool's whole lifetime. *)
+
+val z : t -> int
+val vm : t -> Pc_vm.Lanes.t
+val free_lanes : t -> int
+val live_lanes : t -> int
+
+val in_flight : t -> int
+(** Requests currently occupying lanes. *)
+
+val steps : t -> int
+
+val fits : t -> Request.t -> bool
+(** Enough free lanes right now? *)
+
+val admit : t -> now:float -> Request.t -> unit
+(** Load the request onto free lanes. Raises [Invalid_argument] if it
+    does not fit ({!fits} guards). *)
+
+val step : t -> bool
+(** One scheduled basic block over all live lanes; [false] if none. *)
+
+val poll : t -> now:float -> completion list
+(** Retire and return every finished request, freeing its lanes. *)

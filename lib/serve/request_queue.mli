@@ -1,0 +1,39 @@
+(** Bounded admission queue with backpressure.
+
+    Holds requests that have arrived but not yet been assigned lanes.
+    Depth is bounded: offering to a full queue sheds a request — either
+    the newcomer ([Reject_new], classic admission control) or the oldest
+    waiter ([Drop_oldest], freshness-first). Both keep the server's memory
+    and worst-case queueing delay bounded under overload. *)
+
+type shed_policy = Reject_new | Drop_oldest
+
+type t
+
+val create : ?depth:int -> ?shed:shed_policy -> unit -> t
+(** Defaults: unbounded depth, [Reject_new]. Raises [Invalid_argument] on
+    non-positive depth. *)
+
+val depth : t -> int
+val shed_policy : t -> shed_policy
+val length : t -> int
+val is_empty : t -> bool
+
+val shed_total : t -> int
+(** Requests shed since creation. *)
+
+val to_list : t -> Request.t list
+(** Pending requests, oldest first (for inspection; does not pop). *)
+
+val offer : t -> Request.t -> [ `Admitted | `Shed of Request.t ]
+(** Enqueue, or shed per policy when full. The shed request is the
+    newcomer under [Reject_new] and the previous head under
+    [Drop_oldest] (the newcomer is admitted in its place). *)
+
+val pop_fifo : t -> fits:(Request.t -> bool) -> Request.t option
+(** The head, if [fits] accepts it; [None] otherwise (strict FIFO:
+    a non-fitting head blocks the line). *)
+
+val pop_shortest : t -> fits:(Request.t -> bool) -> Request.t option
+(** The fitting request with the smallest {!Request.cost_hint}, ties by
+    arrival order — shortest-expected-first admission. *)

@@ -1,0 +1,190 @@
+type policy = Fifo | Shortest_first | Synchronous
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Shortest_first -> "shortest"
+  | Synchronous -> "synchronous"
+
+type config = {
+  lanes : int;
+  policy : policy;
+  queue_depth : int;
+  shed : Request_queue.shed_policy;
+  vm : Pc_vm.config;
+}
+
+let default_config =
+  {
+    lanes = 8;
+    policy = Fifo;
+    queue_depth = 64;
+    shed = Request_queue.Reject_new;
+    vm = Pc_vm.default_config;
+  }
+
+type record = {
+  request : Request.t;
+  outputs : Tensor.t list;
+  queued : float;
+  started : float;
+  finished : float;
+}
+
+let queueing_latency r = r.started -. r.queued
+let service_latency r = r.finished -. r.started
+let total_latency r = r.finished -. r.queued
+
+type stats = {
+  completions : record list;
+  shed : Request.t list;
+  rejected : Request.t list;
+  steps : int;
+  idle_steps : int;
+  makespan : float;
+  mean_occupancy : float;
+  occupancy : (int * float) list;
+  instrument : Instrument.t;
+}
+
+let compare_arrival a b =
+  let c = compare a.Request.arrival b.Request.arrival in
+  if c <> 0 then c else compare a.Request.id b.Request.id
+
+let rec insert_sorted r = function
+  | [] -> [ r ]
+  | x :: rest ->
+    if compare_arrival r x < 0 then r :: x :: rest
+    else x :: insert_sorted r rest
+
+let run ?(config = default_config) ?on_complete ~program arrivals =
+  let vm_config =
+    match config.vm.Pc_vm.instrument with
+    | Some _ -> config.vm
+    | None -> { config.vm with Pc_vm.instrument = Some (Instrument.create ()) }
+  in
+  let ins =
+    match vm_config.Pc_vm.instrument with Some i -> i | None -> assert false
+  in
+  let engine = vm_config.Pc_vm.engine in
+  let lm = Lane_manager.create ~config:vm_config ~program ~lanes:config.lanes () in
+  let queue = Request_queue.create ~depth:config.queue_depth ~shed:config.shed () in
+  let now = ref 0. in
+  let pending = ref (List.stable_sort compare_arrival arrivals) in
+  let shed = ref [] in
+  let rejected = ref [] in
+  let completions = ref [] in
+  let idle_steps = ref 0 in
+  (* Admission: continuous policies refill free lanes the moment they
+     open (mid-run); the synchronous baseline waits for the whole batch
+     to drain before admitting again — the paper's fixed-batch regime. *)
+  let refill () =
+    let fits r = Lane_manager.fits lm r in
+    let rec drain pop =
+      match pop ~fits with
+      | Some r ->
+        Lane_manager.admit lm ~now:!now r;
+        drain pop
+      | None -> ()
+    in
+    match config.policy with
+    | Fifo -> drain (Request_queue.pop_fifo queue)
+    | Shortest_first -> drain (Request_queue.pop_shortest queue)
+    | Synchronous ->
+      if Lane_manager.in_flight lm = 0 then drain (Request_queue.pop_fifo queue)
+  in
+  (* Move every request whose arrival time has passed into the bounded
+     queue, one at a time with a refill in between — so a free lane is
+     taken by an earlier arrival before a later one can shed it from a
+     full queue. Requests wider than the whole device can never be
+     admitted and are rejected up front. *)
+  let rec admit_due () =
+    match !pending with
+    | r :: rest when r.Request.arrival <= !now ->
+      pending := rest;
+      if r.Request.program.Autobatch.stack != program.Autobatch.stack then
+        invalid_arg
+          (Printf.sprintf
+             "Server.run: request %d was compiled from a different program"
+             r.Request.id)
+      else begin
+        if Request.width r > config.lanes then rejected := r :: !rejected
+        else begin
+          (match Request_queue.offer queue r with
+          | `Admitted -> ()
+          | `Shed s -> shed := s :: !shed);
+          refill ()
+        end;
+        admit_due ()
+      end
+    | _ -> ()
+  in
+  let elapsed () = match engine with Some e -> Engine.elapsed e | None -> 0. in
+  (* With an engine, the server clock is its simulated time: advance by
+     whatever has accrued since the last sync (block execution, refill
+     and retire transfers alike). *)
+  let last_elapsed = ref (elapsed ()) in
+  let sync_clock () =
+    let e = elapsed () in
+    now := !now +. (e -. !last_elapsed);
+    last_elapsed := e
+  in
+  let complete cs =
+    List.iter
+      (fun (c : Lane_manager.completion) ->
+        let r =
+          {
+            request = c.Lane_manager.request;
+            outputs = c.Lane_manager.outputs;
+            queued = c.Lane_manager.request.Request.arrival;
+            started = c.Lane_manager.started;
+            finished = c.Lane_manager.finished;
+          }
+        in
+        completions := r :: !completions;
+        match on_complete with
+        | None -> ()
+        | Some f -> (
+          match f r with
+          | None -> ()
+          | Some next ->
+            let next =
+              if next.Request.arrival >= !now then next
+              else { next with Request.arrival = !now }
+            in
+            pending := insert_sorted next !pending))
+      cs
+  in
+  let running = ref true in
+  while !running do
+    admit_due ();
+    refill ();
+    if Lane_manager.live_lanes lm > 0 then begin
+      ignore (Lane_manager.step lm);
+      (match engine with
+      | Some _ -> sync_clock ()
+      | None -> now := !now +. 1.0);
+      complete (Lane_manager.poll lm ~now:!now)
+    end
+    else if Lane_manager.in_flight lm > 0 then
+      (* every occupied lane has halted but the groups are still loaded *)
+      complete (Lane_manager.poll lm ~now:!now)
+    else
+      match !pending with
+      | r :: _ ->
+        (* nothing runnable: jump the clock to the next arrival *)
+        now := Float.max !now r.Request.arrival;
+        incr idle_steps
+      | [] -> running := false
+  done;
+  sync_clock ();
+  {
+    completions = List.rev !completions;
+    shed = List.rev !shed;
+    rejected = List.rev !rejected;
+    steps = Lane_manager.steps lm;
+    idle_steps = !idle_steps;
+    makespan = !now;
+    mean_occupancy = Instrument.mean_occupancy ins;
+    occupancy = Instrument.occupancy_series ins;
+    instrument = ins;
+  }

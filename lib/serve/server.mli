@@ -1,0 +1,70 @@
+(** Continuous-batching request server.
+
+    Drives one {!Lane_manager} pool through the program-counter VM's
+    superstep loop, streaming requests through recyclable lanes: each
+    superstep admits every due arrival into a bounded {!Request_queue},
+    refills freed lanes per the admission policy, executes one scheduled
+    block across all live lanes, and retires any request whose lanes have
+    halted — freeing them for the next refill {e mid-run}, instead of
+    waiting for the whole batch to drain (the fixed-batch regime of the
+    paper's Figure 6, kept here as the [Synchronous] baseline).
+
+    The server clock advances by the engine's simulated elapsed time per
+    superstep when the VM config carries an engine, else by 1.0 per
+    superstep; idle periods jump straight to the next arrival. *)
+
+type policy =
+  | Fifo  (** strict arrival order; a wide head blocks the line *)
+  | Shortest_first  (** admissible request with the smallest cost hint *)
+  | Synchronous
+      (** fixed-batch baseline: refill only once every lane has drained *)
+
+val policy_name : policy -> string
+
+type config = {
+  lanes : int;
+  policy : policy;
+  queue_depth : int;
+  shed : Request_queue.shed_policy;
+  vm : Pc_vm.config;
+      (** engine/instrument/sched for the lane pool; an instrument is
+          created if absent so occupancy is always recorded *)
+}
+
+val default_config : config
+(** 8 lanes, [Fifo], queue depth 64, [Reject_new], {!Pc_vm.default_config}. *)
+
+type record = {
+  request : Request.t;
+  outputs : Tensor.t list;  (** leading width dim, as [run_pc] returns *)
+  queued : float;  (** arrival time *)
+  started : float;  (** lanes assigned *)
+  finished : float;  (** all lanes halted, outputs retired *)
+}
+
+val queueing_latency : record -> float
+val service_latency : record -> float
+val total_latency : record -> float
+
+type stats = {
+  completions : record list;  (** completion order *)
+  shed : Request.t list;  (** victims of queue backpressure *)
+  rejected : Request.t list;  (** wider than the whole device *)
+  steps : int;  (** supersteps executed *)
+  idle_steps : int;  (** clock jumps with no runnable lane *)
+  makespan : float;  (** server clock at completion of the last request *)
+  mean_occupancy : float;  (** mean live-lane fraction over all supersteps *)
+  occupancy : (int * float) list;  (** downsampled time series *)
+  instrument : Instrument.t;
+}
+
+val run :
+  ?config:config ->
+  ?on_complete:(record -> Request.t option) ->
+  program:Autobatch.compiled ->
+  Request.t list ->
+  stats
+(** Serve the given arrival trace to completion. [on_complete] may inject
+    a follow-up request per completion (closed-loop load generation); its
+    arrival is clamped to the current clock. Raises [Invalid_argument] if
+    a request was compiled from a different program. *)

@@ -2,6 +2,20 @@ type prim_stats = { mutable useful : int; mutable issued : int }
 
 type block_stats = { mutable execs : int; mutable active : int }
 
+(* The live-lane occupancy gauge: a bounded time series over steps. Each
+   bucket aggregates [width] consecutive samples; when all [gauge_buckets]
+   fill up, adjacent pairs merge and the width doubles, so the series
+   always covers the whole run at bounded memory. *)
+let gauge_buckets = 256
+
+type gauge = {
+  mutable width : int;            (* samples per bucket *)
+  mutable used : int;             (* buckets in use *)
+  mutable fill : int;             (* samples in the bucket being filled *)
+  live_sum : float array;         (* per bucket: Σ live *)
+  lanes_sum : float array;        (* per bucket: Σ lanes *)
+}
+
 type t = {
   prims : (string, prim_stats) Hashtbl.t;
   per_block : (int, block_stats) Hashtbl.t;
@@ -13,7 +27,27 @@ type t = {
   mutable push_lanes : int;
   mutable pop_lanes : int;
   mutable max_depth : int;
+  mutable live_total : float;     (* Σ live over all record_live samples *)
+  mutable live_lanes_total : float;  (* Σ lanes over the same samples *)
+  mutable live_samples : int;
+  gauge : gauge;
 }
+
+let create_gauge () =
+  {
+    width = 1;
+    used = 0;
+    fill = 0;
+    live_sum = Array.make gauge_buckets 0.;
+    lanes_sum = Array.make gauge_buckets 0.;
+  }
+
+let reset_gauge g =
+  g.width <- 1;
+  g.used <- 0;
+  g.fill <- 0;
+  Array.fill g.live_sum 0 gauge_buckets 0.;
+  Array.fill g.lanes_sum 0 gauge_buckets 0.
 
 let create () =
   {
@@ -27,6 +61,10 @@ let create () =
     push_lanes = 0;
     pop_lanes = 0;
     max_depth = 0;
+    live_total = 0.;
+    live_lanes_total = 0.;
+    live_samples = 0;
+    gauge = create_gauge ();
   }
 
 let reset t =
@@ -39,7 +77,11 @@ let reset t =
   t.pops <- 0;
   t.push_lanes <- 0;
   t.pop_lanes <- 0;
-  t.max_depth <- 0
+  t.max_depth <- 0;
+  t.live_total <- 0.;
+  t.live_lanes_total <- 0.;
+  t.live_samples <- 0;
+  reset_gauge t.gauge
 
 let merge ~into src =
   Hashtbl.iter
@@ -65,7 +107,12 @@ let merge ~into src =
   into.pops <- into.pops + src.pops;
   into.push_lanes <- into.push_lanes + src.push_lanes;
   into.pop_lanes <- into.pop_lanes + src.pop_lanes;
-  if src.max_depth > into.max_depth then into.max_depth <- src.max_depth
+  if src.max_depth > into.max_depth then into.max_depth <- src.max_depth;
+  (* Aggregate occupancy merges exactly; the time series does not (shards
+     run on independent step axes), so [into] keeps its own gauge. *)
+  into.live_total <- into.live_total +. src.live_total;
+  into.live_lanes_total <- into.live_lanes_total +. src.live_lanes_total;
+  into.live_samples <- into.live_samples + src.live_samples
 
 let stats_for t name =
   match Hashtbl.find_opt t.prims name with
@@ -107,6 +154,41 @@ let record_pop t ~lanes =
   t.pop_lanes <- t.pop_lanes + lanes
 
 let record_depth t d = if d > t.max_depth then t.max_depth <- d
+
+let gauge_compact g =
+  for i = 0 to (gauge_buckets / 2) - 1 do
+    g.live_sum.(i) <- g.live_sum.(2 * i) +. g.live_sum.((2 * i) + 1);
+    g.lanes_sum.(i) <- g.lanes_sum.(2 * i) +. g.lanes_sum.((2 * i) + 1)
+  done;
+  Array.fill g.live_sum (gauge_buckets / 2) (gauge_buckets / 2) 0.;
+  Array.fill g.lanes_sum (gauge_buckets / 2) (gauge_buckets / 2) 0.;
+  g.used <- gauge_buckets / 2;
+  g.width <- g.width * 2
+
+let record_live t ~live ~lanes =
+  t.live_total <- t.live_total +. float_of_int live;
+  t.live_lanes_total <- t.live_lanes_total +. float_of_int lanes;
+  t.live_samples <- t.live_samples + 1;
+  let g = t.gauge in
+  if g.fill = 0 then begin
+    if g.used = gauge_buckets then gauge_compact g;
+    g.used <- g.used + 1
+  end;
+  let i = g.used - 1 in
+  g.live_sum.(i) <- g.live_sum.(i) +. float_of_int live;
+  g.lanes_sum.(i) <- g.lanes_sum.(i) +. float_of_int lanes;
+  g.fill <- (g.fill + 1) mod g.width
+
+let live_samples t = t.live_samples
+
+let mean_occupancy t =
+  if t.live_lanes_total = 0. then 1. else t.live_total /. t.live_lanes_total
+
+let occupancy_series t =
+  let g = t.gauge in
+  List.init g.used (fun i ->
+      let occ = if g.lanes_sum.(i) = 0. then 0. else g.live_sum.(i) /. g.lanes_sum.(i) in
+      (i * g.width, occ))
 
 let utilization t ~name =
   match Hashtbl.find_opt t.prims name with

@@ -27,11 +27,31 @@ val record_pop : t -> lanes:int -> unit
 val record_depth : t -> int -> unit
 (** Observe a stack depth; the maximum is retained. *)
 
+val record_live : t -> live:int -> lanes:int -> unit
+(** Observe the live-lane occupancy at one superstep: [live] lanes still
+    running out of [lanes] batch slots. Feeds both the aggregate
+    {!mean_occupancy} and a bounded {!occupancy_series} time series
+    (adjacent samples merge as the run grows, so memory stays constant). *)
+
 val utilization : t -> name:string -> float option
 (** useful/issued lane fraction for one primitive; [None] if never run. *)
 
 val overall_utilization : t -> float
 (** Σ active / Σ batch over all executed blocks (1.0 when never run). *)
+
+val mean_occupancy : t -> float
+(** Σ live / Σ lanes over all {!record_live} samples (1.0 when never
+    sampled). Distinct from {!overall_utilization}: a lane is *live* until
+    it halts, even while waiting out a block it does not execute. *)
+
+val live_samples : t -> int
+(** Number of {!record_live} observations. *)
+
+val occupancy_series : t -> (int * float) list
+(** The live-lane gauge as [(first_step, mean_occupancy)] buckets in step
+    order — at most a few hundred points spanning the whole run. Empty if
+    {!record_live} was never called. Not combined by {!merge} (shards run
+    on independent step axes); the merge target keeps its own series. *)
 
 val prim_issued : t -> name:string -> int
 val prim_useful : t -> name:string -> int

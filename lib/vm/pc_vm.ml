@@ -78,6 +78,12 @@ module Pc_stack = struct
   let set_top_masked t ~mask v =
     Array.iteri (fun b m -> if m then t.top.(b) <- v) mask
 
+  let reset_lane t ~lane ~bottom ~start =
+    if lane < 0 || lane >= t.z then invalid_arg "Pc_stack.reset_lane: lane out of range";
+    t.sp.(lane) <- 1;
+    t.data.(lane) <- bottom;
+    t.top.(lane) <- start
+
   let max_depth t = Array.fold_left max 0 t.sp
 end
 
@@ -97,144 +103,259 @@ let batch_size batch =
       batch;
     z
 
-let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
-  let z = batch_size batch in
-  let halt = Stack_ir.halt p in
-  let nb = Array.length p.Stack_ir.blocks in
-  let store : (string, storage) Hashtbl.t = Hashtbl.create 64 in
-  let full_mask = Array.make z true in
-  (* Preallocate storage for variables with inferred shapes. *)
-  let allocate v elem =
+(* The steppable lane pool: all of the program-counter VM's state, with
+   per-lane occupancy so a serving layer can retire a halted lane and
+   refill it with a new request mid-run. [run] below is the classic
+   whole-batch entry point, now a thin driver over this engine. *)
+module Lanes = struct
+  type t = {
+    config : config;
+    reg : Prim.registry;
+    p : Stack_ir.program;
+    z : int;
+    halt : int;
+    nb : int;
+    store : (string, storage) Hashtbl.t;
+    pc : Pc_stack.t;
+    members : int array;     (* per-lane global RNG member identity *)
+    occupied : bool array;   (* lane currently carries a request *)
+    counts : int array;
+    mutable last : int;
+    mutable steps : int;
+    mutable traffic : float;
+    mutable charged_ops : (string * float) list;
+  }
+
+  let allocate t v elem =
     let s =
-      match Stack_ir.class_of p v with
-      | Var_class.Temp -> Reg (ref (Tensor.zeros (Shape.concat_outer z elem)))
-      | Var_class.Masked -> Msk (ref (Tensor.zeros (Shape.concat_outer z elem)))
+      match Stack_ir.class_of t.p v with
+      | Var_class.Temp -> Reg (ref (Tensor.zeros (Shape.concat_outer t.z elem)))
+      | Var_class.Masked -> Msk (ref (Tensor.zeros (Shape.concat_outer t.z elem)))
       | Var_class.Stacked ->
-        Stk (Stacked.create ~z ~elem ~initial_depth:config.initial_depth ())
+        Stk (Stacked.create ~z:t.z ~elem ~initial_depth:t.config.initial_depth ())
     in
-    Hashtbl.replace store v s;
+    Hashtbl.replace t.store v s;
     s
-  in
-  Ir_util.Smap.iter (fun v elem -> ignore (allocate v elem)) p.Stack_ir.shapes;
-  let storage_of v value_elem =
-    match Hashtbl.find_opt store v with
-    | Some s -> s
-    | None -> allocate v value_elem
-  in
-  let read v =
-    match Hashtbl.find_opt store v with
+
+  let create ?(config = default_config) reg (p : Stack_ir.program) ~z =
+    if z <= 0 then invalid_arg "Pc_vm.Lanes: need at least one lane";
+    let halt = Stack_ir.halt p in
+    let t =
+      {
+        config;
+        reg;
+        p;
+        z;
+        halt;
+        nb = Array.length p.Stack_ir.blocks;
+        store = Hashtbl.create 64;
+        (* All lanes start idle: pc top parked at [halt]. *)
+        pc = Pc_stack.create ~z ~bottom:halt ~start:halt
+               ~initial_depth:config.initial_depth;
+        members = Array.init z (fun i -> config.member_base + i);
+        occupied = Array.make z false;
+        counts = Array.make (Array.length p.Stack_ir.blocks) 0;
+        last = -1;
+        steps = 0;
+        traffic = 0.;
+        charged_ops = [];
+      }
+    in
+    Ir_util.Smap.iter (fun v elem -> ignore (allocate t v elem)) p.Stack_ir.shapes;
+    t
+
+  let z t = t.z
+  let program t = t.p
+  let steps t = t.steps
+  let occupied t ~lane = t.occupied.(lane)
+
+  let finished t ~lane = t.occupied.(lane) && t.pc.Pc_stack.top.(lane) = t.halt
+
+  let live t ~lane = t.occupied.(lane) && t.pc.Pc_stack.top.(lane) <> t.halt
+
+  let live_count t =
+    let n = ref 0 in
+    for b = 0 to t.z - 1 do
+      if live t ~lane:b then incr n
+    done;
+    !n
+
+  let free_count t =
+    let n = ref 0 in
+    for b = 0 to t.z - 1 do
+      if not t.occupied.(b) then incr n
+    done;
+    !n
+
+  let finished_lanes t =
+    let acc = ref [] in
+    for b = t.z - 1 downto 0 do
+      if finished t ~lane:b then acc := b :: !acc
+    done;
+    !acc
+
+  let read t v =
+    match Hashtbl.find_opt t.store v with
     | Some (Reg r) | Some (Msk r) -> !r
     | Some (Stk s) -> Stacked.top s
     | None -> invalid_arg (Printf.sprintf "Pc_vm: read of unwritten variable %s" v)
-  in
-  (* Per-step accounting accumulators. *)
-  let traffic = ref 0. in
-  let charged_ops = ref [] in
+
+  (* Restore one lane of every allocated variable to the all-zeros state a
+     fresh VM would give it. Variables allocated on demand *after* this
+     point start zeroed anyway, so a recycled lane is indistinguishable
+     from lane [lane] of a brand-new VM. *)
+  let reset_lane_storage t ~lane =
+    Hashtbl.iter
+      (fun _ s ->
+        match s with
+        | Reg r | Msk r ->
+          let row = Tensor.row_numel !r in
+          Array.fill (Tensor.data !r) (lane * row) row 0.
+        | Stk s -> Stacked.reset_lane s lane)
+      t.store
+
+  let write_lane_row t v ~lane elem_t =
+    let s =
+      match Hashtbl.find_opt t.store v with
+      | Some s -> s
+      | None -> allocate t v (Tensor.shape elem_t)
+    in
+    let dst =
+      match s with Reg r | Msk r -> !r | Stk st -> Stacked.top st
+    in
+    let row = Tensor.row_numel dst in
+    if Tensor.numel elem_t <> row then
+      invalid_arg
+        (Printf.sprintf "Pc_vm.Lanes: input %s has %d elements per lane, expected %d" v
+           (Tensor.numel elem_t) row);
+    Array.blit (Tensor.data elem_t) 0 (Tensor.data dst) (lane * row) row
+
+  let load t ~lane ~member ~inputs =
+    if lane < 0 || lane >= t.z then invalid_arg "Pc_vm.Lanes.load: lane out of range";
+    if live t ~lane then
+      invalid_arg (Printf.sprintf "Pc_vm.Lanes.load: lane %d is still running" lane);
+    if List.length t.p.Stack_ir.inputs <> List.length inputs then
+      invalid_arg "Pc_vm: input count mismatch";
+    reset_lane_storage t ~lane;
+    List.iter2 (fun v e -> write_lane_row t v ~lane e) t.p.Stack_ir.inputs inputs;
+    t.members.(lane) <- member;
+    t.occupied.(lane) <- true;
+    Pc_stack.reset_lane t.pc ~lane ~bottom:t.halt ~start:0
+
+  let lane_outputs t ~lane =
+    List.map (fun v -> Tensor.copy (Tensor.slice_row (read t v) lane)) t.p.Stack_ir.outputs
+
+  let retire t ~lane =
+    if not (finished t ~lane) then
+      invalid_arg (Printf.sprintf "Pc_vm.Lanes.retire: lane %d has not halted" lane);
+    let outputs = lane_outputs t ~lane in
+    t.occupied.(lane) <- false;
+    outputs
+
   let check_shape v cur_shape out =
     if not (Shape.equal cur_shape (Tensor.shape out)) then
       invalid_arg
         (Printf.sprintf "Pc_vm: variable %s changes shape from %s to %s" v
            (Shape.to_string cur_shape)
            (Shape.to_string (Tensor.shape out)))
-  in
-  let write v ~mask out =
+
+  let write t v ~mask out =
     let row = Tensor.row_numel out in
-    match storage_of v (Vm_util.elem_shape_of_batched out) with
+    let s =
+      match Hashtbl.find_opt t.store v with
+      | Some s -> s
+      | None -> allocate t v (Vm_util.elem_shape_of_batched out)
+    in
+    match s with
     | Reg r ->
       check_shape v (Tensor.shape !r) out;
       (* Copy, never alias: [out] may be another variable's storage (a
          register move), and that storage is mutated in place by later
          masked writes. *)
       Array.blit (Tensor.data out) 0 (Tensor.data !r) 0 (Tensor.numel out);
-      traffic := !traffic +. (Vm_util.bytes_per_elem *. float_of_int (z * row))
+      t.traffic <- t.traffic +. (Vm_util.bytes_per_elem *. float_of_int (t.z * row))
     | Msk r ->
       check_shape v (Tensor.shape !r) out;
       Tensor.blit_rows_masked ~mask ~src:out ~dst:!r;
-      traffic := !traffic +. Vm_util.masked_write_bytes ~lanes:z ~row
+      t.traffic <- t.traffic +. Vm_util.masked_write_bytes ~lanes:t.z ~row
     | Stk s ->
       check_shape v (Tensor.shape (Stacked.top s)) out;
       Stacked.write_top_masked s ~mask out;
-      traffic := !traffic +. Vm_util.masked_write_bytes ~lanes:z ~row;
-      if config.naive_stack_writes then
+      t.traffic <- t.traffic +. Vm_util.masked_write_bytes ~lanes:t.z ~row;
+      if t.config.naive_stack_writes then
         (* Pre-O5 cost: the write would be a pop followed by a push. *)
-        traffic := !traffic +. (2. *. Vm_util.stack_move_bytes ~lanes:z ~row)
-  in
-  let read_charged v =
-    let t = read v in
-    (match Hashtbl.find_opt store v with
-    | Some (Stk _) when not config.top_cache ->
+        t.traffic <- t.traffic +. (2. *. Vm_util.stack_move_bytes ~lanes:t.z ~row)
+
+  let read_charged t v =
+    let x = read t v in
+    (match Hashtbl.find_opt t.store v with
+    | Some (Stk _) when not t.config.top_cache ->
       (* Without the top cache every stacked read is a gather. *)
-      traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Tensor.row_numel t)
+      t.traffic <-
+        t.traffic +. Vm_util.stack_move_bytes ~lanes:t.z ~row:(Tensor.row_numel x)
     | Some _ | None -> ());
-    t
-  in
-  (* Bind inputs. *)
-  if List.length p.Stack_ir.inputs <> List.length batch then
-    invalid_arg "Pc_vm: input count mismatch";
-  List.iter2 (fun v t -> write v ~mask:full_mask t) p.Stack_ir.inputs batch;
-  traffic := 0.;
-  charged_ops := [];
-  (* pc stack: bottom sentinel [halt], executing from block 0. *)
-  let pc = Pc_stack.create ~z ~bottom:halt ~start:0 ~initial_depth:config.initial_depth in
-  let counts = Array.make nb 0 in
-  let last = ref (-1) in
-  let members_of mask = Vm_util.indices_of_mask mask in
-  (* RNG member identities: lane [i] of this VM is global batch member
-     [member_base + i], so a shard of a larger batch draws the same random
-     streams it would draw in the unsharded run. *)
-  let all = Array.init z (fun i -> config.member_base + i) in
-  let steps = ref 0 in
-  let rec vm_loop () =
-    Array.fill counts 0 nb 0;
+    x
+
+  (* Execute one scheduled basic block over the currently live lanes.
+     Returns [false] (and does nothing) when no lane is runnable. *)
+  let step t =
+    let z = t.z and halt = t.halt and pc = t.pc and config = t.config in
+    Array.fill t.counts 0 t.nb 0;
+    let live = ref 0 in
     for b = 0 to z - 1 do
-      if pc.Pc_stack.top.(b) < halt then
-        counts.(pc.Pc_stack.top.(b)) <- counts.(pc.Pc_stack.top.(b)) + 1
+      if pc.Pc_stack.top.(b) < halt then begin
+        t.counts.(pc.Pc_stack.top.(b)) <- t.counts.(pc.Pc_stack.top.(b)) + 1;
+        incr live
+      end
     done;
-    match Sched.pick config.sched ~last:!last ~counts with
-    | None -> ()
+    match Sched.pick config.sched ~last:t.last ~counts:t.counts with
+    | None -> false
     | Some i ->
-      incr steps;
-      if !steps > config.max_steps then raise Step_limit_exceeded;
-      last := i;
+      t.steps <- t.steps + 1;
+      if t.steps > config.max_steps then raise Step_limit_exceeded;
+      t.last <- i;
       let mask = Array.init z (fun b -> pc.Pc_stack.top.(b) = i) in
-      let members = members_of mask in
+      let members = Vm_util.indices_of_mask mask in
       let n_active = Array.length members in
-      traffic := 0.;
-      charged_ops := [];
+      t.traffic <- 0.;
+      t.charged_ops <- [];
+      Option.iter
+        (fun ins -> Instrument.record_live ins ~live:!live ~lanes:z)
+        config.instrument;
       let record_prim name =
         Option.iter
           (fun ins -> Instrument.record_prim ins ~name ~useful:n_active ~issued:z)
           config.instrument
       in
-      let block = p.Stack_ir.blocks.(i) in
+      let block = t.p.Stack_ir.blocks.(i) in
       List.iter
         (fun (op : Stack_ir.op) ->
           match op with
           | Stack_ir.Sprim { dst; prim; args } ->
-            let impl = Prim.find_exn reg prim in
-            let arg_tensors = List.map read_charged args in
-            let out = impl.Prim.batched ~members:all arg_tensors in
+            let impl = Prim.find_exn t.reg prim in
+            let arg_tensors = List.map (read_charged t) args in
+            let out = impl.Prim.batched ~members:t.members arg_tensors in
             let elem_shapes = List.map Vm_util.elem_shape_of_batched arg_tensors in
-            charged_ops :=
-              (prim, impl.Prim.flops elem_shapes *. float_of_int z) :: !charged_ops;
+            t.charged_ops <-
+              (prim, impl.Prim.flops elem_shapes *. float_of_int z) :: t.charged_ops;
             record_prim prim;
-            write dst ~mask out
+            write t dst ~mask out
           | Stack_ir.Sconst { dst; value } ->
             let out = Tensor.broadcast_rows value z in
-            charged_ops :=
-              ("const", float_of_int (Tensor.numel value * z)) :: !charged_ops;
-            write dst ~mask out
+            t.charged_ops <-
+              ("const", float_of_int (Tensor.numel value * z)) :: t.charged_ops;
+            write t dst ~mask out
           | Stack_ir.Smov { dst; src } ->
-            let out = read_charged src in
-            charged_ops :=
-              ("mov", float_of_int (Tensor.row_numel out * z)) :: !charged_ops;
-            write dst ~mask out
+            let out = read_charged t src in
+            t.charged_ops <-
+              ("mov", float_of_int (Tensor.row_numel out * z)) :: t.charged_ops;
+            write t dst ~mask out
           | Stack_ir.Spush v -> (
-            match Hashtbl.find_opt store v with
+            match Hashtbl.find_opt t.store v with
             | Some (Stk s) ->
               Stacked.push s ~mask;
-              traffic :=
-                !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
+              t.traffic <-
+                t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
               Option.iter
                 (fun ins ->
                   Instrument.record_push ins ~lanes:n_active;
@@ -245,11 +366,11 @@ let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
             | None ->
               invalid_arg (Printf.sprintf "Pc_vm: push of unwritten variable %s" v))
           | Stack_ir.Spop v -> (
-            match Hashtbl.find_opt store v with
+            match Hashtbl.find_opt t.store v with
             | Some (Stk s) ->
               Stacked.pop s ~mask;
-              traffic :=
-                !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
+              t.traffic <-
+                t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:(Stacked.row s);
               Option.iter
                 (fun ins -> Instrument.record_pop ins ~lanes:n_active)
                 config.instrument
@@ -264,7 +385,7 @@ let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
       | Stack_ir.Sjump j -> Pc_stack.set_top_masked pc ~mask j
       | Stack_ir.Sbranch { cond; if_true; if_false } ->
         incr control_ops;
-        let data = Tensor.data (read_charged cond) in
+        let data = Tensor.data (read_charged t cond) in
         Array.iter
           (fun b ->
             pc.Pc_stack.top.(b) <- (if data.(b) <> 0. then if_true else if_false))
@@ -273,25 +394,35 @@ let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
         Pc_stack.set_top_masked pc ~mask ret;
         Pc_stack.push pc ~mask;
         Pc_stack.set_top_masked pc ~mask entry;
-        traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1;
+        t.traffic <- t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1;
         Option.iter
           (fun ins -> Instrument.record_depth ins (Pc_stack.max_depth pc))
           config.instrument
       | Stack_ir.Sreturn ->
         Pc_stack.pop pc ~mask;
-        traffic := !traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1);
+        t.traffic <- t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1);
       Option.iter
         (fun eng ->
-          Engine.charge_block eng ~ops:(List.rev !charged_ops)
-            ~control_ops:!control_ops ~traffic_bytes:!traffic)
+          Engine.charge_block eng ~ops:(List.rev t.charged_ops)
+            ~control_ops:!control_ops ~traffic_bytes:t.traffic)
         config.engine;
       Option.iter
         (fun ins -> Instrument.record_block ~block:i ins ~active:n_active ~batch:z)
         config.instrument;
-      vm_loop ()
-  in
-  vm_loop ();
+      true
+end
+
+let run ?(config = default_config) reg (p : Stack_ir.program) ~batch =
+  let z = batch_size batch in
+  let lanes = Lanes.create ~config reg p ~z in
+  for lane = 0 to z - 1 do
+    Lanes.load lanes ~lane ~member:(config.member_base + lane)
+      ~inputs:(List.map (fun t -> Tensor.slice_row t lane) batch)
+  done;
+  while Lanes.step lanes do
+    ()
+  done;
   (* Fresh tensors: the VM's storage buffers must not escape. *)
-  List.map (fun v -> Tensor.copy (read v)) p.Stack_ir.outputs
+  List.map (fun v -> Tensor.copy (Lanes.read lanes v)) p.Stack_ir.outputs
 
 let final_max_depth = Instrument.max_depth

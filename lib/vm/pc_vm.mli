@@ -53,7 +53,79 @@ module Pc_stack : sig
   (** Raises [Invalid_argument] on underflow of any masked member. *)
 
   val set_top_masked : t -> mask:bool array -> int -> unit
+
+  val reset_lane : t -> lane:int -> bottom:int -> start:int -> unit
+  (** Re-seed one member's pc stack as [create] would: sentinel [bottom]
+      below, executing from [start]. Other members are untouched. *)
+
   val max_depth : t -> int
+end
+
+(** The steppable lane pool behind both {!run} and the continuous-batching
+    server ({!module:Server} in [lib/serve]).
+
+    A lane is one batch slot. Lanes are individually [load]ed with a
+    request's inputs and RNG member identity, advance together one
+    scheduled basic block per {!Lanes.step} (masking-style over the whole
+    width), and are individually [retire]d the moment their program
+    counter hits halt — the VM-level mechanism that lets a serving layer
+    refill early-finishing lanes mid-run instead of padding out the batch
+    until its slowest member drains.
+
+    Per-lane isolation is exact: batched primitives are row-wise (each
+    output row depends only on the same input row and that row's member
+    identity — the contract in HACKING.md), masked writes never touch
+    other lanes, and [load] resets the lane's slice of every variable and
+    both stacks to the all-zero fresh-VM state. A request served in any
+    lane of any mix of neighbours is therefore bitwise identical to
+    running it alone with [member_base] equal to its member. *)
+module Lanes : sig
+  type t
+
+  val create : ?config:config -> Prim.registry -> Stack_ir.program -> z:int -> t
+  (** [z] lanes, all idle. [config.member_base] seeds the default member
+      identities; [load] overrides them per lane. *)
+
+  val z : t -> int
+  val program : t -> Stack_ir.program
+  val steps : t -> int
+  (** Basic blocks executed so far (monotone; bounded by
+      [config.max_steps]). *)
+
+  val occupied : t -> lane:int -> bool
+  (** The lane carries a request (running or finished-but-unretired). *)
+
+  val live : t -> lane:int -> bool
+  (** Occupied and not yet halted. *)
+
+  val finished : t -> lane:int -> bool
+  (** Occupied and halted: outputs are ready to {!retire}. *)
+
+  val live_count : t -> int
+  val free_count : t -> int
+
+  val finished_lanes : t -> int list
+  (** Ascending lane indices ready to retire. *)
+
+  val load : t -> lane:int -> member:int -> inputs:Tensor.t list -> unit
+  (** Occupy a free (or finished) lane with a fresh request: inputs are
+      *element* tensors (no batch dimension), [member] is the global RNG
+      member identity the lane's draws will use. Raises
+      [Invalid_argument] if the lane is still live or the inputs
+      mismatch the program. *)
+
+  val step : t -> bool
+  (** Execute one scheduled basic block over the live lanes; [false] when
+      no lane is runnable (all idle or finished). Raises
+      {!Step_limit_exceeded} past [config.max_steps]. *)
+
+  val retire : t -> lane:int -> Tensor.t list
+  (** Extract a finished lane's outputs (element tensors, freshly copied)
+      and free the lane. Raises [Invalid_argument] unless
+      [finished t ~lane]. *)
+
+  val lane_outputs : t -> lane:int -> Tensor.t list
+  (** Peek one lane's current output rows without freeing the lane. *)
 end
 
 val run :

@@ -72,5 +72,10 @@ let depth t b = t.sp.(b)
 let reset t =
   Array.fill t.sp 0 t.z 0;
   Array.fill (Tensor.data t.top) 0 (t.z * t.row) 0.
+
+let reset_lane t b =
+  if b < 0 || b >= t.z then invalid_arg "Stacked.reset_lane: lane out of range";
+  t.sp.(b) <- 0;
+  Array.fill (Tensor.data t.top) (b * t.row) t.row 0.
 let max_depth t = Array.fold_left max 0 t.sp
 let capacity t = t.cap

@@ -37,5 +37,10 @@ val depth : t -> int -> int
 val reset : t -> unit
 (** Drop all saved frames and zero the tops (reuse between runs). *)
 
+val reset_lane : t -> int -> unit
+(** Drop one member's saved frames and zero its top row, leaving every
+    other member untouched — the state a fresh run would give that lane.
+    Used when a serving runtime recycles a lane for a new request. *)
+
 val max_depth : t -> int
 val capacity : t -> int

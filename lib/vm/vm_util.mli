@@ -1,0 +1,24 @@
+(** Shared helpers for the autobatching runtimes (mask bookkeeping and the
+    cost model's byte accounting). *)
+
+val bytes_per_elem : float
+(** Every element is a float64. *)
+
+val indices_of_mask : bool array -> int array
+(** Positions of the set lanes, in order. *)
+
+val count_mask : bool array -> int
+
+val masked_write_bytes : lanes:int -> row:int -> float
+(** Traffic of a masked write in a static-shape (XLA-style) system: a
+    select reads old and new and writes the result. *)
+
+val stack_move_bytes : lanes:int -> row:int -> float
+(** Traffic of a batched stack push/pop: one row per lane moves between
+    the stack body and the cached top, read plus write. *)
+
+val elem_shape_of_batched : Tensor.t -> Shape.t
+(** Drop the leading batch dimension. *)
+
+val all_members : int -> int array
+(** [[|0; 1; ...; z-1|]] — the identity lane-to-member map. *)

@@ -1,24 +1,43 @@
+(* AUTOBATCH_FAST=1 (the @runtest-fast alias) is the pre-commit tier:
+   it drops the slow suites — the example corpus and random-program
+   fuzzing — and every test case registered as `Slow. *)
+let fast =
+  match Sys.getenv_opt "AUTOBATCH_FAST" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let drop_slow_cases suites =
+  List.filter_map
+    (fun (name, cases) ->
+      match List.filter (fun (_, speed, _) -> speed = `Quick) cases with
+      | [] -> None
+      | quick -> Some (name, quick))
+    suites
+
 let () =
-  Alcotest.run "autobatch"
-    (List.concat
-       [
-         Test_shape.suites;
-         Test_tensor.suites;
-         Test_cholesky.suites;
-         Test_rng.suites;
-         Test_accel.suites;
-         Test_ir.suites;
-         Test_parser.suites;
-         Test_tools.suites;
-         Test_optimize.suites;
-         Test_corpus.suites;
-         Test_vm.suites;
-         Test_pipeline.suites;
-         Test_random_programs.suites;
-         Test_ad.suites;
-         Test_models.suites;
-         Test_mcmc.suites;
-         Test_nuts_equivalence.suites;
-         Test_shard.suites;
-         Test_harness.suites;
-       ])
+  let suites =
+    List.concat
+      [
+        Test_shape.suites;
+        Test_tensor.suites;
+        Test_cholesky.suites;
+        Test_rng.suites;
+        Test_accel.suites;
+        Test_ir.suites;
+        Test_parser.suites;
+        Test_tools.suites;
+        Test_optimize.suites;
+        (if fast then [] else Test_corpus.suites);
+        Test_vm.suites;
+        Test_pipeline.suites;
+        (if fast then [] else Test_random_programs.suites);
+        Test_ad.suites;
+        Test_models.suites;
+        Test_mcmc.suites;
+        Test_nuts_equivalence.suites;
+        Test_shard.suites;
+        Test_harness.suites;
+        Test_serve.suites;
+      ]
+  in
+  Alcotest.run "autobatch" (if fast then drop_slow_cases suites else suites)
