@@ -9,8 +9,9 @@
    3. The sharded runtime's wall-clock scaling: batched NUTS split across
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
-   Pass a subset of [micro|figure5|figure6|ablations|shard|serve] as argv
-   to run only those stages (default: all, with bench-sized parameters).
+   Pass a subset of [micro|figure5|figure6|ablations|shard|serve|resil]
+   as argv to run only those stages (default: all, with bench-sized
+   parameters).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
 
 open Bechamel
@@ -201,6 +202,15 @@ let run_serve ?seed () =
     (Serving.run ~dim:10 ~lanes:8 ~n_requests:24 ~loads:[ 0.9 ] ?seed ());
   print_newline ()
 
+let run_resil ?seed () =
+  (* Bench-sized resilience sweep: checkpoint overhead at intervals
+     {1, 8, 64, inf} and recovery under a 5% per-superstep fault rate,
+     with the bitwise-identity check live in the last column. *)
+  let seed = Option.map Int64.to_int seed in
+  Resilience.print
+    (Resilience.run ~z:16 ~intervals:[ 1; 8; 64; 0 ] ~rates:[ 0.; 0.05 ] ?seed ());
+  print_newline ()
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -263,7 +273,7 @@ let () =
   let seed, stages = parse None [] (List.tl (Array.to_list Sys.argv)) in
   let stages =
     match stages with
-    | [] -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve" ]
+    | [] -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil" ]
     | picked -> picked
   in
   List.iter
@@ -275,9 +285,11 @@ let () =
       | "ablations" -> run_ablations ?seed ()
       | "shard" -> run_shard ?seed ()
       | "serve" -> run_serve ?seed ()
+      | "resil" -> run_resil ?seed ()
       | other ->
         Printf.eprintf
-          "unknown stage %S (expected micro|figure5|figure6|ablations|shard|serve)\n"
+          "unknown stage %S (expected \
+           micro|figure5|figure6|ablations|shard|serve|resil)\n"
           other;
         exit 1)
     stages

@@ -480,6 +480,92 @@ let serve_cmd =
     Term.(const run $ dim $ lanes $ requests $ max_iter $ loads $ policies
           $ queue_depth $ closed_clients $ seed_arg () $ csv)
 
+let resilience_cmd =
+  let run z intervals rates vms shards lanes requests bandwidth seed csv =
+    let intervals =
+      match intervals with
+      | [] -> None
+      | l ->
+        Some
+          (List.map
+             (fun s ->
+               if s = "inf" || s = "0" then 0
+               else
+                 match int_of_string_opt s with
+                 | Some i when i > 0 -> i
+                 | _ ->
+                   Printf.eprintf "invalid interval %S (positive int or 'inf')\n" s;
+                   exit 1)
+             l)
+    in
+    List.iter
+      (fun vm ->
+        if not (List.mem vm [ "pc"; "jit"; "shard"; "server" ]) then begin
+          Printf.eprintf "unknown vm %S (pc|jit|shard|server)\n" vm;
+          exit 1
+        end)
+      vms;
+    if bandwidth <= 0. then begin
+      Printf.eprintf "checkpoint bandwidth must be positive (got %g)\n" bandwidth;
+      exit 1
+    end;
+    let stats =
+      Resilience.run ~z ?intervals
+        ?rates:(match rates with [] -> None | l -> Some l)
+        ?vms:(match vms with [] -> None | l -> Some l)
+        ~shards ~server_lanes:lanes ~n_requests:requests
+        ~ckpt_bandwidth:bandwidth
+        ?seed:(Option.map Int64.to_int seed)
+        ()
+    in
+    Resilience.print stats;
+    Option.iter (fun path -> write_file path (Resilience.to_csv stats)) csv
+  in
+  let z = Arg.(value & opt int 32 & info [ "z" ] ~doc:"Batch size (lanes).") in
+  let intervals =
+    Arg.(value & opt (list string) []
+         & info [ "intervals" ] ~docv:"K,K,..."
+             ~doc:"Checkpoint intervals in supersteps; 'inf' (or 0) keeps only \
+                   the initial checkpoint (default 1,8,64,inf).")
+  in
+  let rates =
+    Arg.(value & opt (list float) []
+         & info [ "rates" ] ~docv:"R,R,..."
+             ~doc:"Per-superstep fault probabilities (default 0,0.02,0.1).")
+  in
+  let vms =
+    Arg.(value & opt (list string) []
+         & info [ "vms" ] ~docv:"VM,VM,..."
+             ~doc:"Runtimes to sweep: pc, jit, shard, server (default all).")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard count for the sharded VM.")
+  in
+  let lanes =
+    Arg.(value & opt int 4 & info [ "server-lanes" ] ~doc:"Server device width.")
+  in
+  let requests =
+    Arg.(value & opt int 12 & info [ "requests" ] ~doc:"Requests in the serving trace.")
+  in
+  let bandwidth =
+    Arg.(value & opt float 262144.
+         & info [ "ckpt-bandwidth" ]
+             ~doc:"Modelled checkpoint drain rate in bytes per superstep (sets \
+                   the analytic overhead and Young's interval).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Checkpoint/restore under fault injection: sweep checkpoint \
+             interval against fault rate for every runtime, report overhead \
+             and recovered work, and verify each recovered run is bitwise \
+             identical to the fault-free one.")
+    Term.(const run $ z $ intervals $ rates $ vms $ shards $ lanes $ requests
+          $ bandwidth $ seed_arg () $ csv)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -490,5 +576,6 @@ let () =
                    Control-Intensive Programs for Modern Accelerators'.")
           [
             figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
-            inspect_cmd; dot_cmd; run_file_cmd; profile_cmd; sample_cmd;
+            resilience_cmd; inspect_cmd; dot_cmd; run_file_cmd; profile_cmd;
+            sample_cmd;
           ]))

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Local CI: everything a commit must pass, in the order it fails fastest.
+#
+#   ./ci.sh         # build + fast test tier + (if configured) format check
+#   ./ci.sh --full  # same, but the complete test suite instead of the fast tier
+#
+# Mirrors HACKING.md: run before committing; run --full before merging.
+set -eu
+
+step() {
+  printf '\n== %s ==\n' "$1"
+}
+
+tier="@runtest-fast"
+for arg in "$@"; do
+  case "$arg" in
+    --full) tier="@runtest" ;;
+    *)
+      echo "usage: ./ci.sh [--full]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+step "dune build"
+dune build
+
+step "tests ($tier)"
+dune build "$tier"
+
+# Format check only where a profile exists: the repo ships without an
+# .ocamlformat, and an unpinned default would reformat the world.
+if [ -f .ocamlformat ]; then
+  step "format check"
+  dune build @fmt
+else
+  step "format check skipped (no .ocamlformat)"
+fi
+
+printf '\nci.sh: all checks passed\n'

@@ -59,12 +59,19 @@ type state = {
   mutable time : float;
 }
 
-type t = { device : Device.t; mode : mode; st : state; tally : (string, int) Hashtbl.t }
+type t = {
+  device : Device.t;
+  mode : mode;
+  st : state;
+  tally : (string, int) Hashtbl.t;
+  mutable launch_hook : (unit -> unit) option;
+}
 
 let create ~device ~mode () =
   {
     device;
     mode;
+    launch_hook = None;
     st =
       {
         kernel_launches = 0;
@@ -84,6 +91,15 @@ let create ~device ~mode () =
 let device t = t.device
 let mode t = t.mode
 
+(* The fault-injection seam: a resilience layer may observe every launch
+   (kernel or fused block) and raise to poison it. Off by default, and the
+   off path is a single match on [None]. *)
+let set_launch_hook t f = t.launch_hook <- Some f
+let clear_launch_hook t = t.launch_hook <- None
+
+let fire_launch_hook t =
+  match t.launch_hook with None -> () | Some f -> f ()
+
 let bump_tally t name =
   Hashtbl.replace t.tally name (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally name))
 
@@ -102,6 +118,7 @@ let charge_traffic t ~bytes =
   t.st.time <- t.st.time +. traffic_time t bytes
 
 let charge_kernel t ~name ~flops =
+  fire_launch_hook t;
   bump_tally t name;
   t.st.kernel_launches <- t.st.kernel_launches + 1;
   t.st.host_ops <- t.st.host_ops + 1;
@@ -133,6 +150,7 @@ let charge_host_call t =
   t.st.time <- t.st.time +. (host_call_factor *. t.device.Device.host_op_overhead)
 
 let charge_block t ~ops ~control_ops ~traffic_bytes =
+  fire_launch_hook t;
   let d = t.device in
   t.st.blocks <- t.st.blocks + 1;
   let block_flops = List.fold_left (fun acc (_, f) -> acc +. f) 0. ops in
@@ -219,6 +237,31 @@ let merge t (c : counters) =
 let op_tally t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+type snapshot = { at : counters; ops : (string * int) list }
+
+let snapshot t =
+  {
+    at = counters t;
+    (* Name order, so snapshots of equal states are structurally equal. *)
+    ops =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let restore t (s : snapshot) =
+  t.st.kernel_launches <- s.at.kernel_launches;
+  t.st.fused_launches <- s.at.fused_launches;
+  t.st.host_ops <- s.at.host_ops;
+  t.st.host_calls <- s.at.host_calls;
+  t.st.blocks <- s.at.blocks;
+  t.st.lane_refills <- s.at.lane_refills;
+  t.st.lane_retires <- s.at.lane_retires;
+  t.st.flops <- s.at.flops;
+  t.st.traffic_bytes <- s.at.traffic_bytes;
+  t.st.time <- s.at.elapsed_seconds;
+  Hashtbl.reset t.tally;
+  List.iter (fun (name, n) -> Hashtbl.replace t.tally name n) s.ops
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf

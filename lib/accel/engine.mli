@@ -82,4 +82,28 @@ val merge : t -> counters -> unit
 val op_tally : t -> (string * int) list
 (** Per-primitive-name dispatch counts, sorted descending. *)
 
+type snapshot = {
+  at : counters;               (** cumulative counters at capture time *)
+  ops : (string * int) list;   (** per-op tally, sorted by name *)
+}
+
+val snapshot : t -> snapshot
+(** The engine's complete mutable state — counters {e and} the per-op
+    tally. Unlike {!counters} (a read-out for merging), a snapshot is made
+    to be {!restore}d, so a run recovered from a checkpoint reports the
+    true cumulative cost from time zero, not just the post-restore cost. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the engine's state with a snapshot (counts, simulated time,
+    tally). Device and mode are not part of the snapshot: restore into an
+    engine built with the same [create] arguments. *)
+
+val set_launch_hook : t -> (unit -> unit) -> unit
+(** Install a callback observing every launch ({!charge_kernel} and
+    {!charge_block}), the fault-injection seam: the resilience layer
+    poisons a launch by raising from here. Zero cost when unset (one
+    [None] match per launch). *)
+
+val clear_launch_hook : t -> unit
+
 val pp_counters : Format.formatter -> counters -> unit

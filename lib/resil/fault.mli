@@ -1,0 +1,75 @@
+(** Seeded fault injection for resilience experiments.
+
+    A {e plan} is a reproducible list of fault events drawn from a seeded
+    stream: at most one per superstep, Bernoulli with the given rate. An
+    {e injector} walks the plan against its own monotone wall clock —
+    deliberately outside any checkpoint, so restoring a VM rewinds the
+    VM's step counter but not wall time and each event fires exactly once
+    (the recovered run re-executes the lost supersteps without
+    re-suffering the same fault).
+
+    Wiring: {!tick} goes in a per-superstep hook
+    ({!Pc_vm.config.step_hook} or a driver loop), {!launch_check} in
+    {!Engine.set_launch_hook} so a poisoned kernel aborts before it is
+    charged, and {!drops_now} in a sharded driver's collective phase. *)
+
+type kind =
+  | Device_kill  (** the device dies mid-superstep; raised from {!tick} *)
+  | Kernel_poison
+      (** one kernel launch fails; raised from {!launch_check} via the
+          engine's launch hook *)
+  | Link_drop
+      (** a mesh link drops a message; surfaced by {!drops_now} for the
+          driver to retry the collective *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type event = { superstep : int; device : int; kind : kind }
+
+exception Injected of event
+(** Raised by {!tick} and {!launch_check} when their event is due. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val schedule :
+  seed:int ->
+  rate:float ->
+  horizon:int ->
+  ?devices:int ->
+  ?kinds:kind list ->
+  unit ->
+  event list
+(** Draw a plan: for each superstep in [1..horizon], an event with
+    probability [rate], victim device uniform in [0..devices-1], kind
+    uniform in [kinds] (default [[Device_kill]]). Ascending superstep.
+    Raises [Invalid_argument] on a rate outside [0,1], a negative
+    horizon, no devices, or no kinds. *)
+
+type injector
+
+val injector : event list -> injector
+(** Start an injector at wall-clock 0 over the plan (sorted internally). *)
+
+val clock : injector -> int
+(** Wall supersteps ticked so far (monotone; never rewound by restore). *)
+
+val tick : injector -> unit
+(** Advance the wall clock one superstep. Expires events whose superstep
+    has passed unfired, then raises {!Injected} if a [Device_kill] is due
+    this superstep. *)
+
+val launch_check : injector -> unit
+(** Raise {!Injected} if a [Kernel_poison] is due at the current wall
+    superstep ({!Engine.set_launch_hook} seam — fires before the launch
+    is charged). *)
+
+val drops_now : injector -> event list
+(** Pop every [Link_drop] due at the current wall superstep (the driver
+    retries the collective and accounts the wasted superstep). *)
+
+val fired : injector -> event list
+(** Events fired so far, oldest first. *)
+
+val injected : injector -> int
+(** [List.length (fired t)]. *)

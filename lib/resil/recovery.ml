@@ -1,0 +1,321 @@
+type stats = {
+  supersteps : int;
+  useful_supersteps : int;
+  wasted_supersteps : int;
+  checkpoints : int;
+  checkpoint_bytes : int;
+  restores : int;
+  faults_injected : int;
+  link_retries : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<hov 2>supersteps %d (%d useful, %d wasted),@ %d checkpoints (%d bytes),@ %d \
+     restores,@ %d faults,@ %d link retries@]"
+    s.supersteps s.useful_supersteps s.wasted_supersteps s.checkpoints
+    s.checkpoint_bytes s.restores s.faults_injected s.link_retries
+
+(* Young's first-order optimal checkpoint interval: with checkpoint cost
+   delta and mean time between failures M (both in the same unit —
+   supersteps here), T_opt = sqrt(2 delta M). *)
+let young_interval ~checkpoint_cost ~mtbf =
+  if checkpoint_cost <= 0. || mtbf <= 0. then
+    invalid_arg "Recovery.young_interval: cost and MTBF must be positive";
+  sqrt (2. *. checkpoint_cost *. mtbf)
+
+(* Mutable tallies threaded through one recovered run. *)
+type tally = {
+  mutable t_checkpoints : int;
+  mutable t_bytes : int;
+  mutable t_restores : int;
+  mutable t_wasted : int;
+  mutable t_link_retries : int;
+}
+
+let tally () =
+  { t_checkpoints = 0; t_bytes = 0; t_restores = 0; t_wasted = 0; t_link_retries = 0 }
+
+let finish tl inj ~useful =
+  {
+    supersteps = useful + tl.t_wasted;
+    useful_supersteps = useful;
+    wasted_supersteps = tl.t_wasted;
+    checkpoints = tl.t_checkpoints;
+    checkpoint_bytes = tl.t_bytes;
+    restores = tl.t_restores;
+    faults_injected = Fault.injected inj;
+    link_retries = tl.t_link_retries;
+  }
+
+let check_interval interval =
+  if interval < 0 then invalid_arg "Recovery: checkpoint interval must be >= 0"
+
+let batch_z = function
+  | [] -> invalid_arg "Recovery: at least one input required"
+  | first :: _ ->
+    if Tensor.rank first = 0 then
+      invalid_arg "Recovery: inputs must carry a leading batch dimension";
+    (Tensor.shape first).(0)
+
+(* Install the kernel-poison seam on an engine for the duration of [f].
+   The hook is cleared afterwards so the caller's engine is left clean. *)
+let with_launch_hook engine inj f =
+  match engine with
+  | None -> f ()
+  | Some e ->
+    Engine.set_launch_hook e (fun () -> Fault.launch_check inj);
+    Fun.protect ~finally:(fun () -> Engine.clear_launch_hook e) f
+
+(* ---- Program-counter VM ----------------------------------------------- *)
+
+let run_pc ?(config = Pc_vm.default_config) ?(interval = 0) ?(plan = []) reg program
+    ~batch =
+  check_interval interval;
+  let inj = Fault.injector plan in
+  let user_hook = config.Pc_vm.step_hook in
+  let hook ~steps =
+    (match user_hook with Some f -> f ~steps | None -> ());
+    Fault.tick inj
+  in
+  let config = { config with Pc_vm.step_hook = Some hook } in
+  let z = batch_z batch in
+  let lanes = Pc_vm.Lanes.create ~config reg program ~z in
+  for lane = 0 to z - 1 do
+    Pc_vm.Lanes.load lanes ~lane ~member:(config.Pc_vm.member_base + lane)
+      ~inputs:(List.map (fun t -> Tensor.slice_row t lane) batch)
+  done;
+  let tl = tally () in
+  let capture () =
+    let blob =
+      Snapshot.encode_pc
+        {
+          Snapshot.ck_vm = Pc_vm.Lanes.capture lanes;
+          ck_engine = Option.map Engine.snapshot config.Pc_vm.engine;
+          ck_instrument = Option.map Instrument.capture config.Pc_vm.instrument;
+        }
+    in
+    tl.t_checkpoints <- tl.t_checkpoints + 1;
+    tl.t_bytes <- tl.t_bytes + String.length blob;
+    blob
+  in
+  (* Every restore decodes the stored blob — a genuine serialization round
+     trip per recovery, not a shortcut through the in-memory image. *)
+  let restore blob =
+    let ck = Snapshot.decode_pc blob in
+    Pc_vm.Lanes.restore lanes ck.Snapshot.ck_vm;
+    (match (config.Pc_vm.engine, ck.Snapshot.ck_engine) with
+    | Some e, Some s -> Engine.restore e s
+    | _ -> ());
+    match (config.Pc_vm.instrument, ck.Snapshot.ck_instrument) with
+    | Some i, Some s -> Instrument.restore i s
+    | _ -> ()
+  in
+  let latest = ref (capture ()) in
+  with_launch_hook config.Pc_vm.engine inj (fun () ->
+      let rec loop () =
+        match Pc_vm.Lanes.step lanes with
+        | true ->
+          if interval > 0 && Pc_vm.Lanes.steps lanes mod interval = 0 then
+            latest := capture ();
+          loop ()
+        | false -> ()
+        | exception Fault.Injected _ ->
+          (* The faulted superstep never completed: completed work is
+             [steps - 1] supersteps, of which everything past the last
+             checkpoint must be re-executed. *)
+          let completed = max 0 (Pc_vm.Lanes.steps lanes - 1) in
+          restore !latest;
+          tl.t_restores <- tl.t_restores + 1;
+          tl.t_wasted <- tl.t_wasted + max 0 (completed - Pc_vm.Lanes.steps lanes);
+          loop ()
+      in
+      loop ());
+  (Pc_vm.Lanes.outputs lanes, finish tl inj ~useful:(Pc_vm.Lanes.steps lanes))
+
+(* ---- Precompiled (JIT) VM --------------------------------------------- *)
+
+let run_jit ?sched ?engine ?instrument ?max_steps ?(interval = 0) ?(plan = []) exe
+    ~batch =
+  check_interval interval;
+  let inj = Fault.injector plan in
+  Pc_jit.load exe ~batch;
+  let tl = tally () in
+  let capture () =
+    let blob =
+      Snapshot.encode_jit
+        {
+          Snapshot.ck_vm = Pc_jit.capture exe;
+          ck_engine = Option.map Engine.snapshot engine;
+          ck_instrument = Option.map Instrument.capture instrument;
+        }
+    in
+    tl.t_checkpoints <- tl.t_checkpoints + 1;
+    tl.t_bytes <- tl.t_bytes + String.length blob;
+    blob
+  in
+  let restore blob =
+    let ck = Snapshot.decode_jit blob in
+    Pc_jit.restore exe ck.Snapshot.ck_vm;
+    (match (engine, ck.Snapshot.ck_engine) with
+    | Some e, Some s -> Engine.restore e s
+    | _ -> ());
+    match (instrument, ck.Snapshot.ck_instrument) with
+    | Some i, Some s -> Instrument.restore i s
+    | _ -> ()
+  in
+  let latest = ref (capture ()) in
+  with_launch_hook engine inj (fun () ->
+      let rec loop () =
+        (* The executor has no step hook; the driver ticks the injector
+           around each superstep instead — same at-most-once semantics. *)
+        match
+          Fault.tick inj;
+          Pc_jit.step ?sched ?engine ?instrument ?max_steps exe
+        with
+        | true ->
+          if interval > 0 && Pc_jit.steps exe mod interval = 0 then latest := capture ();
+          loop ()
+        | false -> ()
+        | exception Fault.Injected _ ->
+          let completed = Pc_jit.steps exe in
+          restore !latest;
+          tl.t_restores <- tl.t_restores + 1;
+          tl.t_wasted <- tl.t_wasted + max 0 (completed - Pc_jit.steps exe);
+          loop ()
+      in
+      loop ());
+  (Pc_jit.outputs exe, finish tl inj ~useful:(Pc_jit.steps exe))
+
+(* ---- Sharded execution ------------------------------------------------ *)
+
+type sharded_result = {
+  sh_outputs : Tensor.t list;
+  sh_rounds : int;
+  sh_stats : stats;
+}
+
+let run_sharded ?(sched = Sched.Earliest) ?(shards = 2) ?(interval = 0) ?(plan = [])
+    reg program ~batch =
+  check_interval interval;
+  if shards <= 0 then invalid_arg "Recovery.run_sharded: need at least one shard";
+  let z = batch_z batch in
+  let parts = Shard_vm.partition ~z ~shards in
+  let n = Array.length parts in
+  let inj = Fault.injector plan in
+  (* One lane pool per shard, lane identities offset so RNG streams match
+     the unsharded run; the driver steps them in lockstep rounds, standing
+     in for the SPMD superstep loop of {!Shard_vm.run}. *)
+  let lanes =
+    Array.map
+      (fun (part : Shard_vm.partition) ->
+        let config =
+          { Pc_vm.default_config with sched; member_base = part.Shard_vm.offset }
+        in
+        let pool = Pc_vm.Lanes.create ~config reg program ~z:part.Shard_vm.length in
+        for lane = 0 to part.Shard_vm.length - 1 do
+          Pc_vm.Lanes.load pool ~lane ~member:(part.Shard_vm.offset + lane)
+            ~inputs:
+              (List.map
+                 (fun t -> Tensor.slice_row t (part.Shard_vm.offset + lane))
+                 batch)
+        done;
+        pool)
+      parts
+  in
+  let tl = tally () in
+  let capture () =
+    let blob = Snapshot.encode_shards (Array.map Pc_vm.Lanes.capture lanes) in
+    tl.t_checkpoints <- tl.t_checkpoints + 1;
+    tl.t_bytes <- tl.t_bytes + String.length blob;
+    blob
+  in
+  let latest = ref (capture ()) in
+  (* A device fault rewinds only the victim shard — its neighbours keep
+     their progress, the definition of localized recovery. *)
+  let restore_shard d =
+    let images = Snapshot.decode_shards !latest in
+    let completed = Pc_vm.Lanes.steps lanes.(d) in
+    Pc_vm.Lanes.restore lanes.(d) images.(d);
+    tl.t_restores <- tl.t_restores + 1;
+    tl.t_wasted <- tl.t_wasted + max 0 (completed - Pc_vm.Lanes.steps lanes.(d))
+  in
+  let rounds = ref 0 in
+  let running = ref true in
+  while !running do
+    (match Fault.tick inj with
+    | () ->
+      List.iter
+        (fun (_ : Fault.event) ->
+          (* A dropped link forces the round's collective to retry: one
+             wasted superstep across the mesh, no state lost. *)
+          tl.t_link_retries <- tl.t_link_retries + 1;
+          tl.t_wasted <- tl.t_wasted + 1)
+        (Fault.drops_now inj);
+      let progressed = ref false in
+      Array.iter (fun pool -> if Pc_vm.Lanes.step pool then progressed := true) lanes;
+      if !progressed then begin
+        incr rounds;
+        if interval > 0 && !rounds mod interval = 0 then latest := capture ()
+      end
+      else running := false
+    | exception Fault.Injected e -> restore_shard (e.Fault.device mod n))
+  done;
+  let outputs =
+    match Array.to_list (Array.map Pc_vm.Lanes.outputs lanes) with
+    | [] -> []
+    | first :: _ as per_shard ->
+      List.mapi
+        (fun i _ -> Tensor.concat_rows (List.map (fun outs -> List.nth outs i) per_shard))
+        first
+  in
+  let useful =
+    Array.fold_left (fun acc pool -> acc + Pc_vm.Lanes.steps pool) 0 lanes
+  in
+  { sh_outputs = outputs; sh_rounds = !rounds; sh_stats = finish tl inj ~useful }
+
+(* ---- Continuous-batching server --------------------------------------- *)
+
+let run_server ?(config = Server.default_config) ?on_complete ?(interval = 0)
+    ?(plan = []) ~program arrivals =
+  check_interval interval;
+  let inj = Fault.injector plan in
+  let user_hook = config.Server.vm.Pc_vm.step_hook in
+  let hook ~steps =
+    (match user_hook with Some f -> f ~steps | None -> ());
+    Fault.tick inj
+  in
+  let config =
+    { config with Server.vm = { config.Server.vm with Pc_vm.step_hook = Some hook } }
+  in
+  let server = Server.create ~config ?on_complete ~program arrivals in
+  let tl = tally () in
+  let capture () =
+    let blob = Snapshot.encode_server (Server.capture server) in
+    tl.t_checkpoints <- tl.t_checkpoints + 1;
+    tl.t_bytes <- tl.t_bytes + String.length blob;
+    blob
+  in
+  let latest = ref (capture ()) in
+  let rounds = ref 0 in
+  let ckpt_round = ref 0 in
+  with_launch_hook config.Server.vm.Pc_vm.engine inj (fun () ->
+      let rec loop () =
+        match Server.step server with
+        | true ->
+          incr rounds;
+          if interval > 0 && !rounds mod interval = 0 then begin
+            latest := capture ();
+            ckpt_round := !rounds
+          end;
+          loop ()
+        | false -> ()
+        | exception Fault.Injected _ ->
+          Server.restore server (Snapshot.decode_server !latest);
+          tl.t_restores <- tl.t_restores + 1;
+          tl.t_wasted <- tl.t_wasted + max 0 (!rounds - !ckpt_round);
+          rounds := !ckpt_round;
+          loop ()
+      in
+      loop ());
+  (Server.stats server, finish tl inj ~useful:!rounds)

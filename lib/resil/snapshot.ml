@@ -1,0 +1,457 @@
+let magic = "ABRESIL1"
+let version = 1
+
+(* ---- Envelope -------------------------------------------------------- *)
+
+let encode ~kind write =
+  let payload =
+    let b = Buffer.create 4096 in
+    write b;
+    Buffer.contents b
+  in
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Codec.w_int b version;
+  Codec.w_string b kind;
+  Codec.w_string b payload;
+  let sum = Codec.fnv1a64 (Buffer.contents b) in
+  Codec.w_i64 b sum;
+  Buffer.contents b
+
+let decode ~kind blob read =
+  let n = String.length blob in
+  if n < String.length magic + 8 then
+    Codec.corrupt "snapshot too short (%d bytes) to be an autobatch snapshot" n;
+  if String.sub blob 0 (String.length magic) <> magic then
+    Codec.corrupt "bad magic %S: not an autobatch snapshot"
+      (String.sub blob 0 (String.length magic));
+  (* Verify integrity before trusting any length field. *)
+  let body = String.sub blob 0 (n - 8) in
+  let declared = String.get_int64_le blob (n - 8) in
+  let actual = Codec.fnv1a64 body in
+  if declared <> actual then
+    Codec.corrupt "checksum mismatch (stored %Lx, computed %Lx): snapshot is corrupted"
+      declared actual;
+  let r = Codec.reader body in
+  Codec.skip r (String.length magic);
+  let v = Codec.r_int r in
+  if v <> version then
+    Codec.corrupt "unsupported snapshot version %d (this build reads version %d)" v
+      version;
+  let k = Codec.r_string r in
+  if k <> kind then Codec.corrupt "snapshot kind %S, expected %S" k kind;
+  let payload = Codec.r_string r in
+  if Codec.remaining r <> 0 then
+    Codec.corrupt "%d trailing bytes after the payload" (Codec.remaining r);
+  let pr = Codec.reader payload in
+  let x = read pr in
+  if Codec.remaining pr <> 0 then
+    Codec.corrupt "%d undecoded payload bytes" (Codec.remaining pr);
+  x
+
+let save_file path blob =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc blob)
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- Sections -------------------------------------------------------- *)
+
+let w_shape b (s : Shape.t) = Codec.w_int_array b s
+let r_shape r : Shape.t = Codec.r_int_array r
+
+let w_stacked b (img : Stacked.image) =
+  Codec.w_int b img.Stacked.i_z;
+  w_shape b img.Stacked.i_elem;
+  Codec.w_int_array b img.Stacked.i_sp;
+  Codec.w_float_array b img.Stacked.i_frames;
+  Codec.w_float_array b img.Stacked.i_top
+
+let r_stacked r : Stacked.image =
+  let i_z = Codec.r_int r in
+  let i_elem = r_shape r in
+  let i_sp = Codec.r_int_array r in
+  let i_frames = Codec.r_float_array r in
+  let i_top = Codec.r_float_array r in
+  { Stacked.i_z; i_elem; i_sp; i_frames; i_top }
+
+let w_pc b (img : Vm_image.pc) =
+  Codec.w_int b img.Vm_image.pc_cap;
+  Codec.w_int_array b img.Vm_image.pc_data;
+  Codec.w_int_array b img.Vm_image.pc_sp;
+  Codec.w_int_array b img.Vm_image.pc_top
+
+let r_pc r : Vm_image.pc =
+  let pc_cap = Codec.r_int r in
+  let pc_data = Codec.r_int_array r in
+  let pc_sp = Codec.r_int_array r in
+  let pc_top = Codec.r_int_array r in
+  { Vm_image.pc_cap; pc_data; pc_sp; pc_top }
+
+let w_storage b = function
+  | Vm_image.Reg (shape, data) ->
+    Codec.w_int b 0;
+    w_shape b shape;
+    Codec.w_float_array b data
+  | Vm_image.Msk (shape, data) ->
+    Codec.w_int b 1;
+    w_shape b shape;
+    Codec.w_float_array b data
+  | Vm_image.Stk img ->
+    Codec.w_int b 2;
+    w_stacked b img
+
+let r_storage r =
+  match Codec.r_int r with
+  | 0 ->
+    let shape = r_shape r in
+    Vm_image.Reg (shape, Codec.r_float_array r)
+  | 1 ->
+    let shape = r_shape r in
+    Vm_image.Msk (shape, Codec.r_float_array r)
+  | 2 -> Vm_image.Stk (r_stacked r)
+  | n -> Codec.corrupt "unknown storage class tag %d" n
+
+let w_store b (store : Vm_image.store) =
+  Codec.w_list
+    (fun b (v, s) ->
+      Codec.w_string b v;
+      w_storage b s)
+    b store
+
+let r_store r : Vm_image.store =
+  Codec.r_list
+    (fun r ->
+      let v = Codec.r_string r in
+      (v, r_storage r))
+    r
+
+let w_lanes b (img : Pc_vm.Lanes.image) =
+  Codec.w_int b img.Pc_vm.Lanes.li_z;
+  Codec.w_int b img.Pc_vm.Lanes.li_steps;
+  Codec.w_int b img.Pc_vm.Lanes.li_last;
+  Codec.w_int_array b img.Pc_vm.Lanes.li_members;
+  Codec.w_bool_array b img.Pc_vm.Lanes.li_occupied;
+  w_pc b img.Pc_vm.Lanes.li_pc;
+  w_store b img.Pc_vm.Lanes.li_store
+
+let r_lanes r : Pc_vm.Lanes.image =
+  let li_z = Codec.r_int r in
+  let li_steps = Codec.r_int r in
+  let li_last = Codec.r_int r in
+  let li_members = Codec.r_int_array r in
+  let li_occupied = Codec.r_bool_array r in
+  let li_pc = r_pc r in
+  let li_store = r_store r in
+  { Pc_vm.Lanes.li_z; li_steps; li_last; li_members; li_occupied; li_pc; li_store }
+
+let w_jit b (img : Pc_jit.image) =
+  Codec.w_int b img.Pc_jit.ji_z;
+  Codec.w_int b img.Pc_jit.ji_steps;
+  Codec.w_int b img.Pc_jit.ji_last;
+  w_pc b img.Pc_jit.ji_pc;
+  w_store b img.Pc_jit.ji_store
+
+let r_jit r : Pc_jit.image =
+  let ji_z = Codec.r_int r in
+  let ji_steps = Codec.r_int r in
+  let ji_last = Codec.r_int r in
+  let ji_pc = r_pc r in
+  let ji_store = r_store r in
+  { Pc_jit.ji_z; ji_steps; ji_last; ji_pc; ji_store }
+
+let w_counters b (c : Engine.counters) =
+  Codec.w_int b c.Engine.kernel_launches;
+  Codec.w_int b c.Engine.fused_launches;
+  Codec.w_int b c.Engine.host_ops;
+  Codec.w_int b c.Engine.host_calls;
+  Codec.w_int b c.Engine.blocks;
+  Codec.w_int b c.Engine.lane_refills;
+  Codec.w_int b c.Engine.lane_retires;
+  Codec.w_float b c.Engine.flops;
+  Codec.w_float b c.Engine.traffic_bytes;
+  Codec.w_float b c.Engine.elapsed_seconds
+
+let r_counters r : Engine.counters =
+  let kernel_launches = Codec.r_int r in
+  let fused_launches = Codec.r_int r in
+  let host_ops = Codec.r_int r in
+  let host_calls = Codec.r_int r in
+  let blocks = Codec.r_int r in
+  let lane_refills = Codec.r_int r in
+  let lane_retires = Codec.r_int r in
+  let flops = Codec.r_float r in
+  let traffic_bytes = Codec.r_float r in
+  let elapsed_seconds = Codec.r_float r in
+  {
+    Engine.kernel_launches;
+    fused_launches;
+    host_ops;
+    host_calls;
+    blocks;
+    lane_refills;
+    lane_retires;
+    flops;
+    traffic_bytes;
+    elapsed_seconds;
+  }
+
+let w_engine b (s : Engine.snapshot) =
+  w_counters b s.Engine.at;
+  Codec.w_list
+    (fun b (name, n) ->
+      Codec.w_string b name;
+      Codec.w_int b n)
+    b s.Engine.ops
+
+let r_engine r : Engine.snapshot =
+  let at = r_counters r in
+  let ops =
+    Codec.r_list
+      (fun r ->
+        let name = Codec.r_string r in
+        (name, Codec.r_int r))
+      r
+  in
+  { Engine.at; ops }
+
+let w_instrument b (img : Instrument.image) =
+  Codec.w_list
+    (fun b (name, useful, issued) ->
+      Codec.w_string b name;
+      Codec.w_int b useful;
+      Codec.w_int b issued)
+    b img.Instrument.i_prims;
+  Codec.w_list
+    (fun b (blk, execs, active) ->
+      Codec.w_int b blk;
+      Codec.w_int b execs;
+      Codec.w_int b active)
+    b img.Instrument.i_per_block;
+  Codec.w_int b img.Instrument.i_blocks;
+  Codec.w_int b img.Instrument.i_active_total;
+  Codec.w_int b img.Instrument.i_batch_total;
+  Codec.w_int b img.Instrument.i_pushes;
+  Codec.w_int b img.Instrument.i_pops;
+  Codec.w_int b img.Instrument.i_push_lanes;
+  Codec.w_int b img.Instrument.i_pop_lanes;
+  Codec.w_int b img.Instrument.i_max_depth;
+  Codec.w_float b img.Instrument.i_live_total;
+  Codec.w_float b img.Instrument.i_live_lanes_total;
+  Codec.w_int b img.Instrument.i_live_samples;
+  Codec.w_int b img.Instrument.i_gauge_width;
+  Codec.w_int b img.Instrument.i_gauge_used;
+  Codec.w_int b img.Instrument.i_gauge_fill;
+  Codec.w_float_array b img.Instrument.i_gauge_live;
+  Codec.w_float_array b img.Instrument.i_gauge_lanes
+
+let r_instrument r : Instrument.image =
+  let i_prims =
+    Codec.r_list
+      (fun r ->
+        let name = Codec.r_string r in
+        let useful = Codec.r_int r in
+        let issued = Codec.r_int r in
+        (name, useful, issued))
+      r
+  in
+  let i_per_block =
+    Codec.r_list
+      (fun r ->
+        let blk = Codec.r_int r in
+        let execs = Codec.r_int r in
+        let active = Codec.r_int r in
+        (blk, execs, active))
+      r
+  in
+  let i_blocks = Codec.r_int r in
+  let i_active_total = Codec.r_int r in
+  let i_batch_total = Codec.r_int r in
+  let i_pushes = Codec.r_int r in
+  let i_pops = Codec.r_int r in
+  let i_push_lanes = Codec.r_int r in
+  let i_pop_lanes = Codec.r_int r in
+  let i_max_depth = Codec.r_int r in
+  let i_live_total = Codec.r_float r in
+  let i_live_lanes_total = Codec.r_float r in
+  let i_live_samples = Codec.r_int r in
+  let i_gauge_width = Codec.r_int r in
+  let i_gauge_used = Codec.r_int r in
+  let i_gauge_fill = Codec.r_int r in
+  let i_gauge_live = Codec.r_float_array r in
+  let i_gauge_lanes = Codec.r_float_array r in
+  {
+    Instrument.i_prims;
+    i_per_block;
+    i_blocks;
+    i_active_total;
+    i_batch_total;
+    i_pushes;
+    i_pops;
+    i_push_lanes;
+    i_pop_lanes;
+    i_max_depth;
+    i_live_total;
+    i_live_lanes_total;
+    i_live_samples;
+    i_gauge_width;
+    i_gauge_used;
+    i_gauge_fill;
+    i_gauge_live;
+    i_gauge_lanes;
+  }
+
+let w_tensor_image b (shape, data) =
+  w_shape b shape;
+  Codec.w_float_array b data
+
+let r_tensor_image r =
+  let shape = r_shape r in
+  (shape, Codec.r_float_array r)
+
+let w_request b (img : Request.image) =
+  Codec.w_int b img.Request.ri_id;
+  Codec.w_list w_tensor_image b img.Request.ri_inputs;
+  Codec.w_int b img.Request.ri_member;
+  Codec.w_float b img.Request.ri_arrival;
+  Codec.w_float b img.Request.ri_cost_hint
+
+let r_request r : Request.image =
+  let ri_id = Codec.r_int r in
+  let ri_inputs = Codec.r_list r_tensor_image r in
+  let ri_member = Codec.r_int r in
+  let ri_arrival = Codec.r_float r in
+  let ri_cost_hint = Codec.r_float r in
+  { Request.ri_id; ri_inputs; ri_member; ri_arrival; ri_cost_hint }
+
+let w_lane_manager b (img : Lane_manager.image) =
+  w_lanes b img.Lane_manager.mi_vm;
+  Codec.w_list
+    (fun b (req, lanes, started) ->
+      w_request b req;
+      Codec.w_int_array b lanes;
+      Codec.w_float b started)
+    b img.Lane_manager.mi_flight
+
+let r_lane_manager r : Lane_manager.image =
+  let mi_vm = r_lanes r in
+  let mi_flight =
+    Codec.r_list
+      (fun r ->
+        let req = r_request r in
+        let lanes = Codec.r_int_array r in
+        let started = Codec.r_float r in
+        (req, lanes, started))
+      r
+  in
+  { Lane_manager.mi_vm; mi_flight }
+
+let w_completion b (c : Server.completion_image) =
+  w_request b c.Server.ci_request;
+  Codec.w_list w_tensor_image b c.Server.ci_outputs;
+  Codec.w_float b c.Server.ci_queued;
+  Codec.w_float b c.Server.ci_started;
+  Codec.w_float b c.Server.ci_finished
+
+let r_completion r : Server.completion_image =
+  let ci_request = r_request r in
+  let ci_outputs = Codec.r_list r_tensor_image r in
+  let ci_queued = Codec.r_float r in
+  let ci_started = Codec.r_float r in
+  let ci_finished = Codec.r_float r in
+  { Server.ci_request; ci_outputs; ci_queued; ci_started; ci_finished }
+
+let w_server b (img : Server.image) =
+  Codec.w_float b img.Server.si_now;
+  Codec.w_float b img.Server.si_last_elapsed;
+  Codec.w_int b img.Server.si_idle_steps;
+  Codec.w_list w_request b img.Server.si_pending;
+  Codec.w_list w_request b img.Server.si_queue;
+  Codec.w_int b img.Server.si_queue_shed_total;
+  Codec.w_list w_request b img.Server.si_shed;
+  Codec.w_list w_request b img.Server.si_rejected;
+  Codec.w_list w_completion b img.Server.si_completions;
+  w_lane_manager b img.Server.si_lm;
+  Codec.w_option w_engine b img.Server.si_engine;
+  w_instrument b img.Server.si_instrument
+
+let r_server r : Server.image =
+  let si_now = Codec.r_float r in
+  let si_last_elapsed = Codec.r_float r in
+  let si_idle_steps = Codec.r_int r in
+  let si_pending = Codec.r_list r_request r in
+  let si_queue = Codec.r_list r_request r in
+  let si_queue_shed_total = Codec.r_int r in
+  let si_shed = Codec.r_list r_request r in
+  let si_rejected = Codec.r_list r_request r in
+  let si_completions = Codec.r_list r_completion r in
+  let si_lm = r_lane_manager r in
+  let si_engine = Codec.r_option r_engine r in
+  let si_instrument = r_instrument r in
+  {
+    Server.si_now;
+    si_last_elapsed;
+    si_idle_steps;
+    si_pending;
+    si_queue;
+    si_queue_shed_total;
+    si_shed;
+    si_rejected;
+    si_completions;
+    si_lm;
+    si_engine;
+    si_instrument;
+  }
+
+(* ---- Top-level snapshot kinds ---------------------------------------- *)
+
+(* A full single-VM checkpoint: the VM plus whatever cost/instrumentation
+   state rides along, so a recovered run reports true cumulative figures. *)
+type 'vm checkpoint = {
+  ck_vm : 'vm;
+  ck_engine : Engine.snapshot option;
+  ck_instrument : Instrument.image option;
+}
+
+let w_checkpoint w_vm b ck =
+  w_vm b ck.ck_vm;
+  Codec.w_option w_engine b ck.ck_engine;
+  Codec.w_option w_instrument b ck.ck_instrument
+
+let r_checkpoint r_vm r =
+  let ck_vm = r_vm r in
+  let ck_engine = Codec.r_option r_engine r in
+  let ck_instrument = Codec.r_option r_instrument r in
+  { ck_vm; ck_engine; ck_instrument }
+
+let pc_kind = "pc-vm-checkpoint"
+let encode_pc ck = encode ~kind:pc_kind (fun b -> w_checkpoint w_lanes b ck)
+let decode_pc blob = decode ~kind:pc_kind blob (r_checkpoint r_lanes)
+
+let jit_kind = "pc-jit-checkpoint"
+let encode_jit ck = encode ~kind:jit_kind (fun b -> w_checkpoint w_jit b ck)
+let decode_jit blob = decode ~kind:jit_kind blob (r_checkpoint r_jit)
+
+let shard_kind = "shard-checkpoint"
+
+let encode_shards shards =
+  encode ~kind:shard_kind (fun b ->
+      Codec.w_int b (Array.length shards);
+      Array.iter (w_lanes b) shards)
+
+let decode_shards blob =
+  decode ~kind:shard_kind blob (fun r ->
+      let n = Codec.r_int r in
+      if n < 0 || Codec.remaining r < n then
+        Codec.corrupt "implausible shard count %d" n;
+      Array.init n (fun _ -> r_lanes r))
+
+let server_kind = "server-checkpoint"
+let encode_server img = encode ~kind:server_kind (fun b -> w_server b img)
+let decode_server blob = decode ~kind:server_kind blob r_server

@@ -1,0 +1,88 @@
+(** Versioned, checksummed binary snapshots of execution state.
+
+    A snapshot is an envelope
+
+    {v magic | version | kind | payload | fnv1a-64 checksum v}
+
+    around a typed payload built from the runtimes' plain-data images
+    ({!Vm_image}, {!Pc_vm.Lanes.image}, {!Pc_jit.image},
+    {!Engine.snapshot}, {!Instrument.image}, {!Server.image}). Decoding
+    verifies the checksum before trusting a single length field and
+    rejects wrong magic, unknown versions, mismatched kinds, truncation,
+    and trailing bytes with a descriptive {!Codec.Corrupt}. Floats travel
+    as IEEE-754 bit patterns, so a decoded state is bitwise identical to
+    the captured one — the foundation of deterministic replay. *)
+
+val version : int
+
+val encode : kind:string -> (Buffer.t -> unit) -> string
+(** Wrap a payload writer in the envelope. *)
+
+val decode : kind:string -> string -> (Codec.reader -> 'a) -> 'a
+(** Unwrap and verify, then run the payload reader. Raises
+    {!Codec.Corrupt} on any integrity or format violation, including
+    payload bytes left undecoded. *)
+
+val save_file : string -> string -> unit
+(** [save_file path blob] writes the blob atomically enough for a
+    single-writer checkpoint (binary mode, closed on error). *)
+
+val load_file : string -> string
+(** Read a whole snapshot file (binary mode). *)
+
+(** {1 Section codecs}
+
+    Exposed so composite snapshots (and tests) can reuse them. Each
+    [w_x]/[r_x] pair round-trips exactly. *)
+
+val w_shape : Buffer.t -> Shape.t -> unit
+val r_shape : Codec.reader -> Shape.t
+val w_stacked : Buffer.t -> Stacked.image -> unit
+val r_stacked : Codec.reader -> Stacked.image
+val w_pc : Buffer.t -> Vm_image.pc -> unit
+val r_pc : Codec.reader -> Vm_image.pc
+val w_storage : Buffer.t -> Vm_image.storage -> unit
+val r_storage : Codec.reader -> Vm_image.storage
+val w_store : Buffer.t -> Vm_image.store -> unit
+val r_store : Codec.reader -> Vm_image.store
+val w_lanes : Buffer.t -> Pc_vm.Lanes.image -> unit
+val r_lanes : Codec.reader -> Pc_vm.Lanes.image
+val w_jit : Buffer.t -> Pc_jit.image -> unit
+val r_jit : Codec.reader -> Pc_jit.image
+val w_counters : Buffer.t -> Engine.counters -> unit
+val r_counters : Codec.reader -> Engine.counters
+val w_engine : Buffer.t -> Engine.snapshot -> unit
+val r_engine : Codec.reader -> Engine.snapshot
+val w_instrument : Buffer.t -> Instrument.image -> unit
+val r_instrument : Codec.reader -> Instrument.image
+val w_request : Buffer.t -> Request.image -> unit
+val r_request : Codec.reader -> Request.image
+val w_lane_manager : Buffer.t -> Lane_manager.image -> unit
+val r_lane_manager : Codec.reader -> Lane_manager.image
+val w_server : Buffer.t -> Server.image -> unit
+val r_server : Codec.reader -> Server.image
+
+(** {1 Snapshot kinds} *)
+
+(** A full single-VM checkpoint: the VM image plus whatever engine and
+    instrument state rides along, so a recovered run reports true
+    cumulative cost and statistics from time zero. *)
+type 'vm checkpoint = {
+  ck_vm : 'vm;
+  ck_engine : Engine.snapshot option;
+  ck_instrument : Instrument.image option;
+}
+
+val encode_pc : Pc_vm.Lanes.image checkpoint -> string
+val decode_pc : string -> Pc_vm.Lanes.image checkpoint
+
+val encode_jit : Pc_jit.image checkpoint -> string
+val decode_jit : string -> Pc_jit.image checkpoint
+
+val encode_shards : Pc_vm.Lanes.image array -> string
+(** One image per shard, shard order. *)
+
+val decode_shards : string -> Pc_vm.Lanes.image array
+
+val encode_server : Server.image -> string
+val decode_server : string -> Server.image

@@ -19,6 +19,13 @@ module Stream = struct
 
   let create seed = { state = seed }
 
+  (* The stream's one word of hidden mutable state, exposed so snapshots
+     can round-trip it: [of_state (state t)] continues the exact draw
+     sequence [t] would produce. *)
+  let state t = t.state
+  let of_state s = { state = s }
+  let copy t = { state = t.state }
+
   let next_int64 t =
     t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
     mix64 t.state

@@ -24,6 +24,21 @@ module Stream : sig
   type t
 
   val create : int64 -> t
+
+  val state : t -> int64
+  (** The stream's complete mutable state: one 64-bit word. Together with
+      {!of_state} this makes streams checkpointable — a snapshot layer
+      (see [lib/resil]) stores the word and later rebuilds a stream that
+      continues the exact same draw sequence. *)
+
+  val of_state : int64 -> t
+  (** Rebuild a stream from {!state}. [of_state (state t)] draws the same
+      sequence as [t] from this point on. *)
+
+  val copy : t -> t
+  (** An independent stream starting from the same state ([t] and the copy
+      then evolve separately). *)
+
   val next_int64 : t -> int64
   val uniform : t -> float
   (** In (0,1). *)

@@ -61,6 +61,26 @@ let admit t ~now r =
 
 let step t = Pc_vm.Lanes.step t.vm
 
+type image = {
+  mi_vm : Pc_vm.Lanes.image;
+  mi_flight : (Request.image * int array * float) list;
+}
+
+let capture t =
+  {
+    mi_vm = Pc_vm.Lanes.capture t.vm;
+    mi_flight =
+      List.map (fun f -> (Request.to_image f.req, Array.copy f.lanes, f.started)) t.flight;
+  }
+
+let restore t ~program img =
+  Pc_vm.Lanes.restore t.vm img.mi_vm;
+  t.flight <-
+    List.map
+      (fun (ri, lanes, started) ->
+        { req = Request.of_image ~program ri; lanes = Array.copy lanes; started })
+      img.mi_flight
+
 (* Retire every request whose lanes have all halted; their output rows are
    frozen (masked writes never touch a halted lane), so extraction
    mid-superstep reads exactly what an end-of-run read would. *)

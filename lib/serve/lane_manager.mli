@@ -45,3 +45,17 @@ val step : t -> bool
 
 val poll : t -> now:float -> completion list
 (** Retire and return every finished request, freeing its lanes. *)
+
+(** Plain-data checkpoint: the lane pool's VM image plus the in-flight
+    requests (admission order) with their lane assignments and start
+    times. *)
+type image = {
+  mi_vm : Pc_vm.Lanes.image;
+  mi_flight : (Request.image * int array * float) list;
+}
+
+val capture : t -> image
+
+val restore : t -> program:Autobatch.compiled -> image -> unit
+(** Overwrite the pool with the image; in-flight requests are rebuilt
+    against [program] (the server's own compiled program). *)

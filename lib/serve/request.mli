@@ -41,3 +41,18 @@ val lane_inputs : t -> row:int -> Tensor.t list
 
 val input_bytes : t -> float
 (** Total payload size, for the engine's refill accounting. *)
+
+(** Plain-data checkpoint of a request: everything except the compiled
+    program, which is re-attached on {!of_image} (a server restores its
+    requests against its own program — satisfying the physical-equality
+    check in {!Server}). *)
+type image = {
+  ri_id : int;
+  ri_inputs : (Shape.t * float array) list;
+  ri_member : int;
+  ri_arrival : float;
+  ri_cost_hint : float;
+}
+
+val to_image : t -> image
+val of_image : program:Autobatch.compiled -> image -> t

@@ -19,6 +19,14 @@ let is_empty t = t.length = 0
 let shed_total t = t.shed_total
 let to_list t = t.items
 
+(* Restore seam for the resilience layer: overwrite the queue's contents
+   wholesale (depth and shed policy are construction parameters, not
+   state). *)
+let set_state t ~items ~shed_total =
+  t.items <- items;
+  t.length <- List.length items;
+  t.shed_total <- shed_total
+
 let offer t r =
   if t.length < t.depth then begin
     t.items <- t.items @ [ r ];

@@ -25,6 +25,11 @@ val shed_total : t -> int
 val to_list : t -> Request.t list
 (** Pending requests, oldest first (for inspection; does not pop). *)
 
+val set_state : t -> items:Request.t list -> shed_total:int -> unit
+(** Overwrite the queue's mutable state (the resilience layer's restore
+    seam). [items] is oldest first, as {!to_list} returns; depth and shed
+    policy are construction parameters and unchanged. *)
+
 val offer : t -> Request.t -> [ `Admitted | `Shed of Request.t ]
 (** Enqueue, or shed per policy when full. The shed request is the
     newcomer under [Reject_new] and the previous head under

@@ -56,7 +56,28 @@ let rec insert_sorted r = function
     if compare_arrival r x < 0 then r :: x :: rest
     else x :: insert_sorted r rest
 
-let run ?(config = default_config) ?on_complete ~program arrivals =
+(* The server's complete mutable state, stepped one superstep at a time
+   so a resilience layer can checkpoint between supersteps and a driver
+   can interleave other work. [run] below is the classic run-to-drain
+   entry point, a thin loop over [step]. *)
+type t = {
+  config : config;
+  program : Autobatch.compiled;
+  on_complete : (record -> Request.t option) option;
+  ins : Instrument.t;
+  engine : Engine.t option;
+  lm : Lane_manager.t;
+  queue : Request_queue.t;
+  mutable now : float;
+  mutable pending : Request.t list;    (* arrival order *)
+  mutable shed : Request.t list;       (* newest first *)
+  mutable rejected : Request.t list;   (* newest first *)
+  mutable completions : record list;   (* newest first *)
+  mutable idle_steps : int;
+  mutable last_elapsed : float;
+}
+
+let create ?(config = default_config) ?on_complete ~program arrivals =
   let vm_config =
     match config.vm.Pc_vm.instrument with
     | Some _ -> config.vm
@@ -66,125 +87,226 @@ let run ?(config = default_config) ?on_complete ~program arrivals =
     match vm_config.Pc_vm.instrument with Some i -> i | None -> assert false
   in
   let engine = vm_config.Pc_vm.engine in
-  let lm = Lane_manager.create ~config:vm_config ~program ~lanes:config.lanes () in
-  let queue = Request_queue.create ~depth:config.queue_depth ~shed:config.shed () in
-  let now = ref 0. in
-  let pending = ref (List.stable_sort compare_arrival arrivals) in
-  let shed = ref [] in
-  let rejected = ref [] in
-  let completions = ref [] in
-  let idle_steps = ref 0 in
-  (* Admission: continuous policies refill free lanes the moment they
-     open (mid-run); the synchronous baseline waits for the whole batch
-     to drain before admitting again — the paper's fixed-batch regime. *)
-  let refill () =
-    let fits r = Lane_manager.fits lm r in
-    let rec drain pop =
-      match pop ~fits with
-      | Some r ->
-        Lane_manager.admit lm ~now:!now r;
-        drain pop
-      | None -> ()
-    in
-    match config.policy with
-    | Fifo -> drain (Request_queue.pop_fifo queue)
-    | Shortest_first -> drain (Request_queue.pop_shortest queue)
-    | Synchronous ->
-      if Lane_manager.in_flight lm = 0 then drain (Request_queue.pop_fifo queue)
-  in
-  (* Move every request whose arrival time has passed into the bounded
-     queue, one at a time with a refill in between — so a free lane is
-     taken by an earlier arrival before a later one can shed it from a
-     full queue. Requests wider than the whole device can never be
-     admitted and are rejected up front. *)
-  let rec admit_due () =
-    match !pending with
-    | r :: rest when r.Request.arrival <= !now ->
-      pending := rest;
-      if r.Request.program.Autobatch.stack != program.Autobatch.stack then
-        invalid_arg
-          (Printf.sprintf
-             "Server.run: request %d was compiled from a different program"
-             r.Request.id)
-      else begin
-        if Request.width r > config.lanes then rejected := r :: !rejected
-        else begin
-          (match Request_queue.offer queue r with
-          | `Admitted -> ()
-          | `Shed s -> shed := s :: !shed);
-          refill ()
-        end;
-        admit_due ()
-      end
-    | _ -> ()
-  in
-  let elapsed () = match engine with Some e -> Engine.elapsed e | None -> 0. in
-  (* With an engine, the server clock is its simulated time: advance by
-     whatever has accrued since the last sync (block execution, refill
-     and retire transfers alike). *)
-  let last_elapsed = ref (elapsed ()) in
-  let sync_clock () =
-    let e = elapsed () in
-    now := !now +. (e -. !last_elapsed);
-    last_elapsed := e
-  in
-  let complete cs =
-    List.iter
-      (fun (c : Lane_manager.completion) ->
-        let r =
-          {
-            request = c.Lane_manager.request;
-            outputs = c.Lane_manager.outputs;
-            queued = c.Lane_manager.request.Request.arrival;
-            started = c.Lane_manager.started;
-            finished = c.Lane_manager.finished;
-          }
-        in
-        completions := r :: !completions;
-        match on_complete with
-        | None -> ()
-        | Some f -> (
-          match f r with
-          | None -> ()
-          | Some next ->
-            let next =
-              if next.Request.arrival >= !now then next
-              else { next with Request.arrival = !now }
-            in
-            pending := insert_sorted next !pending))
-      cs
-  in
-  let running = ref true in
-  while !running do
-    admit_due ();
-    refill ();
-    if Lane_manager.live_lanes lm > 0 then begin
-      ignore (Lane_manager.step lm);
-      (match engine with
-      | Some _ -> sync_clock ()
-      | None -> now := !now +. 1.0);
-      complete (Lane_manager.poll lm ~now:!now)
-    end
-    else if Lane_manager.in_flight lm > 0 then
-      (* every occupied lane has halted but the groups are still loaded *)
-      complete (Lane_manager.poll lm ~now:!now)
-    else
-      match !pending with
-      | r :: _ ->
-        (* nothing runnable: jump the clock to the next arrival *)
-        now := Float.max !now r.Request.arrival;
-        incr idle_steps
-      | [] -> running := false
-  done;
-  sync_clock ();
+  let elapsed0 = match engine with Some e -> Engine.elapsed e | None -> 0. in
   {
-    completions = List.rev !completions;
-    shed = List.rev !shed;
-    rejected = List.rev !rejected;
-    steps = Lane_manager.steps lm;
-    idle_steps = !idle_steps;
-    makespan = !now;
-    mean_occupancy = Instrument.mean_occupancy ins;
-    occupancy = Instrument.occupancy_series ins;
-    instrument = ins;
+    config;
+    program;
+    on_complete;
+    ins;
+    engine;
+    lm = Lane_manager.create ~config:vm_config ~program ~lanes:config.lanes ();
+    queue = Request_queue.create ~depth:config.queue_depth ~shed:config.shed ();
+    now = 0.;
+    pending = List.stable_sort compare_arrival arrivals;
+    shed = [];
+    rejected = [];
+    completions = [];
+    idle_steps = 0;
+    last_elapsed = elapsed0;
   }
+
+(* Admission: continuous policies refill free lanes the moment they open
+   (mid-run); the synchronous baseline waits for the whole batch to drain
+   before admitting again — the paper's fixed-batch regime. *)
+let refill t =
+  let fits r = Lane_manager.fits t.lm r in
+  let rec drain pop =
+    match pop ~fits with
+    | Some r ->
+      Lane_manager.admit t.lm ~now:t.now r;
+      drain pop
+    | None -> ()
+  in
+  match t.config.policy with
+  | Fifo -> drain (Request_queue.pop_fifo t.queue)
+  | Shortest_first -> drain (Request_queue.pop_shortest t.queue)
+  | Synchronous ->
+    if Lane_manager.in_flight t.lm = 0 then drain (Request_queue.pop_fifo t.queue)
+
+(* Move every request whose arrival time has passed into the bounded
+   queue, one at a time with a refill in between — so a free lane is
+   taken by an earlier arrival before a later one can shed it from a
+   full queue. Requests wider than the whole device can never be
+   admitted and are rejected up front. *)
+let rec admit_due t =
+  match t.pending with
+  | r :: rest when r.Request.arrival <= t.now ->
+    t.pending <- rest;
+    if r.Request.program.Autobatch.stack != t.program.Autobatch.stack then
+      invalid_arg
+        (Printf.sprintf "Server.run: request %d was compiled from a different program"
+           r.Request.id)
+    else begin
+      if Request.width r > t.config.lanes then t.rejected <- r :: t.rejected
+      else begin
+        (match Request_queue.offer t.queue r with
+        | `Admitted -> ()
+        | `Shed s -> t.shed <- s :: t.shed);
+        refill t
+      end;
+      admit_due t
+    end
+  | _ -> ()
+
+let elapsed t = match t.engine with Some e -> Engine.elapsed e | None -> 0.
+
+(* With an engine, the server clock is its simulated time: advance by
+   whatever has accrued since the last sync (block execution, refill
+   and retire transfers alike). *)
+let sync_clock t =
+  let e = elapsed t in
+  t.now <- t.now +. (e -. t.last_elapsed);
+  t.last_elapsed <- e
+
+let complete t cs =
+  List.iter
+    (fun (c : Lane_manager.completion) ->
+      let r =
+        {
+          request = c.Lane_manager.request;
+          outputs = c.Lane_manager.outputs;
+          queued = c.Lane_manager.request.Request.arrival;
+          started = c.Lane_manager.started;
+          finished = c.Lane_manager.finished;
+        }
+      in
+      t.completions <- r :: t.completions;
+      match t.on_complete with
+      | None -> ()
+      | Some f -> (
+        match f r with
+        | None -> ()
+        | Some next ->
+          let next =
+            if next.Request.arrival >= t.now then next
+            else { next with Request.arrival = t.now }
+          in
+          t.pending <- insert_sorted next t.pending))
+    cs
+
+let step t =
+  admit_due t;
+  refill t;
+  if Lane_manager.live_lanes t.lm > 0 then begin
+    ignore (Lane_manager.step t.lm);
+    (match t.engine with
+    | Some _ -> sync_clock t
+    | None -> t.now <- t.now +. 1.0);
+    complete t (Lane_manager.poll t.lm ~now:t.now);
+    true
+  end
+  else if Lane_manager.in_flight t.lm > 0 then begin
+    (* every occupied lane has halted but the groups are still loaded *)
+    complete t (Lane_manager.poll t.lm ~now:t.now);
+    true
+  end
+  else
+    match t.pending with
+    | r :: _ ->
+      (* nothing runnable: jump the clock to the next arrival *)
+      t.now <- Float.max t.now r.Request.arrival;
+      t.idle_steps <- t.idle_steps + 1;
+      true
+    | [] -> false
+
+let stats t =
+  sync_clock t;
+  {
+    completions = List.rev t.completions;
+    shed = List.rev t.shed;
+    rejected = List.rev t.rejected;
+    steps = Lane_manager.steps t.lm;
+    idle_steps = t.idle_steps;
+    makespan = t.now;
+    mean_occupancy = Instrument.mean_occupancy t.ins;
+    occupancy = Instrument.occupancy_series t.ins;
+    instrument = t.ins;
+  }
+
+let run ?config ?on_complete ~program arrivals =
+  let t = create ?config ?on_complete ~program arrivals in
+  while step t do
+    ()
+  done;
+  stats t
+
+type completion_image = {
+  ci_request : Request.image;
+  ci_outputs : (Shape.t * float array) list;
+  ci_queued : float;
+  ci_started : float;
+  ci_finished : float;
+}
+
+type image = {
+  si_now : float;
+  si_last_elapsed : float;
+  si_idle_steps : int;
+  si_pending : Request.image list;
+  si_queue : Request.image list;
+  si_queue_shed_total : int;
+  si_shed : Request.image list;
+  si_rejected : Request.image list;
+  si_completions : completion_image list;
+  si_lm : Lane_manager.image;
+  si_engine : Engine.snapshot option;
+  si_instrument : Instrument.image;
+}
+
+let tensor_images = List.map (fun x -> (Array.copy (Tensor.shape x), Array.copy (Tensor.data x)))
+
+let capture t =
+  {
+    si_now = t.now;
+    si_last_elapsed = t.last_elapsed;
+    si_idle_steps = t.idle_steps;
+    si_pending = List.map Request.to_image t.pending;
+    si_queue = List.map Request.to_image (Request_queue.to_list t.queue);
+    si_queue_shed_total = Request_queue.shed_total t.queue;
+    si_shed = List.map Request.to_image t.shed;
+    si_rejected = List.map Request.to_image t.rejected;
+    si_completions =
+      List.map
+        (fun r ->
+          {
+            ci_request = Request.to_image r.request;
+            ci_outputs = tensor_images r.outputs;
+            ci_queued = r.queued;
+            ci_started = r.started;
+            ci_finished = r.finished;
+          })
+        t.completions;
+    si_lm = Lane_manager.capture t.lm;
+    si_engine = Option.map Engine.snapshot t.engine;
+    si_instrument = Instrument.capture t.ins;
+  }
+
+let restore t img =
+  (match (t.engine, img.si_engine) with
+  | Some e, Some s -> Engine.restore e s
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+    invalid_arg "Server.restore: image disagrees with the server about an engine");
+  let of_image = Request.of_image ~program:t.program in
+  t.now <- img.si_now;
+  t.last_elapsed <- img.si_last_elapsed;
+  t.idle_steps <- img.si_idle_steps;
+  t.pending <- List.map of_image img.si_pending;
+  Request_queue.set_state t.queue
+    ~items:(List.map of_image img.si_queue)
+    ~shed_total:img.si_queue_shed_total;
+  t.shed <- List.map of_image img.si_shed;
+  t.rejected <- List.map of_image img.si_rejected;
+  t.completions <-
+    List.map
+      (fun ci ->
+        {
+          request = of_image ci.ci_request;
+          outputs = List.map (fun (shape, data) -> Tensor.of_array shape data) ci.ci_outputs;
+          queued = ci.ci_queued;
+          started = ci.ci_started;
+          finished = ci.ci_finished;
+        })
+      img.si_completions;
+  Lane_manager.restore t.lm ~program:t.program img.si_lm;
+  Instrument.restore t.ins img.si_instrument

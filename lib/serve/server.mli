@@ -67,4 +67,70 @@ val run :
 (** Serve the given arrival trace to completion. [on_complete] may inject
     a follow-up request per completion (closed-loop load generation); its
     arrival is clamped to the current clock. Raises [Invalid_argument] if
-    a request was compiled from a different program. *)
+    a request was compiled from a different program. Equivalent to
+    {!create} followed by {!step} until it returns [false], then
+    {!stats}. *)
+
+(** {1 Steppable interface}
+
+    The server's whole state behind one superstep-at-a-time handle, so a
+    resilience layer can checkpoint between supersteps ({!capture} /
+    {!restore}) and a driver can interleave other work. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?on_complete:(record -> Request.t option) ->
+  program:Autobatch.compiled ->
+  Request.t list ->
+  t
+
+val step : t -> bool
+(** One server superstep: admit due arrivals, refill freed lanes, execute
+    one scheduled block over the live lanes (or poll loaded-but-halted
+    groups, or jump the clock to the next arrival). [false] when the trace
+    is fully drained. *)
+
+val stats : t -> stats
+(** The run's statistics so far (final once {!step} returns [false]).
+    Idempotent. *)
+
+(** Plain-data checkpoint of one completion. *)
+type completion_image = {
+  ci_request : Request.image;
+  ci_outputs : (Shape.t * float array) list;
+  ci_queued : float;
+  ci_started : float;
+  ci_finished : float;
+}
+
+(** Plain-data checkpoint of the server's complete state: clock, pending
+    trace (including requests injected by [on_complete]), bounded queue,
+    shed/rejected/completed records, the lane pool, and the engine and
+    instrument snapshots. Request/record lists are in internal (newest
+    first) order except [si_pending] and [si_queue], which are oldest
+    first. *)
+type image = {
+  si_now : float;
+  si_last_elapsed : float;
+  si_idle_steps : int;
+  si_pending : Request.image list;
+  si_queue : Request.image list;
+  si_queue_shed_total : int;
+  si_shed : Request.image list;
+  si_rejected : Request.image list;
+  si_completions : completion_image list;
+  si_lm : Lane_manager.image;
+  si_engine : Engine.snapshot option;
+  si_instrument : Instrument.image;
+}
+
+val capture : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite the server's state with the image. Restore into a server
+    built by {!create} with the same configuration, program, and
+    [on_complete] (the callback is construction, not state — it must be
+    deterministic for replay to be). Raises [Invalid_argument] if the
+    image and server disagree about having an engine. *)

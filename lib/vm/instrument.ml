@@ -114,6 +114,85 @@ let merge ~into src =
   into.live_lanes_total <- into.live_lanes_total +. src.live_lanes_total;
   into.live_samples <- into.live_samples + src.live_samples
 
+type image = {
+  i_prims : (string * int * int) list;      (* name, useful, issued *)
+  i_per_block : (int * int * int) list;     (* block, execs, active *)
+  i_blocks : int;
+  i_active_total : int;
+  i_batch_total : int;
+  i_pushes : int;
+  i_pops : int;
+  i_push_lanes : int;
+  i_pop_lanes : int;
+  i_max_depth : int;
+  i_live_total : float;
+  i_live_lanes_total : float;
+  i_live_samples : int;
+  i_gauge_width : int;
+  i_gauge_used : int;
+  i_gauge_fill : int;
+  i_gauge_live : float array;
+  i_gauge_lanes : float array;
+}
+
+let capture t =
+  {
+    (* Key order, so images of equal states are structurally equal. *)
+    i_prims =
+      Hashtbl.fold (fun k (s : prim_stats) acc -> (k, s.useful, s.issued) :: acc)
+        t.prims []
+      |> List.sort compare;
+    i_per_block =
+      Hashtbl.fold (fun b (s : block_stats) acc -> (b, s.execs, s.active) :: acc)
+        t.per_block []
+      |> List.sort compare;
+    i_blocks = t.blocks;
+    i_active_total = t.active_total;
+    i_batch_total = t.batch_total;
+    i_pushes = t.pushes;
+    i_pops = t.pops;
+    i_push_lanes = t.push_lanes;
+    i_pop_lanes = t.pop_lanes;
+    i_max_depth = t.max_depth;
+    i_live_total = t.live_total;
+    i_live_lanes_total = t.live_lanes_total;
+    i_live_samples = t.live_samples;
+    i_gauge_width = t.gauge.width;
+    i_gauge_used = t.gauge.used;
+    i_gauge_fill = t.gauge.fill;
+    i_gauge_live = Array.sub t.gauge.live_sum 0 gauge_buckets;
+    i_gauge_lanes = Array.sub t.gauge.lanes_sum 0 gauge_buckets;
+  }
+
+let restore t img =
+  if
+    Array.length img.i_gauge_live <> gauge_buckets
+    || Array.length img.i_gauge_lanes <> gauge_buckets
+  then invalid_arg "Instrument.restore: gauge bucket count mismatch";
+  reset t;
+  List.iter
+    (fun (name, useful, issued) -> Hashtbl.replace t.prims name { useful; issued })
+    img.i_prims;
+  List.iter
+    (fun (b, execs, active) -> Hashtbl.replace t.per_block b { execs; active })
+    img.i_per_block;
+  t.blocks <- img.i_blocks;
+  t.active_total <- img.i_active_total;
+  t.batch_total <- img.i_batch_total;
+  t.pushes <- img.i_pushes;
+  t.pops <- img.i_pops;
+  t.push_lanes <- img.i_push_lanes;
+  t.pop_lanes <- img.i_pop_lanes;
+  t.max_depth <- img.i_max_depth;
+  t.live_total <- img.i_live_total;
+  t.live_lanes_total <- img.i_live_lanes_total;
+  t.live_samples <- img.i_live_samples;
+  t.gauge.width <- img.i_gauge_width;
+  t.gauge.used <- img.i_gauge_used;
+  t.gauge.fill <- img.i_gauge_fill;
+  Array.blit img.i_gauge_live 0 t.gauge.live_sum 0 gauge_buckets;
+  Array.blit img.i_gauge_lanes 0 t.gauge.lanes_sum 0 gauge_buckets
+
 let stats_for t name =
   match Hashtbl.find_opt t.prims name with
   | Some s -> s

@@ -65,4 +65,34 @@ val block_stats : t -> (int * int * int) list
     [(block_index, executions, total_active_lanes)]. Only populated when
     the VM passes [?block] to {!record_block}. *)
 
+(** Plain-data checkpoint of an instrument. Entry lists are sorted by key,
+    so images of equal states are structurally equal ([=]); the resilience
+    layer relies on this for bitwise-replay verification. *)
+type image = {
+  i_prims : (string * int * int) list;     (** name, useful, issued *)
+  i_per_block : (int * int * int) list;    (** block, execs, active *)
+  i_blocks : int;
+  i_active_total : int;
+  i_batch_total : int;
+  i_pushes : int;
+  i_pops : int;
+  i_push_lanes : int;
+  i_pop_lanes : int;
+  i_max_depth : int;
+  i_live_total : float;
+  i_live_lanes_total : float;
+  i_live_samples : int;
+  i_gauge_width : int;
+  i_gauge_used : int;
+  i_gauge_fill : int;
+  i_gauge_live : float array;
+  i_gauge_lanes : float array;
+}
+
+val capture : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite [t] with the image (counts, per-key tables, occupancy
+    gauge), so a recovered run reports statistics from time zero. *)
+
 val pp : Format.formatter -> t -> unit

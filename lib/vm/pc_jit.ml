@@ -33,7 +33,9 @@ type t = {
   members : int array ref;  (* indices of the active members this step *)
   pc : pc_stack;
   blocks : block_exec array;
-  mutable instrument : Instrument.t option;
+  counts : int array;        (* per-block live-lane tallies, scratch *)
+  mutable last : int;        (* scheduler cursor *)
+  mutable steps : int;
 }
 
 let pc_grow pc z =
@@ -215,7 +217,9 @@ let compile reg (p : Stack_ir.program) ~batch =
     members;
     pc;
     blocks;
-    instrument = None;
+    counts = Array.make (Array.length blocks) 0;
+    last = -1;
+    steps = 0;
   }
 
 let reset t =
@@ -232,17 +236,15 @@ let reset t =
       | Stk _ -> ())
     t.store
 
-let run ?(sched = Sched.Earliest) ?engine ?instrument ?(max_steps = 100_000_000) t
-    ~batch =
+let load t ~batch =
   if List.length batch <> List.length t.inputs then
-    invalid_arg "Pc_jit.run: input count mismatch";
+    invalid_arg "Pc_jit.load: input count mismatch";
   List.iter
     (fun inp ->
       if Tensor.rank inp = 0 || (Tensor.shape inp).(0) <> t.z then
-        invalid_arg "Pc_jit.run: inputs must have the compiled batch dimension")
+        invalid_arg "Pc_jit.load: inputs must have the compiled batch dimension")
     batch;
   reset t;
-  t.instrument <- instrument;
   Array.fill t.mask 0 t.z true;
   t.members := Vm_util.all_members t.z;
   List.iter2
@@ -252,54 +254,135 @@ let run ?(sched = Sched.Earliest) ?engine ?instrument ?(max_steps = 100_000_000)
         Array.blit (Tensor.data inp) 0 (Tensor.data !r) 0 (Tensor.numel inp)
       | Stk s -> Stacked.write_top_masked s ~mask:t.mask inp)
     t.inputs batch;
+  t.last <- -1;
+  t.steps <- 0
+
+let steps t = t.steps
+
+let step ?(sched = Sched.Earliest) ?engine ?instrument ?(max_steps = 100_000_000) t =
   let nb = Array.length t.blocks in
-  let counts = Array.make nb 0 in
-  let last = ref (-1) in
-  let steps = ref 0 in
-  let continue = ref true in
-  while !continue do
-    Array.fill counts 0 nb 0;
-    for b = 0 to t.z - 1 do
-      if t.pc.top.(b) < t.halt then counts.(t.pc.top.(b)) <- counts.(t.pc.top.(b)) + 1
-    done;
-    match Sched.pick sched ~last:!last ~counts with
-    | None -> continue := false
-    | Some i ->
-      incr steps;
-      if !steps > max_steps then raise Step_limit_exceeded;
-      last := i;
-      let n_active = ref 0 in
-      for b = 0 to t.z - 1 do
-        let m = t.pc.top.(b) = i in
-        t.mask.(b) <- m;
-        if m then incr n_active
-      done;
-      t.members := Vm_util.indices_of_mask t.mask;
-      let blk = t.blocks.(i) in
-      Array.iter (fun f -> f ()) blk.ops;
-      blk.term ();
-      (match engine with
-      | Some eng ->
-        Engine.charge_block eng ~ops:blk.static_ops ~control_ops:blk.control_ops
-          ~traffic_bytes:blk.static_traffic
-      | None -> ());
-      (match instrument with
-      | Some ins ->
-        List.iter
-          (fun name -> Instrument.record_prim ins ~name ~useful:!n_active ~issued:t.z)
-          blk.prim_names;
-        for _ = 1 to blk.push_lanes do
-          Instrument.record_push ins ~lanes:!n_active
-        done;
-        for _ = 1 to blk.pop_lanes do
-          Instrument.record_pop ins ~lanes:!n_active
-        done;
-        Instrument.record_block ~block:i ins ~active:!n_active ~batch:t.z
-      | None -> ())
+  Array.fill t.counts 0 nb 0;
+  for b = 0 to t.z - 1 do
+    if t.pc.top.(b) < t.halt then
+      t.counts.(t.pc.top.(b)) <- t.counts.(t.pc.top.(b)) + 1
   done;
+  match Sched.pick sched ~last:t.last ~counts:t.counts with
+  | None -> false
+  | Some i ->
+    t.steps <- t.steps + 1;
+    if t.steps > max_steps then raise Step_limit_exceeded;
+    t.last <- i;
+    let n_active = ref 0 in
+    for b = 0 to t.z - 1 do
+      let m = t.pc.top.(b) = i in
+      t.mask.(b) <- m;
+      if m then incr n_active
+    done;
+    t.members := Vm_util.indices_of_mask t.mask;
+    let blk = t.blocks.(i) in
+    Array.iter (fun f -> f ()) blk.ops;
+    blk.term ();
+    (match engine with
+    | Some eng ->
+      Engine.charge_block eng ~ops:blk.static_ops ~control_ops:blk.control_ops
+        ~traffic_bytes:blk.static_traffic
+    | None -> ());
+    (match instrument with
+    | Some ins ->
+      List.iter
+        (fun name -> Instrument.record_prim ins ~name ~useful:!n_active ~issued:t.z)
+        blk.prim_names;
+      for _ = 1 to blk.push_lanes do
+        Instrument.record_push ins ~lanes:!n_active
+      done;
+      for _ = 1 to blk.pop_lanes do
+        Instrument.record_pop ins ~lanes:!n_active
+      done;
+      Instrument.record_block ~block:i ins ~active:!n_active ~batch:t.z
+    | None -> ());
+    true
+
+let outputs t =
   List.map
     (fun v ->
       match Hashtbl.find t.store v with
       | Reg r | Msk r -> Tensor.copy !r
       | Stk s -> Tensor.copy (Stacked.top s))
     t.outputs
+
+let run ?sched ?engine ?instrument ?max_steps t ~batch =
+  load t ~batch;
+  while step ?sched ?engine ?instrument ?max_steps t do
+    ()
+  done;
+  outputs t
+
+type image = {
+  ji_z : int;
+  ji_steps : int;
+  ji_last : int;
+  ji_pc : Vm_image.pc;
+  ji_store : Vm_image.store;
+}
+
+let capture t =
+  let store =
+    Hashtbl.fold
+      (fun v s acc ->
+        let img =
+          match s with
+          | Reg r ->
+            Vm_image.Reg (Array.copy (Tensor.shape !r), Array.copy (Tensor.data !r))
+          | Msk r ->
+            Vm_image.Msk (Array.copy (Tensor.shape !r), Array.copy (Tensor.data !r))
+          | Stk s -> Vm_image.Stk (Stacked.capture s)
+        in
+        (v, img) :: acc)
+      t.store []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    ji_z = t.z;
+    ji_steps = t.steps;
+    ji_last = t.last;
+    ji_pc =
+      {
+        Vm_image.pc_cap = t.pc.cap;
+        pc_data = Array.copy t.pc.data;
+        pc_sp = Array.copy t.pc.sp;
+        pc_top = Array.copy t.pc.top;
+      };
+    ji_store = store;
+  }
+
+(* Restore mutates storage in place: the compiled block closures captured
+   the [Tensor.t ref]s and [Stacked.t]s at compile time, so the executor's
+   buffers must keep their identity — only their contents change. Every
+   program variable is preallocated at compile time, so the image (captured
+   from an executor of the same program) covers the whole store. *)
+let restore t img =
+  if img.ji_z <> t.z then invalid_arg "Pc_jit.restore: batch size mismatch";
+  if Array.length img.ji_pc.Vm_image.pc_data <> img.ji_pc.Vm_image.pc_cap * t.z then
+    invalid_arg "Pc_jit.restore: pc data length disagrees with capacity";
+  t.steps <- img.ji_steps;
+  t.last <- img.ji_last;
+  t.pc.cap <- img.ji_pc.Vm_image.pc_cap;
+  t.pc.data <- Array.copy img.ji_pc.Vm_image.pc_data;
+  Array.blit img.ji_pc.Vm_image.pc_sp 0 t.pc.sp 0 t.z;
+  Array.blit img.ji_pc.Vm_image.pc_top 0 t.pc.top 0 t.z;
+  List.iter
+    (fun (v, s) ->
+      match (Hashtbl.find_opt t.store v, s) with
+      | Some (Reg r), Vm_image.Reg (shape, data)
+      | Some (Msk r), Vm_image.Msk (shape, data) ->
+        if not (Shape.equal shape (Tensor.shape !r)) then
+          invalid_arg
+            (Printf.sprintf "Pc_jit.restore: variable %s changes shape" v);
+        Array.blit data 0 (Tensor.data !r) 0 (Array.length data)
+      | Some (Stk s'), Vm_image.Stk simg -> Stacked.restore s' simg
+      | Some _, _ ->
+        invalid_arg
+          (Printf.sprintf "Pc_jit.restore: variable %s changes storage class" v)
+      | None, _ ->
+        invalid_arg (Printf.sprintf "Pc_jit.restore: unknown variable %s" v))
+    img.ji_store

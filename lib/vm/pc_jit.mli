@@ -30,6 +30,48 @@ val run :
   batch:Tensor.t list ->
   Tensor.t list
 (** Execute on inputs whose batch dimension matches [compile]'s. The
-    executor is reusable: storage is reset from the inputs each run. *)
+    executor is reusable: storage is reset from the inputs each run.
+    Equivalent to {!load} followed by {!step} until it returns [false],
+    then {!outputs}. *)
+
+val load : t -> batch:Tensor.t list -> unit
+(** Reset all storage and load a fresh batch, ready to {!step}. *)
+
+val step :
+  ?sched:Sched.t ->
+  ?engine:Engine.t ->
+  ?instrument:Instrument.t ->
+  ?max_steps:int ->
+  t ->
+  bool
+(** Execute one scheduled basic block; [false] when every member has
+    halted. Pass the same optional arguments on every call of a run.
+    Raises {!Step_limit_exceeded} past [max_steps]. *)
+
+val outputs : t -> Tensor.t list
+(** The output tensors (freshly copied) in program order. *)
+
+val steps : t -> int
+(** Supersteps executed since the last {!load}. *)
+
+(** Plain-data checkpoint of the executor's mutable state (step count,
+    scheduler cursor, pc stack, every variable — sorted by name, so images
+    of equal states are structurally equal). The compiled closures are not
+    part of the image: capture and restore on executors compiled from the
+    same program at the same batch size. *)
+type image = {
+  ji_z : int;
+  ji_steps : int;
+  ji_last : int;
+  ji_pc : Vm_image.pc;
+  ji_store : Vm_image.store;
+}
+
+val capture : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite the executor's state in place (buffer identity is preserved
+    — the compiled closures hold references into them). Raises
+    [Invalid_argument] on batch-size, shape, or storage-class mismatch. *)
 
 exception Step_limit_exceeded

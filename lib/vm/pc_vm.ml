@@ -7,6 +7,7 @@ type config = {
   top_cache : bool;
   naive_stack_writes : bool;
   member_base : int;
+  step_hook : (steps:int -> unit) option;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     top_cache = true;
     naive_stack_writes = false;
     member_base = 0;
+    step_hook = None;
   }
 
 exception Step_limit_exceeded
@@ -85,6 +87,24 @@ module Pc_stack = struct
     t.top.(lane) <- start
 
   let max_depth t = Array.fold_left max 0 t.sp
+
+  let capture t =
+    {
+      Vm_image.pc_cap = t.cap;
+      pc_data = Array.copy t.data;
+      pc_sp = Array.copy t.sp;
+      pc_top = Array.copy t.top;
+    }
+
+  let restore t (img : Vm_image.pc) =
+    if Array.length img.Vm_image.pc_sp <> t.z then
+      invalid_arg "Pc_stack.restore: batch size mismatch";
+    if Array.length img.Vm_image.pc_data <> img.Vm_image.pc_cap * t.z then
+      invalid_arg "Pc_stack.restore: pc data length disagrees with capacity";
+    t.cap <- img.Vm_image.pc_cap;
+    t.data <- Array.copy img.Vm_image.pc_data;
+    Array.blit img.Vm_image.pc_sp 0 t.sp 0 t.z;
+    Array.blit img.Vm_image.pc_top 0 t.top 0 t.z
 end
 
 type storage = Reg of Tensor.t ref | Msk of Tensor.t ref | Stk of Stacked.t
@@ -252,6 +272,71 @@ module Lanes = struct
     t.occupied.(lane) <- false;
     outputs
 
+  let outputs t = List.map (fun v -> Tensor.copy (read t v)) t.p.Stack_ir.outputs
+
+  type image = {
+    li_z : int;
+    li_steps : int;
+    li_last : int;
+    li_members : int array;
+    li_occupied : bool array;
+    li_pc : Vm_image.pc;
+    li_store : Vm_image.store;
+  }
+
+  let capture t =
+    let store =
+      Hashtbl.fold
+        (fun v s acc ->
+          let img =
+            match s with
+            | Reg r ->
+              Vm_image.Reg (Array.copy (Tensor.shape !r), Array.copy (Tensor.data !r))
+            | Msk r ->
+              Vm_image.Msk (Array.copy (Tensor.shape !r), Array.copy (Tensor.data !r))
+            | Stk s -> Vm_image.Stk (Stacked.capture s)
+          in
+          (v, img) :: acc)
+        t.store []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    {
+      li_z = t.z;
+      li_steps = t.steps;
+      li_last = t.last;
+      li_members = Array.copy t.members;
+      li_occupied = Array.copy t.occupied;
+      li_pc = Pc_stack.capture t.pc;
+      li_store = store;
+    }
+
+  let restore t img =
+    if img.li_z <> t.z then invalid_arg "Pc_vm.Lanes.restore: batch size mismatch";
+    t.steps <- img.li_steps;
+    t.last <- img.li_last;
+    Array.blit img.li_members 0 t.members 0 t.z;
+    Array.blit img.li_occupied 0 t.occupied 0 t.z;
+    Pc_stack.restore t.pc img.li_pc;
+    (* Rebuild the store from the image alone: a variable first allocated
+       after the capture must disappear, or its stale masked rows would
+       leak into lanes the image knows nothing about. *)
+    Hashtbl.reset t.store;
+    List.iter
+      (fun (v, s) ->
+        match s with
+        | Vm_image.Reg (shape, data) ->
+          Hashtbl.replace t.store v (Reg (ref (Tensor.of_array shape data)))
+        | Vm_image.Msk (shape, data) ->
+          Hashtbl.replace t.store v (Msk (ref (Tensor.of_array shape data)))
+        | Vm_image.Stk simg ->
+          let s =
+            Stacked.create ~z:t.z ~elem:simg.Stacked.i_elem
+              ~initial_depth:t.config.initial_depth ()
+          in
+          Stacked.restore s simg;
+          Hashtbl.replace t.store v (Stk s))
+      img.li_store
+
   let check_shape v cur_shape out =
     if not (Shape.equal cur_shape (Tensor.shape out)) then
       invalid_arg
@@ -313,6 +398,9 @@ module Lanes = struct
     | Some i ->
       t.steps <- t.steps + 1;
       if t.steps > config.max_steps then raise Step_limit_exceeded;
+      (* The superstep hook fires before the block executes, so an injected
+         fault aborts the superstep whole — never a half-applied block. *)
+      (match config.step_hook with None -> () | Some f -> f ~steps:t.steps);
       t.last <- i;
       let mask = Array.init z (fun b -> pc.Pc_stack.top.(b) = i) in
       let members = Vm_util.indices_of_mask mask in

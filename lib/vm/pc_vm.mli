@@ -29,6 +29,12 @@ type config = {
   member_base : int;
       (** Global index of lane 0, for sharded execution: lane [i] draws
           the RNG streams of batch member [member_base + i]. Default 0. *)
+  step_hook : (steps:int -> unit) option;
+      (** Called once per executed superstep, before the scheduled block
+          runs, with the post-increment step count. The resilience layer's
+          seam for superstep-granular fault injection and checkpoint
+          triggers: raising aborts the step with no block effects applied.
+          Default [None]; the off path is one match per step. *)
 }
 
 val default_config : config
@@ -59,6 +65,14 @@ module Pc_stack : sig
       below, executing from [start]. Other members are untouched. *)
 
   val max_depth : t -> int
+
+  val capture : t -> Vm_image.pc
+  (** Full depth-major checkpoint (data, stack pointers, cached tops). *)
+
+  val restore : t -> Vm_image.pc -> unit
+  (** Overwrite the stack with a captured image. Raises [Invalid_argument]
+      if the member count disagrees or the image is internally
+      inconsistent. *)
 end
 
 (** The steppable lane pool behind both {!run} and the continuous-batching
@@ -126,6 +140,35 @@ module Lanes : sig
 
   val lane_outputs : t -> lane:int -> Tensor.t list
   (** Peek one lane's current output rows without freeing the lane. *)
+
+  val outputs : t -> Tensor.t list
+  (** The full-width output tensors (leading batch dimension), freshly
+      copied — what {!val:run} returns after the pool drains. *)
+
+  (** Plain-data checkpoint of a lane pool: step count, scheduler cursor,
+      lane occupancy and member identities, the pc stack, and every
+      allocated variable (sorted by name, so images of equal states are
+      structurally equal). Together with the engine/instrument snapshots
+      this is the VM's complete execution state: a pool restored from an
+      image replays bitwise identically to the original. *)
+  type image = {
+    li_z : int;
+    li_steps : int;
+    li_last : int;              (** scheduler cursor (Round_robin uses it) *)
+    li_members : int array;
+    li_occupied : bool array;
+    li_pc : Vm_image.pc;
+    li_store : Vm_image.store;
+  }
+
+  val capture : t -> image
+
+  val restore : t -> image -> unit
+  (** Overwrite the pool's state with the image. The store is rebuilt from
+      the image alone — variables first allocated after the capture
+      disappear, exactly as if execution had never passed the capture
+      point. Raises [Invalid_argument] on lane-count mismatch. [t] must
+      run the same program the image was captured from. *)
 end
 
 val run :

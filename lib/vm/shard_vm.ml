@@ -16,6 +16,7 @@ type config = {
   collective : Collectives.algorithm;
   sched : Sched.t;
   max_steps : int;
+  step_hook : (shard:int -> steps:int -> unit) option;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     collective = Collectives.Ring;
     sched = Sched.Earliest;
     max_steps = 100_000_000;
+    step_hook = None;
   }
 
 type result = {
@@ -72,6 +74,9 @@ let run ?(config = default_config) reg program ~batch =
       let outputs =
         match program with
         | `Pc p ->
+          let step_hook =
+            Option.map (fun f ~steps -> f ~shard:i ~steps) config.step_hook
+          in
           let config =
             {
               Pc_vm.default_config with
@@ -80,6 +85,7 @@ let run ?(config = default_config) reg program ~batch =
               engine;
               instrument = Some instrument;
               member_base = part.offset;
+              step_hook;
             }
           in
           Pc_vm.run ~config reg p ~batch:inputs

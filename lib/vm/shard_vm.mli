@@ -38,6 +38,11 @@ type config = {
   collective : Collectives.algorithm;
   sched : Sched.t;
   max_steps : int;
+  step_hook : (shard:int -> steps:int -> unit) option;
+      (** Per-superstep callback threaded into each shard's VM (the
+          resilience layer's fault-injection seam). Shards run on separate
+          domains, so the callback fires concurrently — it must be
+          domain-safe. Only honoured by [`Pc] programs. Default [None]. *)
 }
 
 val default_config : config

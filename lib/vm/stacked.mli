@@ -44,3 +44,23 @@ val reset_lane : t -> int -> unit
 
 val max_depth : t -> int
 val capacity : t -> int
+
+(** Plain-data checkpoint of a stack: only the live frames (member [b]'s
+    saved rows below [sp b], member-major) plus the cached top. Transparent
+    so a serialization layer ([lib/resil]) can encode it without reaching
+    into the stack's internals. *)
+type image = {
+  i_z : int;
+  i_elem : Shape.t;
+  i_sp : int array;
+  i_frames : float array;  (** live saved frames, member-major *)
+  i_top : float array;     (** the cached top, [z × row] *)
+}
+
+val capture : t -> image
+
+val restore : t -> image -> unit
+(** Overwrite [t]'s stacks and top with the image; capacity grows as
+    needed. Every future push/pop/read sequence is then bitwise identical
+    to one started from the captured stack. Raises [Invalid_argument] if
+    [z] or the element shape disagree. *)

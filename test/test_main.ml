@@ -38,6 +38,8 @@ let () =
         Test_shard.suites;
         Test_harness.suites;
         Test_serve.suites;
+        Test_resil.suites;
+        (if fast then [] else Test_resil.fuzz_suites);
       ]
   in
   Alcotest.run "autobatch" (if fast then drop_slow_cases suites else suites)

@@ -105,6 +105,24 @@ let test_stream () =
     (Invalid_argument "Splitmix.Stream.int_below: non-positive bound") (fun () ->
       ignore (Splitmix.Stream.int_below s1 0))
 
+let test_stream_state_roundtrip () =
+  (* state/of_state is the snapshot seam: a stream rebuilt from its state
+     word draws the exact same tail, and capturing is effect-free. *)
+  let s = Splitmix.Stream.create 0xFEEDFACEL in
+  for _ = 1 to 17 do
+    ignore (Splitmix.Stream.uniform s)
+  done;
+  let st = Splitmix.Stream.state s in
+  let s' = Splitmix.Stream.of_state st in
+  Alcotest.(check int64) "state survives the round trip" st
+    (Splitmix.Stream.state s');
+  for i = 1 to 50 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d identical" i)
+      (Splitmix.Stream.next_int64 s)
+      (Splitmix.Stream.next_int64 s')
+  done
+
 let test_mix64_bijective_sample () =
   (* Distinct inputs map to distinct outputs (spot check, mix64 is a
      permutation). *)
@@ -132,6 +150,7 @@ let suites =
         t "bernoulli" `Quick test_bernoulli;
         t "batched draws match single" `Quick test_batched_match_single;
         t "sequential stream" `Quick test_stream;
+        t "stream state round trip" `Quick test_stream_state_roundtrip;
         t "mix64 no collisions" `Quick test_mix64_bijective_sample;
         QCheck_alcotest.to_alcotest prop_unit_float_open;
       ] );
