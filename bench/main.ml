@@ -9,7 +9,7 @@
    3. The sharded runtime's wall-clock scaling: batched NUTS split across
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
-   Pass a subset of [micro|figure5|figure6|ablations|shard|serve|resil]
+   Pass a subset of [micro|figure5|figure6|ablations|shard|serve|resil|obs]
    as argv to run only those stages (default: all, with bench-sized
    parameters).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
@@ -211,6 +211,82 @@ let run_resil ?seed () =
     (Resilience.run ~z:16 ~intervals:[ 1; 8; 64; 0 ] ~rates:[ 0.; 0.05 ] ?seed ());
   print_newline ()
 
+let run_obs ?seed () =
+  (* Observability overhead smoke: the same workload with no sink and with
+     a full trace sink attached (VM supersteps + engine launches). The
+     sink must not perturb the simulated cost model — the acceptance bar
+     is <=1%, the expectation is exactly 0 — and outputs must stay
+     bitwise identical; the wall columns show what recording actually
+     costs the host. The recorded trace is written out and re-parsed to
+     check the Chrome document is well-formed JSON. *)
+  ignore seed;
+  print_endline "== Observability overhead (sink off vs on) ==";
+  let nuts_compiled, nuts_batch = Lazy.force nuts_fixture in
+  let workloads =
+    [ ("fib-pc-z32", fib_compiled, fib_batch); ("nuts-pc-z16", nuts_compiled, nuts_batch) ]
+  in
+  let tmp = Filename.temp_file "autobatch-obs" ".trace.json" in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun (name, compiled, batch) ->
+        let exec sink_of =
+          let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+          let sink = sink_of engine in
+          (match sink with Some s -> Engine.set_sink engine s | None -> ());
+          let config = { Pc_vm.default_config with engine = Some engine; sink } in
+          let best = ref infinity in
+          let outputs = ref [] in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            outputs := Autobatch.run_pc ~config compiled ~batch;
+            best := Float.min !best (Unix.gettimeofday () -. t0)
+          done;
+          (!outputs, Engine.elapsed engine, !best)
+        in
+        let out_off, sim_off, wall_off = exec (fun _ -> None) in
+        let tr = Obs_trace.create () in
+        let out_on, sim_on, wall_on =
+          exec (fun engine ->
+              let track = Obs_trace.track tr name in
+              Some (Obs_trace.sink tr ~track ~clock:(fun () -> Engine.elapsed engine)))
+        in
+        let overhead_pct = (sim_on -. sim_off) /. sim_off *. 100. in
+        let identical = List.map Tensor.data out_off = List.map Tensor.data out_on in
+        Obs_trace.write tr ~path:tmp;
+        let parse_ok =
+          let contents = In_channel.with_open_text tmp In_channel.input_all in
+          match Obs_json.of_string contents with
+          | Ok doc -> Obs_json.member "traceEvents" doc <> None
+          | Error _ -> false
+        in
+        let ok = overhead_pct <= 1. && identical && parse_ok in
+        if not ok then failed := true;
+        [
+          name;
+          Table.si sim_off ^ "s";
+          Table.si sim_on ^ "s";
+          Printf.sprintf "%.2f%%" overhead_pct;
+          Table.si wall_off ^ "s";
+          Table.si wall_on ^ "s";
+          string_of_int (List.length (Obs_trace.entries tr));
+          (if identical then "yes" else "NO");
+          (if ok then "ok" else "FAIL");
+        ])
+      workloads
+  in
+  Sys.remove tmp;
+  Table.print_stdout
+    ~header:
+      [ "workload"; "sim off"; "sim on"; "sim ovh"; "wall off"; "wall on";
+        "events"; "bitwise"; "status" ]
+    ~rows;
+  print_newline ();
+  if !failed then begin
+    prerr_endline "obs stage failed: sink perturbed the run or trace was malformed";
+    exit 1
+  end
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -273,7 +349,8 @@ let () =
   let seed, stages = parse None [] (List.tl (Array.to_list Sys.argv)) in
   let stages =
     match stages with
-    | [] -> [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil" ]
+    | [] ->
+      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs" ]
     | picked -> picked
   in
   List.iter
@@ -286,10 +363,11 @@ let () =
       | "shard" -> run_shard ?seed ()
       | "serve" -> run_serve ?seed ()
       | "resil" -> run_resil ?seed ()
+      | "obs" -> run_obs ?seed ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs)\n"
           other;
         exit 1)
     stages

@@ -29,8 +29,37 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* Observability plumbing shared by the experiment subcommands: --trace
+   records the run as Chrome trace-event JSON, --json replaces the human
+   tables with one machine-readable report document on stdout. *)
+let trace_arg () =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the run and write a Chrome trace-event JSON file \
+                 (load in Perfetto or chrome://tracing).")
+
+let json_arg () =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Print a machine-readable JSON report to stdout instead of \
+                 the tables.")
+
+(* [with_trace path f] runs [f] with a trace when [path] is set and writes
+   the Chrome document afterwards. *)
+let with_trace path f =
+  let tr = Option.map (fun _ -> Obs_trace.create ()) path in
+  let result = f tr in
+  (match (path, tr) with
+  | Some path, Some tr -> Obs_trace.write tr ~path
+  | _ -> ());
+  result
+
+let report ~name ~json ~human fields =
+  if json then Obs_report.print (Obs_report.document ~name fields)
+  else human ()
+
 let figure5_cmd =
-  let run paper_scale batches n_data dim n_iter seed csv =
+  let run paper_scale batches n_data dim n_iter seed csv trace json =
     let base = if paper_scale then Figure5.paper_scale else Figure5.default_scale in
     let scale =
       {
@@ -41,8 +70,10 @@ let figure5_cmd =
         seed = Option.value ~default:base.Figure5.seed seed;
       }
     in
-    let points = Figure5.run ~scale () in
-    Figure5.print points;
+    let points = with_trace trace (fun tr -> Figure5.run ~scale ?trace:tr ()) in
+    report ~name:"figure5" ~json
+      ~human:(fun () -> Figure5.print points)
+      [ ("points", Figure5.to_json points) ];
     Option.iter (fun path -> write_file path (Figure5.to_csv points)) csv
   in
   let csv =
@@ -62,20 +93,24 @@ let figure5_cmd =
   Cmd.v
     (Cmd.info "figure5"
        ~doc:"NUTS throughput vs batch size on Bayesian logistic regression (paper Figure 5).")
-    Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ seed_arg () $ csv)
+    Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ seed_arg () $ csv
+          $ trace_arg () $ json_arg ())
 
 let figure6_cmd =
-  let run dim batches n_iter seed stats_flag csv =
+  let run dim batches n_iter seed stats_flag csv json =
     let stats =
       Figure6.run ~dim
         ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
         ~n_iter ?seed ()
     in
-    Figure6.print stats;
-    if stats_flag then begin
-      print_newline ();
-      Figure6.print_occupancy stats
-    end;
+    report ~name:"figure6" ~json
+      ~human:(fun () ->
+        Figure6.print stats;
+        if stats_flag then begin
+          print_newline ();
+          Figure6.print_occupancy stats
+        end)
+      [ ("stats", Figure6.to_json stats) ];
     Option.iter (fun path -> write_file path (Figure6.to_csv stats)) csv
   in
   let csv =
@@ -94,7 +129,8 @@ let figure6_cmd =
   Cmd.v
     (Cmd.info "figure6"
        ~doc:"Batch-gradient utilization on the correlated Gaussian (paper Figure 6).")
-    Term.(const run $ dim $ batches_arg [] $ n_iter $ seed_arg () $ stats_flag $ csv)
+    Term.(const run $ dim $ batches_arg [] $ n_iter $ seed_arg () $ stats_flag $ csv
+          $ json_arg ())
 
 let ablations_cmd =
   let run dim batch n_iter seed =
@@ -115,7 +151,7 @@ let ablations_cmd =
     Term.(const run $ dim $ batch $ n_iter $ seed_arg ())
 
 let scaling_cmd =
-  let run devices per_device total dim n_iter link_name algo_name seed csv =
+  let run devices per_device total dim n_iter link_name algo_name seed csv json =
     let link =
       match link_name with
       | "nvlink" -> Mesh.nvlink
@@ -147,7 +183,9 @@ let scaling_cmd =
       }
     in
     let points = Scaling.run ~scale () in
-    Scaling.print points;
+    report ~name:"scaling" ~json
+      ~human:(fun () -> Scaling.print points)
+      [ ("points", Scaling.to_json points) ];
     Option.iter (fun path -> write_file path (Scaling.to_csv points)) csv
   in
   let devices =
@@ -182,7 +220,7 @@ let scaling_cmd =
        ~doc:"Weak/strong scaling of sharded batched NUTS across a device mesh \
              (Figure 7; each simulated device is a real OCaml domain).")
     Term.(const run $ devices $ per_device $ total $ dim $ n_iter $ link $ algo
-          $ seed_arg () $ csv)
+          $ seed_arg () $ csv $ json_arg ())
 
 let known_programs () =
   [
@@ -414,7 +452,7 @@ let sample_cmd =
 
 let serve_cmd =
   let run dim lanes requests max_iter loads policies queue_depth closed_clients
-      seed csv =
+      seed csv trace json =
     let policies =
       List.map
         (function
@@ -428,11 +466,14 @@ let serve_cmd =
         policies
     in
     let stats =
-      Serving.run ~dim ~lanes ~n_requests:requests ~max_iter
-        ?loads:(match loads with [] -> None | ls -> Some ls)
-        ~policies ~queue_depth ~closed_clients ?seed ()
+      with_trace trace (fun tr ->
+          Serving.run ~dim ~lanes ~n_requests:requests ~max_iter
+            ?loads:(match loads with [] -> None | ls -> Some ls)
+            ~policies ~queue_depth ~closed_clients ?seed ?trace:tr ())
     in
-    Serving.print stats;
+    report ~name:"serve" ~json
+      ~human:(fun () -> Serving.print stats)
+      [ ("stats", Serving.to_json stats) ];
     Option.iter (fun path -> write_file path (Serving.to_csv stats)) csv
   in
   let dim = Arg.(value & opt int 10 & info [ "dim" ] ~doc:"Gaussian dimension.") in
@@ -478,10 +519,11 @@ let serve_cmd =
              through recyclable VM lanes and compare admission policies \
              (throughput, latency percentiles, live-lane occupancy).")
     Term.(const run $ dim $ lanes $ requests $ max_iter $ loads $ policies
-          $ queue_depth $ closed_clients $ seed_arg () $ csv)
+          $ queue_depth $ closed_clients $ seed_arg () $ csv $ trace_arg ()
+          $ json_arg ())
 
 let resilience_cmd =
-  let run z intervals rates vms shards lanes requests bandwidth seed csv =
+  let run z intervals rates vms shards lanes requests bandwidth seed csv json =
     let intervals =
       match intervals with
       | [] -> None
@@ -518,7 +560,9 @@ let resilience_cmd =
         ?seed:(Option.map Int64.to_int seed)
         ()
     in
-    Resilience.print stats;
+    report ~name:"resilience" ~json
+      ~human:(fun () -> Resilience.print stats)
+      [ ("stats", Resilience.to_json stats) ];
     Option.iter (fun path -> write_file path (Resilience.to_csv stats)) csv
   in
   let z = Arg.(value & opt int 32 & info [ "z" ] ~doc:"Batch size (lanes).") in
@@ -564,7 +608,7 @@ let resilience_cmd =
              and recovered work, and verify each recovered run is bitwise \
              identical to the fault-free one.")
     Term.(const run $ z $ intervals $ rates $ vms $ shards $ lanes $ requests
-          $ bandwidth $ seed_arg () $ csv)
+          $ bandwidth $ seed_arg () $ csv $ json_arg ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Local CI: everything a commit must pass, in the order it fails fastest.
 #
-#   ./ci.sh         # build + fast test tier + (if configured) format check
+#   ./ci.sh         # build + fast test tier + obs smoke + format check
+#   ./ci.sh --fast  # same (the default tier, spelled out)
 #   ./ci.sh --full  # same, but the complete test suite instead of the fast tier
 #
 # Mirrors HACKING.md: run before committing; run --full before merging.
@@ -14,9 +15,10 @@ step() {
 tier="@runtest-fast"
 for arg in "$@"; do
   case "$arg" in
+    --fast) tier="@runtest-fast" ;;
     --full) tier="@runtest" ;;
     *)
-      echo "usage: ./ci.sh [--full]" >&2
+      echo "usage: ./ci.sh [--fast|--full]" >&2
       exit 2
       ;;
   esac
@@ -27,6 +29,12 @@ dune build
 
 step "tests ($tier)"
 dune build "$tier"
+
+# Observability must be free: the obs bench stage re-runs a workload with
+# a trace sink attached and exits nonzero if the simulated cost moves by
+# more than 1%, outputs change, or the trace fails to re-parse.
+step "bench obs smoke"
+dune exec bench/main.exe -- obs
 
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.

@@ -5,46 +5,72 @@ let mode_to_string = function
   | Fused -> "fused"
   | Hybrid -> "hybrid"
 
-type counters = {
-  kernel_launches : int;
-  fused_launches : int;
-  host_ops : int;
-  host_calls : int;
-  blocks : int;
-  lane_refills : int;
-  lane_retires : int;
-  flops : float;
-  traffic_bytes : float;
-  elapsed_seconds : float;
-}
-
-let zero_counters =
-  {
-    kernel_launches = 0;
-    fused_launches = 0;
-    host_ops = 0;
-    host_calls = 0;
-    blocks = 0;
-    lane_refills = 0;
-    lane_retires = 0;
-    flops = 0.;
-    traffic_bytes = 0.;
-    elapsed_seconds = 0.;
+module Counters = struct
+  type t = {
+    kernel_launches : int;
+    fused_launches : int;
+    host_ops : int;
+    host_calls : int;
+    blocks : int;
+    lane_refills : int;
+    lane_retires : int;
+    flops : float;
+    traffic_bytes : float;
+    elapsed_seconds : float;
   }
 
-let add_counters a b =
-  {
-    kernel_launches = a.kernel_launches + b.kernel_launches;
-    fused_launches = a.fused_launches + b.fused_launches;
-    host_ops = a.host_ops + b.host_ops;
-    host_calls = a.host_calls + b.host_calls;
-    blocks = a.blocks + b.blocks;
-    lane_refills = a.lane_refills + b.lane_refills;
-    lane_retires = a.lane_retires + b.lane_retires;
-    flops = a.flops +. b.flops;
-    traffic_bytes = a.traffic_bytes +. b.traffic_bytes;
-    elapsed_seconds = a.elapsed_seconds +. b.elapsed_seconds;
-  }
+  let zero =
+    {
+      kernel_launches = 0;
+      fused_launches = 0;
+      host_ops = 0;
+      host_calls = 0;
+      blocks = 0;
+      lane_refills = 0;
+      lane_retires = 0;
+      flops = 0.;
+      traffic_bytes = 0.;
+      elapsed_seconds = 0.;
+    }
+
+  let add a b =
+    {
+      kernel_launches = a.kernel_launches + b.kernel_launches;
+      fused_launches = a.fused_launches + b.fused_launches;
+      host_ops = a.host_ops + b.host_ops;
+      host_calls = a.host_calls + b.host_calls;
+      blocks = a.blocks + b.blocks;
+      lane_refills = a.lane_refills + b.lane_refills;
+      lane_retires = a.lane_retires + b.lane_retires;
+      flops = a.flops +. b.flops;
+      traffic_bytes = a.traffic_bytes +. b.traffic_bytes;
+      elapsed_seconds = a.elapsed_seconds +. b.elapsed_seconds;
+    }
+
+  let pp ppf c =
+    Format.fprintf ppf
+      "@[<hov 2>kernels %d,@ fused %d,@ host-ops %d,@ host-calls %d,@ blocks %d,@ \
+       %.3g flops,@ %.3g bytes,@ %.3gs@]"
+      c.kernel_launches c.fused_launches c.host_ops c.host_calls c.blocks c.flops
+      c.traffic_bytes c.elapsed_seconds
+
+  let to_json c =
+    Obs_json.Obj
+      [
+        ("kernel_launches", Obs_json.Int c.kernel_launches);
+        ("fused_launches", Obs_json.Int c.fused_launches);
+        ("host_ops", Obs_json.Int c.host_ops);
+        ("host_calls", Obs_json.Int c.host_calls);
+        ("blocks", Obs_json.Int c.blocks);
+        ("lane_refills", Obs_json.Int c.lane_refills);
+        ("lane_retires", Obs_json.Int c.lane_retires);
+        ("flops", Obs_json.Float c.flops);
+        ("traffic_bytes", Obs_json.Float c.traffic_bytes);
+        ("elapsed_seconds", Obs_json.Float c.elapsed_seconds);
+      ]
+end
+
+type counters = Counters.t
 
 type state = {
   mutable kernel_launches : int;
@@ -64,14 +90,14 @@ type t = {
   mode : mode;
   st : state;
   tally : (string, int) Hashtbl.t;
-  mutable launch_hook : (unit -> unit) option;
+  mutable sink : Obs_sink.t option;
 }
 
 let create ~device ~mode () =
   {
     device;
     mode;
-    launch_hook = None;
+    sink = None;
     st =
       {
         kernel_launches = 0;
@@ -91,14 +117,13 @@ let create ~device ~mode () =
 let device t = t.device
 let mode t = t.mode
 
-(* The fault-injection seam: a resilience layer may observe every launch
-   (kernel or fused block) and raise to poison it. Off by default, and the
-   off path is a single match on [None]. *)
-let set_launch_hook t f = t.launch_hook <- Some f
-let clear_launch_hook t = t.launch_hook <- None
+(* The shared observability/fault seam: tracing reads the [Launched] spans,
+   the resilience layer poisons a launch by raising on [Launch]. Off by
+   default, and the off path is a single match on [None]. *)
+let set_sink t sink = t.sink <- Some sink
+let clear_sink t = t.sink <- None
 
-let fire_launch_hook t =
-  match t.launch_hook with None -> () | Some f -> f ()
+let emit t ev = match t.sink with None -> () | Some sink -> sink ev
 
 let bump_tally t name =
   Hashtbl.replace t.tally name (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally name))
@@ -118,7 +143,8 @@ let charge_traffic t ~bytes =
   t.st.time <- t.st.time +. traffic_time t bytes
 
 let charge_kernel t ~name ~flops =
-  fire_launch_hook t;
+  emit t (Obs_sink.Launch { kind = Obs_sink.Kernel; name });
+  let t0 = t.st.time in
   bump_tally t name;
   t.st.kernel_launches <- t.st.kernel_launches + 1;
   t.st.host_ops <- t.st.host_ops + 1;
@@ -127,7 +153,8 @@ let charge_kernel t ~name ~flops =
     t.st.time
     +. t.device.Device.kernel_launch_overhead
     +. t.device.Device.host_op_overhead
-    +. compute_time t flops
+    +. compute_time t flops;
+  emit t (Obs_sink.Launched { kind = Obs_sink.Kernel; name; t0; t1 = t.st.time })
 
 (* Lane recycling in the continuous-batching server: a refill writes the
    incoming request's input rows and a retire reads the finished lane's
@@ -149,8 +176,11 @@ let charge_host_call t =
   t.st.host_calls <- t.st.host_calls + 1;
   t.st.time <- t.st.time +. (host_call_factor *. t.device.Device.host_op_overhead)
 
+let block_name = "block"
+
 let charge_block t ~ops ~control_ops ~traffic_bytes =
-  fire_launch_hook t;
+  emit t (Obs_sink.Launch { kind = Obs_sink.Fused_block; name = block_name });
+  let t0 = t.st.time in
   let d = t.device in
   t.st.blocks <- t.st.blocks + 1;
   let block_flops = List.fold_left (fun acc (_, f) -> acc +. f) 0. ops in
@@ -191,7 +221,10 @@ let charge_block t ~ops ~control_ops ~traffic_bytes =
         +. (float_of_int control_ops
             *. (d.Device.kernel_launch_overhead +. d.Device.host_op_overhead))
         +. fused_compute_time t block_flops +. traffic
-  end
+  end;
+  emit t
+    (Obs_sink.Launched
+       { kind = Obs_sink.Fused_block; name = block_name; t0; t1 = t.st.time })
 
 let elapsed t = t.st.time
 
@@ -208,7 +241,7 @@ let reset t =
   t.st.time <- 0.;
   Hashtbl.reset t.tally
 
-let counters t =
+let current t : Counters.t =
   {
     kernel_launches = t.st.kernel_launches;
     fused_launches = t.st.fused_launches;
@@ -222,27 +255,11 @@ let counters t =
     elapsed_seconds = t.st.time;
   }
 
-let merge t (c : counters) =
-  t.st.kernel_launches <- t.st.kernel_launches + c.kernel_launches;
-  t.st.fused_launches <- t.st.fused_launches + c.fused_launches;
-  t.st.host_ops <- t.st.host_ops + c.host_ops;
-  t.st.host_calls <- t.st.host_calls + c.host_calls;
-  t.st.blocks <- t.st.blocks + c.blocks;
-  t.st.lane_refills <- t.st.lane_refills + c.lane_refills;
-  t.st.lane_retires <- t.st.lane_retires + c.lane_retires;
-  t.st.flops <- t.st.flops +. c.flops;
-  t.st.traffic_bytes <- t.st.traffic_bytes +. c.traffic_bytes;
-  t.st.time <- t.st.time +. c.elapsed_seconds
-
-let op_tally t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
-
-type snapshot = { at : counters; ops : (string * int) list }
+type snapshot = { at : Counters.t; ops : (string * int) list }
 
 let snapshot t =
   {
-    at = counters t;
+    at = current t;
     (* Name order, so snapshots of equal states are structurally equal. *)
     ops =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tally []
@@ -250,22 +267,32 @@ let snapshot t =
   }
 
 let restore t (s : snapshot) =
-  t.st.kernel_launches <- s.at.kernel_launches;
-  t.st.fused_launches <- s.at.fused_launches;
-  t.st.host_ops <- s.at.host_ops;
-  t.st.host_calls <- s.at.host_calls;
-  t.st.blocks <- s.at.blocks;
-  t.st.lane_refills <- s.at.lane_refills;
-  t.st.lane_retires <- s.at.lane_retires;
-  t.st.flops <- s.at.flops;
-  t.st.traffic_bytes <- s.at.traffic_bytes;
-  t.st.time <- s.at.elapsed_seconds;
+  t.st.kernel_launches <- s.at.Counters.kernel_launches;
+  t.st.fused_launches <- s.at.Counters.fused_launches;
+  t.st.host_ops <- s.at.Counters.host_ops;
+  t.st.host_calls <- s.at.Counters.host_calls;
+  t.st.blocks <- s.at.Counters.blocks;
+  t.st.lane_refills <- s.at.Counters.lane_refills;
+  t.st.lane_retires <- s.at.Counters.lane_retires;
+  t.st.flops <- s.at.Counters.flops;
+  t.st.traffic_bytes <- s.at.Counters.traffic_bytes;
+  t.st.time <- s.at.Counters.elapsed_seconds;
   Hashtbl.reset t.tally;
   List.iter (fun (name, n) -> Hashtbl.replace t.tally name n) s.ops
 
-let pp_counters ppf (c : counters) =
-  Format.fprintf ppf
-    "@[<hov 2>kernels %d,@ fused %d,@ host-ops %d,@ host-calls %d,@ blocks %d,@ \
-     %.3g flops,@ %.3g bytes,@ %.3gs@]"
-    c.kernel_launches c.fused_launches c.host_ops c.host_calls c.blocks c.flops
-    c.traffic_bytes c.elapsed_seconds
+let merge ~into:t (s : snapshot) =
+  t.st.kernel_launches <- t.st.kernel_launches + s.at.Counters.kernel_launches;
+  t.st.fused_launches <- t.st.fused_launches + s.at.Counters.fused_launches;
+  t.st.host_ops <- t.st.host_ops + s.at.Counters.host_ops;
+  t.st.host_calls <- t.st.host_calls + s.at.Counters.host_calls;
+  t.st.blocks <- t.st.blocks + s.at.Counters.blocks;
+  t.st.lane_refills <- t.st.lane_refills + s.at.Counters.lane_refills;
+  t.st.lane_retires <- t.st.lane_retires + s.at.Counters.lane_retires;
+  t.st.flops <- t.st.flops +. s.at.Counters.flops;
+  t.st.traffic_bytes <- t.st.traffic_bytes +. s.at.Counters.traffic_bytes;
+  t.st.time <- t.st.time +. s.at.Counters.elapsed_seconds;
+  List.iter
+    (fun (name, n) ->
+      Hashtbl.replace t.tally name
+        (n + Option.value ~default:0 (Hashtbl.find_opt t.tally name)))
+    s.ops

@@ -11,29 +11,47 @@
       flow and masked state updates live inside the fused program — XLA.
     - [Hybrid]: basic blocks are fused, but control decisions (masks,
       program-counter updates, host recursion) are dispatched from the
-      host — the paper's "Eager control + XLA blocks" configuration. *)
+      host — the paper's "Eager control + XLA blocks" configuration.
+
+    Reading an engine back out goes through exactly one door: {!snapshot},
+    which captures the cumulative {!Counters.t} record and the per-op
+    tally together. Snapshots merge ({!merge}), restore ({!restore}), and
+    serialize (lib/resil); there is no separate counters-only or
+    tally-only readout. *)
 
 type mode = Eager | Fused | Hybrid
 
 val mode_to_string : mode -> string
 
-type counters = {
-  kernel_launches : int;  (** individually dispatched kernels *)
-  fused_launches : int;   (** fused-block launches *)
-  host_ops : int;         (** host-language dispatch actions *)
-  host_calls : int;       (** host-language function calls (local-VM recursion) *)
-  blocks : int;           (** basic blocks executed *)
-  lane_refills : int;     (** serving: lanes recycled with a new request *)
-  lane_retires : int;     (** serving: finished lanes drained of outputs *)
-  flops : float;          (** arithmetic performed *)
-  traffic_bytes : float;  (** stack gather/scatter + masked-update traffic *)
-  elapsed_seconds : float;  (** simulated seconds accumulated *)
-}
+(** Cumulative cost counters. A plain record: shardable, serializable,
+    and summable without touching an engine. *)
+module Counters : sig
+  type t = {
+    kernel_launches : int;  (** individually dispatched kernels *)
+    fused_launches : int;   (** fused-block launches *)
+    host_ops : int;         (** host-language dispatch actions *)
+    host_calls : int;       (** host-language function calls (local-VM recursion) *)
+    blocks : int;           (** basic blocks executed *)
+    lane_refills : int;     (** serving: lanes recycled with a new request *)
+    lane_retires : int;     (** serving: finished lanes drained of outputs *)
+    flops : float;          (** arithmetic performed *)
+    traffic_bytes : float;  (** stack gather/scatter + masked-update traffic *)
+    elapsed_seconds : float;  (** simulated seconds accumulated *)
+  }
 
-val zero_counters : counters
+  val zero : t
 
-val add_counters : counters -> counters -> counters
-(** Fieldwise sum; the identity is {!zero_counters}. *)
+  val add : t -> t -> t
+  (** Fieldwise sum; the identity is {!zero}. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Obs_json.t
+end
+
+type counters = Counters.t
+(** Compatibility alias: the resilience layer's snapshot codec round-trips
+    this record by name. New code should spell [Engine.Counters.t]. *)
 
 type t
 
@@ -69,41 +87,36 @@ val elapsed : t -> float
 (** Simulated seconds so far. *)
 
 val reset : t -> unit
-val counters : t -> counters
-
-val merge : t -> counters -> unit
-(** Fold another engine's snapshot into this one's mutable state (counts
-    and simulated time both accumulate). This is how per-shard engines are
-    combined after a multi-device run without reaching into each other's
-    state: snapshot each shard with {!counters}, [merge] into a fresh
-    engine. Per-op tallies are not part of a snapshot and do not merge. *)
-
-
-val op_tally : t -> (string * int) list
-(** Per-primitive-name dispatch counts, sorted descending. *)
 
 type snapshot = {
-  at : counters;               (** cumulative counters at capture time *)
+  at : Counters.t;             (** cumulative counters at capture time *)
   ops : (string * int) list;   (** per-op tally, sorted by name *)
 }
 
 val snapshot : t -> snapshot
-(** The engine's complete mutable state — counters {e and} the per-op
-    tally. Unlike {!counters} (a read-out for merging), a snapshot is made
-    to be {!restore}d, so a run recovered from a checkpoint reports the
-    true cumulative cost from time zero, not just the post-restore cost. *)
+(** The engine's complete readout — counters {e and} the per-op tally.
+    Snapshots of equal states are structurally equal, so they compare,
+    merge and serialize directly. *)
 
 val restore : t -> snapshot -> unit
 (** Overwrite the engine's state with a snapshot (counts, simulated time,
-    tally). Device and mode are not part of the snapshot: restore into an
-    engine built with the same [create] arguments. *)
+    tally), so a run recovered from a checkpoint reports the true
+    cumulative cost from time zero. Device and mode are not part of the
+    snapshot: restore into an engine built with the same [create]
+    arguments. *)
 
-val set_launch_hook : t -> (unit -> unit) -> unit
-(** Install a callback observing every launch ({!charge_kernel} and
-    {!charge_block}), the fault-injection seam: the resilience layer
-    poisons a launch by raising from here. Zero cost when unset (one
-    [None] match per launch). *)
+val merge : into:t -> snapshot -> unit
+(** Fold another engine's snapshot into [into]'s mutable state: counts,
+    simulated time and per-op tallies all accumulate. This is how
+    per-shard engines combine after a multi-device run without reaching
+    into each other's state. Same shape as [Instrument.merge ~into]. *)
 
-val clear_launch_hook : t -> unit
+val set_sink : t -> Obs_sink.t -> unit
+(** Install a structured event sink observing every launch. Each
+    {!charge_kernel}/{!charge_block} emits [Obs_sink.Launch] {e before}
+    any cost is charged — the fault-injection seam: raising from the sink
+    poisons the launch — and [Obs_sink.Launched] after, carrying the
+    launch's span on the simulated clock for tracing. Zero cost when
+    unset (one [None] match per launch). *)
 
-val pp_counters : Format.formatter -> counters -> unit
+val clear_sink : t -> unit

@@ -31,14 +31,14 @@ let masking_vs_gather ?(dim = 50) ?(batch = 32) ?(n_iter = 3)
           }
         in
         ignore (Autobatch.run_local ~config compiled ~batch:batch_inputs);
-        let c = Engine.counters engine in
+        let c = (Engine.snapshot engine).Engine.at in
         let useful = Instrument.prim_useful instrument ~name:"grad" in
         let issued = Instrument.prim_issued instrument ~name:"grad" in
         [
           name;
           Printf.sprintf "%.4f" (Engine.elapsed engine);
-          Table.si c.Engine.flops;
-          Table.si c.Engine.traffic_bytes;
+          Table.si c.Engine.Counters.flops;
+          Table.si c.Engine.Counters.traffic_bytes;
           string_of_int useful;
           string_of_int issued;
           Printf.sprintf "%.3f" (float_of_int useful /. float_of_int (max 1 issued));
@@ -124,13 +124,13 @@ let stack_optimizations ?(dim = 50) ?(batch = 32) ?(n_iter = 3)
         in
         ignore (Autobatch.run_pc ~config compiled ~batch:batch_inputs);
         let temps, masked, stacked = Stack_ir.stats compiled.Autobatch.stack in
-        let c = Engine.counters engine in
+        let c = (Engine.snapshot engine).Engine.at in
         [
           name;
           Printf.sprintf "%d/%d/%d" temps masked stacked;
           string_of_int (Instrument.pushes instrument);
           string_of_int (Instrument.max_depth instrument);
-          Table.si c.Engine.traffic_bytes;
+          Table.si c.Engine.Counters.traffic_bytes;
           Printf.sprintf "%.4f" (Engine.elapsed engine);
         ])
       variants

@@ -53,7 +53,7 @@ let mk_point strategy batch useful sim =
     grads_per_sec = (if sim > 0. then float_of_int useful /. sim else Float.nan);
   }
 
-let run ?(scale = default_scale) () =
+let run ?(scale = default_scale) ?trace () =
   let logistic = Logistic_model.create ~seed:scale.seed ~n:scale.n_data ~dim:scale.dim () in
   let model = logistic.Logistic_model.model in
   let reg, _key = Nuts_dsl.setup ~seed:scale.seed ~model () in
@@ -73,11 +73,32 @@ let run ?(scale = default_scale) () =
   let inputs z = Nuts_dsl.inputs ~q0 ~eps ~n_iter:scale.n_iter ~n_burn:0 ~batch:z () in
   let points = ref [] in
   let emit p = points := p :: !points in
+  (* Tracing is bounded: one track per strategy, at the smallest batch size
+     of the sweep (the trace is about VM/engine behavior, not the axis).
+     The sink doubles as the engine's, so kernel/fused-launch spans land on
+     the same track as the superstep spans. *)
+  let traced_z = List.fold_left min max_int scale.batch_sizes in
+  let tracing name z engine =
+    match trace with
+    | Some tr when z = traced_z ->
+      let track = Obs_trace.track tr (Printf.sprintf "%s/z%d" name z) in
+      let sink = Obs_trace.sink tr ~track ~clock:(fun () -> Engine.elapsed engine) in
+      Engine.set_sink engine sink;
+      Some sink
+    | _ -> None
+  in
   (* Batched strategies: one real execution per (strategy, batch size). *)
   let pc_strategy name device z =
     let engine = Engine.create ~device ~mode:Engine.Fused () in
     let instrument = Instrument.create () in
-    let config = { Pc_vm.default_config with engine = Some engine; instrument = Some instrument } in
+    let config =
+      {
+        Pc_vm.default_config with
+        engine = Some engine;
+        instrument = Some instrument;
+        sink = tracing name z engine;
+      }
+    in
     ignore (Autobatch.run_pc ~config compiled ~batch:(inputs z));
     emit (mk_point name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
   in
@@ -85,7 +106,12 @@ let run ?(scale = default_scale) () =
     let engine = Engine.create ~device ~mode () in
     let instrument = Instrument.create () in
     let config =
-      { Local_vm.default_config with engine = Some engine; instrument = Some instrument }
+      {
+        Local_vm.default_config with
+        engine = Some engine;
+        instrument = Some instrument;
+        sink = tracing name z engine;
+      }
     in
     ignore (Autobatch.run_local ~config compiled ~batch:(inputs z));
     emit (mk_point name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
@@ -105,8 +131,9 @@ let run ?(scale = default_scale) () =
     (* A few members, to average trajectory-length variation; every
        reference gradient is useful (no synchronization waste). *)
     let engine = Engine.create ~device ~mode:Engine.Eager () in
+    ignore (tracing name traced_z engine);
     ignore (Autobatch.run_unbatched ~engine compiled ~batch:(inputs 4));
-    let tally = Engine.op_tally engine in
+    let tally = (Engine.snapshot engine).Engine.ops in
     let grads = Option.value ~default:0 (List.assoc_opt "grad" tally) in
     let sim = Engine.elapsed engine in
     List.iter (fun z -> emit (mk_point name z grads sim)) scale.batch_sizes
@@ -129,6 +156,20 @@ let to_csv points =
            p.sim_seconds p.grads_per_sec))
     points;
   Buffer.contents buf
+
+let to_json points =
+  Obs_json.List
+    (List.map
+       (fun p ->
+         Obs_json.Obj
+           [
+             ("strategy", Obs_json.Str p.strategy);
+             ("batch", Obs_json.Int p.batch);
+             ("useful_grads", Obs_json.Int p.useful_grads);
+             ("sim_seconds", Obs_json.Float p.sim_seconds);
+             ("grads_per_sec", Obs_json.Float p.grads_per_sec);
+           ])
+       points)
 
 let print points =
   let batches =

@@ -41,7 +41,10 @@ type point = {
   grads_per_sec : float;
 }
 
-val run : ?scale:scale -> unit -> point list
+val run : ?scale:scale -> ?trace:Obs_trace.t -> unit -> point list
+(** With [trace], the smallest-batch run of every strategy is recorded on
+    its own track — superstep spans from the VM and kernel/fused-launch
+    spans from the engine, on the engine's simulated clock. *)
 
 val print : point list -> unit
 (** Batch-size × strategy table of gradients/second on stdout. *)
@@ -55,3 +58,6 @@ val rate : point list -> strategy:string -> batch:int -> float option
 val to_csv : point list -> string
 (** One row per (strategy, batch) point:
     [strategy,batch,useful_grads,sim_seconds,grads_per_sec]. *)
+
+val to_json : point list -> Obs_json.t
+(** The same series as a JSON array, for {!Obs_report} documents. *)

@@ -104,6 +104,32 @@ let to_csv stats =
        stats.mean_grads_per_trajectory stats.max_grads_per_trajectory);
   Buffer.contents buf
 
+let to_json stats =
+  Obs_json.Obj
+    [
+      ( "points",
+        Obs_json.List
+          (List.map
+             (fun p ->
+               Obs_json.Obj
+                 [
+                   ("batch", Obs_json.Int p.batch);
+                   ("local_util", Obs_json.Float p.local_util);
+                   ("pc_util", Obs_json.Float p.pc_util);
+                 ])
+             stats.points) );
+      ("mean_grads_per_trajectory", Obs_json.Float stats.mean_grads_per_trajectory);
+      ("max_grads_per_trajectory", Obs_json.Float stats.max_grads_per_trajectory);
+      ("pc_mean_occupancy", Obs_json.Float stats.pc_mean_occupancy);
+      ( "pc_occupancy",
+        Obs_json.List
+          (List.map
+             (fun (step, occ) ->
+               Obs_json.Obj
+                 [ ("step", Obs_json.Int step); ("occupancy", Obs_json.Float occ) ])
+             stats.pc_occupancy) );
+    ]
+
 let print_occupancy stats =
   Printf.printf
     "live-lane occupancy over the widest program-counter run (mean %.3f):\n"

@@ -52,3 +52,7 @@ val print_occupancy : stats -> unit
 val to_csv : stats -> string
 (** [batch,local_util,pc_util] rows plus a trailing comment line with the
     trajectory statistics. *)
+
+val to_json : stats -> Obs_json.t
+(** Points, trajectory statistics, and the occupancy time series as one
+    JSON object, for {!Obs_report} documents. *)

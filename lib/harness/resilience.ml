@@ -258,6 +258,46 @@ let to_csv stats =
        stats.ckpt_bandwidth stats.delta_steps);
   Buffer.contents buf
 
+let to_json stats =
+  Obs_json.Obj
+    [
+      ("z", Obs_json.Int stats.z);
+      ("ckpt_bandwidth", Obs_json.Float stats.ckpt_bandwidth);
+      ("delta_steps", Obs_json.Float stats.delta_steps);
+      ( "young",
+        Obs_json.List
+          (List.map
+             (fun (rate, t_opt) ->
+               Obs_json.Obj
+                 [
+                   ("rate", Obs_json.Float rate);
+                   ("mtbf", Obs_json.Float (1. /. rate));
+                   ("t_opt", Obs_json.Float t_opt);
+                 ])
+             stats.young) );
+      ( "points",
+        Obs_json.List
+          (List.map
+             (fun p ->
+               Obs_json.Obj
+                 [
+                   ("vm", Obs_json.Str p.vm);
+                   ("interval", Obs_json.Str (interval_name p.interval));
+                   ("rate", Obs_json.Float p.rate);
+                   ("faults", Obs_json.Int p.faults);
+                   ("restores", Obs_json.Int p.restores);
+                   ("link_retries", Obs_json.Int p.link_retries);
+                   ("checkpoints", Obs_json.Int p.checkpoints);
+                   ("ckpt_bytes", Obs_json.Int p.ckpt_bytes);
+                   ("useful", Obs_json.Int p.useful);
+                   ("wasted", Obs_json.Int p.wasted);
+                   ("overhead_pct", Obs_json.Float p.overhead_pct);
+                   ("recovered_pct", Obs_json.Float p.recovered_pct);
+                   ("identical", Obs_json.Bool p.identical);
+                 ])
+             stats.points) );
+    ]
+
 let print stats =
   Printf.printf
     "Resilience: fib workload, z=%d; checkpoint cost modelled at %.0f bytes per \

@@ -62,3 +62,7 @@ val run :
 
 val print : stats -> unit
 val to_csv : stats -> string
+
+val to_json : stats -> Obs_json.t
+(** The sweep (points, Young intervals, calibration constants) as one JSON
+    object, for {!Obs_report} documents. *)

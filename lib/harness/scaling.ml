@@ -33,6 +33,7 @@ type point = {
   speedup : float;
   efficiency : float;
   wall_seconds : float;
+  shard_times : float array;
 }
 
 let series_name = function `Weak -> "weak" | `Strong -> "strong"
@@ -78,6 +79,7 @@ let run ?(scale = default_scale) () =
       speedup = 1.;
       efficiency = 1.;
       wall_seconds = wall;
+      shard_times = r.Shard_vm.shard_times;
     }
   in
   let devices = List.sort_uniq compare scale.devices in
@@ -126,6 +128,30 @@ let to_csv points =
            p.wall_seconds))
     points;
   Buffer.contents buf
+
+let to_json points =
+  Obs_json.List
+    (List.map
+       (fun p ->
+         Obs_json.Obj
+           [
+             ("series", Obs_json.Str (series_name p.series));
+             ("devices", Obs_json.Int p.devices);
+             ("batch", Obs_json.Int p.batch);
+             ("useful_grads", Obs_json.Int p.useful_grads);
+             ("compute_time", Obs_json.Float p.compute_time);
+             ("collective_time", Obs_json.Float p.collective_time);
+             ("sim_time", Obs_json.Float p.sim_time);
+             ("grads_per_sec", Obs_json.Float p.grads_per_sec);
+             ("speedup", Obs_json.Float p.speedup);
+             ("efficiency", Obs_json.Float p.efficiency);
+             ("wall_seconds", Obs_json.Float p.wall_seconds);
+             ( "shard_times",
+               Obs_json.List
+                 (Array.to_list
+                    (Array.map (fun t -> Obs_json.Float t) p.shard_times)) );
+           ])
+       points)
 
 let print_series title points =
   print_endline title;

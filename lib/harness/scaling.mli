@@ -40,6 +40,7 @@ type point = {
   speedup : float;             (** vs the 1-device point of the series *)
   efficiency : float;          (** speedup / devices *)
   wall_seconds : float;        (** real host time (domains parallelism) *)
+  shard_times : float array;   (** per-shard simulated seconds *)
 }
 
 val series_name : [ `Weak | `Strong ] -> string
@@ -50,3 +51,7 @@ val run : ?scale:scale -> unit -> point list
 val points_of : point list -> [ `Weak | `Strong ] -> point list
 val print : point list -> unit
 val to_csv : point list -> string
+
+val to_json : point list -> Obs_json.t
+(** Both series as a JSON array; each point carries its per-shard
+    simulated-time vector, the report's per-shard timeline. *)

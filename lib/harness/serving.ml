@@ -12,6 +12,7 @@ type point = {
   p95 : float;
   p99 : float;
   makespan : float;
+  latency_hist : Obs_json.t;
 }
 
 type stats = {
@@ -51,12 +52,20 @@ let summarize ~mode ~policy ~load ~offered (s : Server.stats) =
     p95 = percentile lat 95.;
     p99 = percentile lat 99.;
     makespan = s.Server.makespan;
+    latency_hist =
+      (* The log-bucketed summary (with its own p50/p90/p99 estimates)
+         alongside the exact percentiles above, so the JSON report carries
+         a machine-readable distribution, not just three cut points. *)
+      (let m = Obs_metrics.create () in
+       let h = Obs_metrics.histogram m "total_latency" in
+       Array.iter (Obs_metrics.observe h) lat;
+       Obs_metrics.hist_to_json h);
   }
 
 let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
     ?(max_iter = 3) ?(loads = [ 0.6; 0.9; 1.3 ])
     ?(policies = [ Server.Synchronous; Server.Fifo; Server.Shortest_first ])
-    ?(queue_depth = 1024) ?(closed_clients = -1) ?(seed = 0x5EEDL) () =
+    ?(queue_depth = 1024) ?(closed_clients = -1) ?(seed = 0x5EEDL) ?trace () =
   let closed_clients = if closed_clients < 0 then lanes else closed_clients in
   let gaussian = Gaussian_model.create ~rho ~dim () in
   let model = gaussian.Gaussian_model.model in
@@ -105,6 +114,26 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
   let server_config policy =
     { Server.default_config with lanes; policy; queue_depth }
   in
+  (* One trace track per measured serving run: the lane VM's superstep
+     spans plus the request lifecycle (enqueue/shed/reject instants and
+     queue/serve spans), all on the server clock — read through a forward
+     reference because the sink must exist before the server does. *)
+  let serve ~label ~config ?on_complete reqs =
+    match trace with
+    | None -> Server.run ~config ?on_complete ~program:compiled reqs
+    | Some tr ->
+      let track = Obs_trace.track tr label in
+      let holder = ref None in
+      let clock () = match !holder with Some s -> Server.now s | None -> 0. in
+      let sink = Obs_trace.sink tr ~track ~clock in
+      let config =
+        { config with Server.vm = { config.Server.vm with Pc_vm.sink = Some sink } }
+      in
+      let s = Server.create ~config ?on_complete ~program:compiled reqs in
+      holder := Some s;
+      while Server.step s do () done;
+      Server.stats s
+  in
   let open_points =
     List.concat_map
       (fun load ->
@@ -116,7 +145,7 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
             (Splitmix.hash2 seed (Int64.of_float (load *. 1e6)))
         in
         let t = ref 0. in
-        let trace =
+        let arrivals =
           List.init n_requests (fun i ->
               t := !t +. Splitmix.Stream.exponential arr_stream ~rate;
               request ~id:i ~arrival:!t ~n_iter:n_iters.(i))
@@ -124,8 +153,11 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
         List.map
           (fun policy ->
             let s =
-              Server.run ~config:(server_config policy) ~program:compiled
-                trace
+              serve
+                ~label:
+                  (Printf.sprintf "open/%s/load%.2f" (Server.policy_name policy)
+                     load)
+                ~config:(server_config policy) arrivals
             in
             summarize ~mode:"open" ~policy ~load ~offered:rate s)
           policies)
@@ -150,8 +182,9 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
             end
           in
           let s =
-            Server.run ~config:(server_config policy) ~on_complete
-              ~program:compiled initial
+            serve
+              ~label:(Printf.sprintf "closed/%s" (Server.policy_name policy))
+              ~config:(server_config policy) ~on_complete initial
           in
           let p = summarize ~mode:"closed" ~policy ~load:0. ~offered:0. s in
           (* A closed loop has no offered rate; report the measured one. *)
@@ -181,6 +214,36 @@ let to_csv stats =
     (Printf.sprintf "# lanes=%d n_requests=%d solo_service=%.2f\n" stats.lanes
        stats.n_requests stats.solo_service);
   Buffer.contents buf
+
+let to_json stats =
+  Obs_json.Obj
+    [
+      ("lanes", Obs_json.Int stats.lanes);
+      ("n_requests", Obs_json.Int stats.n_requests);
+      ("solo_service", Obs_json.Float stats.solo_service);
+      ( "points",
+        Obs_json.List
+          (List.map
+             (fun p ->
+               Obs_json.Obj
+                 [
+                   ("mode", Obs_json.Str p.mode);
+                   ("policy", Obs_json.Str (Server.policy_name p.policy));
+                   ("load", Obs_json.Float p.load);
+                   ("offered_rate", Obs_json.Float p.offered);
+                   ("completed", Obs_json.Int p.completed);
+                   ("shed", Obs_json.Int p.shed);
+                   ("throughput", Obs_json.Float p.throughput);
+                   ("mean_occupancy", Obs_json.Float p.mean_occupancy);
+                   ("mean_latency", Obs_json.Float p.mean_latency);
+                   ("p50", Obs_json.Float p.p50);
+                   ("p95", Obs_json.Float p.p95);
+                   ("p99", Obs_json.Float p.p99);
+                   ("makespan", Obs_json.Float p.makespan);
+                   ("latency_hist", p.latency_hist);
+                 ])
+             stats.points) );
+    ]
 
 let print stats =
   Printf.printf

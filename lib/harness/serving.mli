@@ -26,6 +26,9 @@ type point = {
   p95 : float;
   p99 : float;  (** total (queueing + service) latency percentiles *)
   makespan : float;
+  latency_hist : Obs_json.t;
+      (** log-bucketed total-latency summary ({!Obs_metrics.hist_to_json}):
+          count/sum/mean/min/max plus p50/p90/p99 estimates *)
 }
 
 type stats = {
@@ -48,11 +51,19 @@ val run :
   ?queue_depth:int ->
   ?closed_clients:int ->
   ?seed:int64 ->
+  ?trace:Obs_trace.t ->
   unit ->
   stats
 (** Defaults: dim 10, rho 0.7, 8 lanes, 48 requests of 1–3 trajectories,
     loads [0.6; 0.9; 1.3], all three policies, queue depth 1024,
-    [closed_clients = lanes] (0 disables the closed-loop runs). *)
+    [closed_clients = lanes] (0 disables the closed-loop runs). With
+    [trace], every measured serving run gets its own track — VM superstep
+    spans plus the request lifecycle, on the server clock (the calibration
+    probes are not traced). *)
 
 val print : stats -> unit
 val to_csv : stats -> string
+
+val to_json : stats -> Obs_json.t
+(** The whole sweep as one JSON object, each point carrying its
+    latency histogram — the payload of [experiments serve --json]. *)

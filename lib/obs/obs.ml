@@ -1,0 +1,10 @@
+(* The observability layer's front door: [Obs.Sink.t], [Obs.Trace.sink],
+   [Obs.Metrics.histogram], [Obs.Report.document]. The flat [Obs_*]
+   modules remain reachable (the library is unwrapped); these aliases are
+   the spelling the rest of the codebase uses. *)
+
+module Json = Obs_json
+module Metrics = Obs_metrics
+module Sink = Obs_sink
+module Trace = Obs_trace
+module Report = Obs_report

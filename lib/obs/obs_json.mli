@@ -1,0 +1,34 @@
+(** A small, dependency-free JSON value type.
+
+    The observability layer writes machine-readable artifacts — Chrome
+    trace-event files and report documents — and the tests parse them back,
+    so both directions live here rather than behind an external package.
+    Printing is deterministic: the same value always renders to the same
+    bytes, which is what makes golden-file tests meaningful. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Non-finite floats
+    render as [null]; integral floats render with a trailing [.0] so the
+    value stays a JSON number distinct from an [Int]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering for report documents meant to be read by
+    humans as well as machines. Same escaping and number format as
+    {!to_string}. *)
+
+val of_string : string -> (t, string) result
+(** Strict JSON parser (RFC 8259 subset: no comments, no trailing commas).
+    Numbers without [.]/[e] parse as [Int] when they fit, else [Float].
+    [\uXXXX] escapes decode to UTF-8; surrogate pairs are not combined. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or non-object. *)

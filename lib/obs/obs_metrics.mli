@@ -1,0 +1,61 @@
+(** A typed metrics registry: counters, gauges, and log-bucketed latency
+    histograms with quantile readout.
+
+    A registry created with [~enabled:false] hands out dead instruments:
+    every [incr]/[set]/[observe] is a single boolean test and no storage is
+    allocated for histogram buckets, so instrumented code can keep its
+    metric handles unconditionally and pay nothing when observability is
+    off. Instruments are identified by name within their registry; asking
+    for the same name twice returns the same instrument. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to [true]. *)
+
+val enabled : t -> bool
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+(** {1 Gauges} — last-write-wins floats. *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+
+(** {1 Histograms}
+
+    Log-bucketed at 8 buckets per power of two (≈ 9% relative resolution),
+    spanning [2^-32, 2^32] with underflow/overflow clamping; non-positive
+    observations land in a dedicated zero bucket. Exact count, sum, min and
+    max are tracked alongside the buckets, and quantile estimates are
+    clamped to the observed [min, max]. *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+(** [nan] when empty. *)
+
+val hist_min : histogram -> float
+val hist_max : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0, 1] (clamped); [nan] when empty. The
+    estimate is the geometric midpoint of the bucket holding the rank-[q]
+    observation, so its relative error is bounded by the bucket width. *)
+
+val hist_to_json : histogram -> Obs_json.t
+(** [{count; sum; mean; min; max; p50; p90; p99}]. *)
+
+val to_json : t -> Obs_json.t
+(** Whole-registry document: counters, gauges and histogram summaries,
+    each section sorted by instrument name. *)

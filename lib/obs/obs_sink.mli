@@ -1,0 +1,58 @@
+(** The structured event seam shared by tracing and fault injection.
+
+    A sink is just [event -> unit]. Every runtime layer that used to expose
+    an ad-hoc hook (the VM [step_hook]s, [Engine.set_launch_hook]) now takes
+    one optional sink and reports what happened as a typed event; consumers
+    pattern-match on the constructors they care about and ignore the rest.
+
+    Exceptions deliberately propagate: a sink that raises aborts the action
+    it observes, exactly like the old hooks. In particular a sink raising on
+    {!Step} aborts that superstep before the block executes, and raising on
+    {!Launch} poisons the launch before any cost is charged — the seams the
+    resilience layer's fault injector relies on. *)
+
+type launch_kind = Kernel | Fused_block
+
+type event =
+  | Step of { shard : int; step : int; block : int }
+      (** A VM superstep is about to execute [block]. [step] counts from 1;
+          [shard] is 0 outside sharded runs. Fired after the scheduler
+          picks, before the block runs. *)
+  | Launch of { kind : launch_kind; name : string }
+      (** A kernel or fused block is about to launch, before any cost is
+          charged. This is the fault-injection point. *)
+  | Launched of { kind : launch_kind; name : string; t0 : float; t1 : float }
+      (** The same launch, after charging: a completed span on the engine's
+          simulated clock. *)
+  | Collective of { name : string; bytes : float; t0 : float; t1 : float }
+      (** A mesh collective (all-reduce, all-gather) span. *)
+  | Request_enqueued of { id : int; at : float }
+  | Request_shed of { id : int; at : float }
+  | Request_rejected of { id : int; at : float }
+  | Request_completed of {
+      id : int;
+      queued : float;
+      started : float;
+      finished : float;
+    }
+      (** A served request's full lifecycle: queue wait [queued, started)
+          then service [started, finished). *)
+  | Checkpoint of { step : int; bytes : int }
+  | Restore of { step : int }
+
+type t = event -> unit
+
+val null : t
+(** Discards everything. *)
+
+val fanout : t list -> t
+(** Deliver each event to every sink, in list order. An exception from an
+    earlier sink skips the later ones (and aborts the observed action). *)
+
+val tag_shard : int -> t -> t
+(** Rewrite the [shard] field of {!Step} events; other events pass through.
+    [Shard_vm] uses this so one user sink sees correctly-labelled steps from
+    every shard. *)
+
+val kind_name : event -> string
+(** Short stable tag for CSV export ("step", "launch", ...). *)

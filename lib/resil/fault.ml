@@ -86,6 +86,13 @@ let launch_check t =
     fire t e rest
   | _ -> ()
 
+(* The injector as an observability sink: the same seam a tracer
+   observes is the seam faults enter through. *)
+let sink t : Obs_sink.t = function
+  | Obs_sink.Step _ -> tick t
+  | Obs_sink.Launch _ -> launch_check t
+  | _ -> ()
+
 let drops_now t =
   let rec go acc =
     match t.pending with

@@ -8,10 +8,12 @@
     (the recovered run re-executes the lost supersteps without
     re-suffering the same fault).
 
-    Wiring: {!tick} goes in a per-superstep hook
-    ({!Pc_vm.config.step_hook} or a driver loop), {!launch_check} in
-    {!Engine.set_launch_hook} so a poisoned kernel aborts before it is
-    charged, and {!drops_now} in a sharded driver's collective phase. *)
+    Wiring: {!sink} turns an injector into an {!Obs_sink.t} — install it
+    as a VM config's [sink] (composed after any user sink with
+    {!Obs_sink.fanout}) so [Step] events advance the wall clock, and as
+    the engine's sink ({!Engine.set_sink}) so a poisoned kernel aborts on
+    its [Launch] event before it is charged. {!drops_now} goes in a
+    sharded driver's collective phase. *)
 
 type kind =
   | Device_kill  (** the device dies mid-superstep; raised from {!tick} *)
@@ -61,8 +63,14 @@ val tick : injector -> unit
 
 val launch_check : injector -> unit
 (** Raise {!Injected} if a [Kernel_poison] is due at the current wall
-    superstep ({!Engine.set_launch_hook} seam — fires before the launch
-    is charged). *)
+    superstep (the engine's [Launch] seam — fires before the launch is
+    charged). *)
+
+val sink : injector -> Obs_sink.t
+(** The injector as an observability sink: [Step] events run {!tick},
+    [Launch] events run {!launch_check}, everything else is ignored.
+    Compose it after a user's own sink with {!Obs_sink.fanout} so tracing
+    observes a superstep before the fault aborts it. *)
 
 val drops_now : injector -> event list
 (** Pop every [Link_drop] due at the current wall superstep (the driver

@@ -59,13 +59,23 @@ let batch_z = function
     (Tensor.shape first).(0)
 
 (* Install the kernel-poison seam on an engine for the duration of [f].
-   The hook is cleared afterwards so the caller's engine is left clean. *)
-let with_launch_hook engine inj f =
+   The sink is cleared afterwards so the caller's engine is left clean. *)
+let with_engine_sink engine inj f =
   match engine with
   | None -> f ()
   | Some e ->
-    Engine.set_launch_hook e (fun () -> Fault.launch_check inj);
-    Fun.protect ~finally:(fun () -> Engine.clear_launch_hook e) f
+    Engine.set_sink e (Fault.sink inj);
+    Fun.protect ~finally:(fun () -> Engine.clear_sink e) f
+
+(* Compose the user's sink (first, so tracing observes the superstep the
+   fault aborts) with the injector's. *)
+let fault_sink user inj =
+  match user with
+  | None -> Fault.sink inj
+  | Some u -> Obs_sink.fanout [ u; Fault.sink inj ]
+
+(* Checkpoint/restore lifecycle events go to the user's sink only. *)
+let notify user ev = match user with None -> () | Some s -> s ev
 
 (* ---- Program-counter VM ----------------------------------------------- *)
 
@@ -73,12 +83,8 @@ let run_pc ?(config = Pc_vm.default_config) ?(interval = 0) ?(plan = []) reg pro
     ~batch =
   check_interval interval;
   let inj = Fault.injector plan in
-  let user_hook = config.Pc_vm.step_hook in
-  let hook ~steps =
-    (match user_hook with Some f -> f ~steps | None -> ());
-    Fault.tick inj
-  in
-  let config = { config with Pc_vm.step_hook = Some hook } in
+  let user_sink = config.Pc_vm.sink in
+  let config = { config with Pc_vm.sink = Some (fault_sink user_sink inj) } in
   let z = batch_z batch in
   let lanes = Pc_vm.Lanes.create ~config reg program ~z in
   for lane = 0 to z - 1 do
@@ -97,6 +103,9 @@ let run_pc ?(config = Pc_vm.default_config) ?(interval = 0) ?(plan = []) reg pro
     in
     tl.t_checkpoints <- tl.t_checkpoints + 1;
     tl.t_bytes <- tl.t_bytes + String.length blob;
+    notify user_sink
+      (Obs_sink.Checkpoint
+         { step = Pc_vm.Lanes.steps lanes; bytes = String.length blob });
     blob
   in
   (* Every restore decodes the stored blob — a genuine serialization round
@@ -107,12 +116,13 @@ let run_pc ?(config = Pc_vm.default_config) ?(interval = 0) ?(plan = []) reg pro
     (match (config.Pc_vm.engine, ck.Snapshot.ck_engine) with
     | Some e, Some s -> Engine.restore e s
     | _ -> ());
-    match (config.Pc_vm.instrument, ck.Snapshot.ck_instrument) with
+    (match (config.Pc_vm.instrument, ck.Snapshot.ck_instrument) with
     | Some i, Some s -> Instrument.restore i s
-    | _ -> ()
+    | _ -> ());
+    notify user_sink (Obs_sink.Restore { step = Pc_vm.Lanes.steps lanes })
   in
   let latest = ref (capture ()) in
-  with_launch_hook config.Pc_vm.engine inj (fun () ->
+  with_engine_sink config.Pc_vm.engine inj (fun () ->
       let rec loop () =
         match Pc_vm.Lanes.step lanes with
         | true ->
@@ -135,10 +145,11 @@ let run_pc ?(config = Pc_vm.default_config) ?(interval = 0) ?(plan = []) reg pro
 
 (* ---- Precompiled (JIT) VM --------------------------------------------- *)
 
-let run_jit ?sched ?engine ?instrument ?max_steps ?(interval = 0) ?(plan = []) exe
-    ~batch =
+let run_jit ?sched ?engine ?instrument ?sink:user_sink ?max_steps ?(interval = 0)
+    ?(plan = []) exe ~batch =
   check_interval interval;
   let inj = Fault.injector plan in
+  let sink = fault_sink user_sink inj in
   Pc_jit.load exe ~batch;
   let tl = tally () in
   let capture () =
@@ -152,6 +163,8 @@ let run_jit ?sched ?engine ?instrument ?max_steps ?(interval = 0) ?(plan = []) e
     in
     tl.t_checkpoints <- tl.t_checkpoints + 1;
     tl.t_bytes <- tl.t_bytes + String.length blob;
+    notify user_sink
+      (Obs_sink.Checkpoint { step = Pc_jit.steps exe; bytes = String.length blob });
     blob
   in
   let restore blob =
@@ -160,25 +173,24 @@ let run_jit ?sched ?engine ?instrument ?max_steps ?(interval = 0) ?(plan = []) e
     (match (engine, ck.Snapshot.ck_engine) with
     | Some e, Some s -> Engine.restore e s
     | _ -> ());
-    match (instrument, ck.Snapshot.ck_instrument) with
+    (match (instrument, ck.Snapshot.ck_instrument) with
     | Some i, Some s -> Instrument.restore i s
-    | _ -> ()
+    | _ -> ());
+    notify user_sink (Obs_sink.Restore { step = Pc_jit.steps exe })
   in
   let latest = ref (capture ()) in
-  with_launch_hook engine inj (fun () ->
+  with_engine_sink engine inj (fun () ->
       let rec loop () =
-        (* The executor has no step hook; the driver ticks the injector
-           around each superstep instead — same at-most-once semantics. *)
-        match
-          Fault.tick inj;
-          Pc_jit.step ?sched ?engine ?instrument ?max_steps exe
-        with
+        (* The executor's [Step] event carries the tick: it fires after
+           the step counter advances but before the block's effects, so
+           the aborted superstep is the one the injector's clock names. *)
+        match Pc_jit.step ?sched ?engine ?instrument ~sink ?max_steps exe with
         | true ->
           if interval > 0 && Pc_jit.steps exe mod interval = 0 then latest := capture ();
           loop ()
         | false -> ()
         | exception Fault.Injected _ ->
-          let completed = Pc_jit.steps exe in
+          let completed = max 0 (Pc_jit.steps exe - 1) in
           restore !latest;
           tl.t_restores <- tl.t_restores + 1;
           tl.t_wasted <- tl.t_wasted + max 0 (completed - Pc_jit.steps exe);
@@ -280,26 +292,27 @@ let run_server ?(config = Server.default_config) ?on_complete ?(interval = 0)
     ?(plan = []) ~program arrivals =
   check_interval interval;
   let inj = Fault.injector plan in
-  let user_hook = config.Server.vm.Pc_vm.step_hook in
-  let hook ~steps =
-    (match user_hook with Some f -> f ~steps | None -> ());
-    Fault.tick inj
-  in
+  let user_sink = config.Server.vm.Pc_vm.sink in
   let config =
-    { config with Server.vm = { config.Server.vm with Pc_vm.step_hook = Some hook } }
+    {
+      config with
+      Server.vm = { config.Server.vm with Pc_vm.sink = Some (fault_sink user_sink inj) };
+    }
   in
   let server = Server.create ~config ?on_complete ~program arrivals in
   let tl = tally () in
+  let rounds = ref 0 in
+  let ckpt_round = ref 0 in
   let capture () =
     let blob = Snapshot.encode_server (Server.capture server) in
     tl.t_checkpoints <- tl.t_checkpoints + 1;
     tl.t_bytes <- tl.t_bytes + String.length blob;
+    notify user_sink
+      (Obs_sink.Checkpoint { step = !rounds; bytes = String.length blob });
     blob
   in
   let latest = ref (capture ()) in
-  let rounds = ref 0 in
-  let ckpt_round = ref 0 in
-  with_launch_hook config.Server.vm.Pc_vm.engine inj (fun () ->
+  with_engine_sink config.Server.vm.Pc_vm.engine inj (fun () ->
       let rec loop () =
         match Server.step server with
         | true ->
@@ -315,6 +328,7 @@ let run_server ?(config = Server.default_config) ?on_complete ?(interval = 0)
           tl.t_restores <- tl.t_restores + 1;
           tl.t_wasted <- tl.t_wasted + max 0 (!rounds - !ckpt_round);
           rounds := !ckpt_round;
+          notify user_sink (Obs_sink.Restore { step = !rounds });
           loop ()
       in
       loop ());

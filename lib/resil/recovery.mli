@@ -42,25 +42,29 @@ val run_pc :
   Stack_ir.program ->
   batch:Tensor.t list ->
   Tensor.t list * stats
-(** Batched interpreter under faults. Wires {!Fault.tick} into
-    {!Pc_vm.config.step_hook} (composing with any hook already present)
-    and {!Fault.launch_check} into the engine's launch hook when
-    [config.engine] is set (cleared again on exit). Lane [i] runs member
-    [config.member_base + i] on [batch] row [i], as {!Pc_vm.run} does. *)
+(** Batched interpreter under faults. Composes {!Fault.sink} after any
+    sink already in [config] (so tracing observes the superstep the fault
+    aborts) and installs it as the engine's sink when [config.engine] is
+    set (cleared again on exit). The user's own sink additionally receives
+    a [Checkpoint] event per snapshot and a [Restore] per recovery. Lane
+    [i] runs member [config.member_base + i] on [batch] row [i], as
+    {!Pc_vm.run} does. *)
 
 val run_jit :
   ?sched:Sched.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
+  ?sink:Obs_sink.t ->
   ?max_steps:int ->
   ?interval:int ->
   ?plan:Fault.event list ->
   Pc_jit.t ->
   batch:Tensor.t list ->
   Tensor.t list * stats
-(** Precompiled executor under faults. The executor has no step hook, so
-    the driver ticks the injector around each {!Pc_jit.step} — the same
-    at-most-once semantics. *)
+(** Precompiled executor under faults. The executor's [Step] event
+    carries the injector tick (composed after [sink], which also gets the
+    [Checkpoint]/[Restore] lifecycle) — the same at-most-once semantics
+    as the interpreter's seam. *)
 
 type sharded_result = {
   sh_outputs : Tensor.t list;  (** rows reassembled in shard order *)
@@ -94,8 +98,10 @@ val run_server :
   program:Autobatch.compiled ->
   Request.t list ->
   Server.stats * stats
-(** Continuous-batching server under faults. Ticks ride the VM's
-    [step_hook] (so idle clock jumps do not advance the fault clock);
+(** Continuous-batching server under faults. Ticks ride the VM config's
+    observability sink (so idle clock jumps do not advance the fault
+    clock), composed after any sink already present, which also receives
+    the [Checkpoint]/[Restore] lifecycle;
     checkpoints capture the {e whole} server — queue, in-flight lanes,
     completions, clock — at server-superstep boundaries, and a fault
     restores all of it. [on_complete] is construction state, not

@@ -167,16 +167,16 @@ let r_jit r : Pc_jit.image =
   { Pc_jit.ji_z; ji_steps; ji_last; ji_pc; ji_store }
 
 let w_counters b (c : Engine.counters) =
-  Codec.w_int b c.Engine.kernel_launches;
-  Codec.w_int b c.Engine.fused_launches;
-  Codec.w_int b c.Engine.host_ops;
-  Codec.w_int b c.Engine.host_calls;
-  Codec.w_int b c.Engine.blocks;
-  Codec.w_int b c.Engine.lane_refills;
-  Codec.w_int b c.Engine.lane_retires;
-  Codec.w_float b c.Engine.flops;
-  Codec.w_float b c.Engine.traffic_bytes;
-  Codec.w_float b c.Engine.elapsed_seconds
+  Codec.w_int b c.Engine.Counters.kernel_launches;
+  Codec.w_int b c.Engine.Counters.fused_launches;
+  Codec.w_int b c.Engine.Counters.host_ops;
+  Codec.w_int b c.Engine.Counters.host_calls;
+  Codec.w_int b c.Engine.Counters.blocks;
+  Codec.w_int b c.Engine.Counters.lane_refills;
+  Codec.w_int b c.Engine.Counters.lane_retires;
+  Codec.w_float b c.Engine.Counters.flops;
+  Codec.w_float b c.Engine.Counters.traffic_bytes;
+  Codec.w_float b c.Engine.Counters.elapsed_seconds
 
 let r_counters r : Engine.counters =
   let kernel_launches = Codec.r_int r in
@@ -190,7 +190,7 @@ let r_counters r : Engine.counters =
   let traffic_bytes = Codec.r_float r in
   let elapsed_seconds = Codec.r_float r in
   {
-    Engine.kernel_launches;
+    Engine.Counters.kernel_launches;
     fused_launches;
     host_ops;
     host_calls;

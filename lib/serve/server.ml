@@ -105,6 +105,13 @@ let create ?(config = default_config) ?on_complete ~program arrivals =
     last_elapsed = elapsed0;
   }
 
+let now t = t.now
+
+(* Request lifecycle events go to the VM config's sink: the one seam
+   serves both the lane VM (Step events) and the server (request spans). *)
+let emit t ev =
+  match t.config.vm.Pc_vm.sink with None -> () | Some sink -> sink ev
+
 (* Admission: continuous policies refill free lanes the moment they open
    (mid-run); the synchronous baseline waits for the whole batch to drain
    before admitting again — the paper's fixed-batch regime. *)
@@ -137,11 +144,17 @@ let rec admit_due t =
         (Printf.sprintf "Server.run: request %d was compiled from a different program"
            r.Request.id)
     else begin
-      if Request.width r > t.config.lanes then t.rejected <- r :: t.rejected
+      if Request.width r > t.config.lanes then begin
+        t.rejected <- r :: t.rejected;
+        emit t (Obs_sink.Request_rejected { id = r.Request.id; at = t.now })
+      end
       else begin
+        emit t (Obs_sink.Request_enqueued { id = r.Request.id; at = t.now });
         (match Request_queue.offer t.queue r with
         | `Admitted -> ()
-        | `Shed s -> t.shed <- s :: t.shed);
+        | `Shed s ->
+          t.shed <- s :: t.shed;
+          emit t (Obs_sink.Request_shed { id = s.Request.id; at = t.now }));
         refill t
       end;
       admit_due t
@@ -171,6 +184,14 @@ let complete t cs =
         }
       in
       t.completions <- r :: t.completions;
+      emit t
+        (Obs_sink.Request_completed
+           {
+             id = r.request.Request.id;
+             queued = r.queued;
+             started = r.started;
+             finished = r.finished;
+           });
       match t.on_complete with
       | None -> ()
       | Some f -> (

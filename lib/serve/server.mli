@@ -28,7 +28,12 @@ type config = {
   shed : Request_queue.shed_policy;
   vm : Pc_vm.config;
       (** engine/instrument/sched for the lane pool; an instrument is
-          created if absent so occupancy is always recorded *)
+          created if absent so occupancy is always recorded. The VM
+          config's [sink] is shared with the server itself: besides the
+          lane pool's [Step] events, it receives the request lifecycle —
+          [Request_enqueued]/[Request_shed]/[Request_rejected] instants
+          and one [Request_completed] span per served request, all on the
+          server clock. *)
 }
 
 val default_config : config
@@ -95,6 +100,11 @@ val step : t -> bool
 val stats : t -> stats
 (** The run's statistics so far (final once {!step} returns [false]).
     Idempotent. *)
+
+val now : t -> float
+(** The server clock: simulated seconds when the VM config has an engine,
+    supersteps otherwise. The natural [clock] for an [Obs.Trace.sink]
+    wired into [config.vm]. *)
 
 (** Plain-data checkpoint of one completion. *)
 type completion_image = {

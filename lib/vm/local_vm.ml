@@ -7,6 +7,7 @@ type config = {
   instrument : Instrument.t option;
   max_steps : int;
   member_base : int;
+  sink : Obs_sink.t option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     instrument = None;
     max_steps = 100_000_000;
     member_base = 0;
+    sink = None;
   }
 
 exception Step_limit_exceeded
@@ -98,6 +100,11 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
       | None -> ()
       | Some i ->
         tick ();
+        (* Block indices are function-local here; the sink still sees one
+           Step per scheduled block, which is what tracing needs. *)
+        (match config.sink with
+        | None -> ()
+        | Some sink -> sink (Obs_sink.Step { shard = 0; step = !steps; block = i }));
         last := i;
         let lmask = Array.init z (fun b -> active.(b) && pc.(b) = i) in
         let members = Vm_util.indices_of_mask lmask in

@@ -32,6 +32,10 @@ type config = {
   member_base : int;
       (** Global index of lane 0, for sharded execution: lane [i] draws
           the RNG streams of batch member [member_base + i]. Default 0. *)
+  sink : Obs_sink.t option;
+      (** Observability seam: one [Obs_sink.Step] per scheduled block
+          (block indices are function-local). A sink that raises aborts
+          the step. Default [None]. *)
 }
 
 val default_config : config

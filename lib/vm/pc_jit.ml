@@ -259,7 +259,8 @@ let load t ~batch =
 
 let steps t = t.steps
 
-let step ?(sched = Sched.Earliest) ?engine ?instrument ?(max_steps = 100_000_000) t =
+let step ?(sched = Sched.Earliest) ?engine ?instrument ?sink
+    ?(max_steps = 100_000_000) t =
   let nb = Array.length t.blocks in
   Array.fill t.counts 0 nb 0;
   for b = 0 to t.z - 1 do
@@ -271,6 +272,11 @@ let step ?(sched = Sched.Earliest) ?engine ?instrument ?(max_steps = 100_000_000
   | Some i ->
     t.steps <- t.steps + 1;
     if t.steps > max_steps then raise Step_limit_exceeded;
+    (* As in Pc_vm: the Step event fires before the block executes, so a
+       raising sink aborts the superstep with no effects applied. *)
+    (match (sink : Obs_sink.t option) with
+    | None -> ()
+    | Some sink -> sink (Obs_sink.Step { shard = 0; step = t.steps; block = i }));
     t.last <- i;
     let n_active = ref 0 in
     for b = 0 to t.z - 1 do
@@ -310,9 +316,9 @@ let outputs t =
       | Stk s -> Tensor.copy (Stacked.top s))
     t.outputs
 
-let run ?sched ?engine ?instrument ?max_steps t ~batch =
+let run ?sched ?engine ?instrument ?sink ?max_steps t ~batch =
   load t ~batch;
-  while step ?sched ?engine ?instrument ?max_steps t do
+  while step ?sched ?engine ?instrument ?sink ?max_steps t do
     ()
   done;
   outputs t

@@ -25,6 +25,7 @@ val run :
   ?sched:Sched.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
+  ?sink:Obs_sink.t ->
   ?max_steps:int ->
   t ->
   batch:Tensor.t list ->
@@ -41,11 +42,14 @@ val step :
   ?sched:Sched.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
+  ?sink:Obs_sink.t ->
   ?max_steps:int ->
   t ->
   bool
 (** Execute one scheduled basic block; [false] when every member has
     halted. Pass the same optional arguments on every call of a run.
+    [sink] receives one [Obs_sink.Step] per superstep, before the block
+    executes (as in {!Pc_vm.config}); a raising sink aborts the step.
     Raises {!Step_limit_exceeded} past [max_steps]. *)
 
 val outputs : t -> Tensor.t list

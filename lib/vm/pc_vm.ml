@@ -7,7 +7,7 @@ type config = {
   top_cache : bool;
   naive_stack_writes : bool;
   member_base : int;
-  step_hook : (steps:int -> unit) option;
+  sink : Obs_sink.t option;
 }
 
 let default_config =
@@ -20,7 +20,7 @@ let default_config =
     top_cache = true;
     naive_stack_writes = false;
     member_base = 0;
-    step_hook = None;
+    sink = None;
   }
 
 exception Step_limit_exceeded
@@ -398,9 +398,12 @@ module Lanes = struct
     | Some i ->
       t.steps <- t.steps + 1;
       if t.steps > config.max_steps then raise Step_limit_exceeded;
-      (* The superstep hook fires before the block executes, so an injected
-         fault aborts the superstep whole — never a half-applied block. *)
-      (match config.step_hook with None -> () | Some f -> f ~steps:t.steps);
+      (* The superstep event fires before the block executes, so a sink
+         that raises (an injected fault) aborts the superstep whole —
+         never a half-applied block. *)
+      (match config.sink with
+      | None -> ()
+      | Some sink -> sink (Obs_sink.Step { shard = 0; step = t.steps; block = i }));
       t.last <- i;
       let mask = Array.init z (fun b -> pc.Pc_stack.top.(b) = i) in
       let members = Vm_util.indices_of_mask mask in

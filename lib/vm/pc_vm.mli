@@ -29,12 +29,15 @@ type config = {
   member_base : int;
       (** Global index of lane 0, for sharded execution: lane [i] draws
           the RNG streams of batch member [member_base + i]. Default 0. *)
-  step_hook : (steps:int -> unit) option;
-      (** Called once per executed superstep, before the scheduled block
-          runs, with the post-increment step count. The resilience layer's
-          seam for superstep-granular fault injection and checkpoint
-          triggers: raising aborts the step with no block effects applied.
-          Default [None]; the off path is one match per step. *)
+  sink : Obs_sink.t option;
+      (** Structured observability seam: once per executed superstep,
+          before the scheduled block runs, the VM emits
+          [Obs_sink.Step {shard = 0; step; block}] with the post-increment
+          step count and the scheduled block's index. Shared by tracing
+          (record the superstep timeline) and the resilience layer
+          (superstep-granular fault injection and checkpoint triggers):
+          a sink that raises aborts the step with no block effects
+          applied. Default [None]; the off path is one match per step. *)
 }
 
 val default_config : config

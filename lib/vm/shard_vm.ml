@@ -16,7 +16,7 @@ type config = {
   collective : Collectives.algorithm;
   sched : Sched.t;
   max_steps : int;
-  step_hook : (shard:int -> steps:int -> unit) option;
+  sink : Obs_sink.t option;
 }
 
 let default_config =
@@ -26,12 +26,12 @@ let default_config =
     collective = Collectives.Ring;
     sched = Sched.Earliest;
     max_steps = 100_000_000;
-    step_hook = None;
+    sink = None;
   }
 
 type result = {
   outputs : Tensor.t list;
-  counters : Engine.counters;
+  counters : Engine.Counters.t;
   instrument : Instrument.t;
   shard_times : float array;
   compute_time : float;
@@ -70,13 +70,14 @@ let run ?(config = default_config) reg program ~batch =
     in
     let instrument = Instrument.create () in
     let inputs = sub_batch part in
+    (* Step events from shard [i] reach the user's sink re-tagged with the
+       shard index; the sink fires from the shard's domain, so it must be
+       domain-safe (a [Trace.sink] is). *)
+    let sink = Option.map (Obs_sink.tag_shard i) config.sink in
     fun () ->
       let outputs =
         match program with
         | `Pc p ->
-          let step_hook =
-            Option.map (fun f ~steps -> f ~shard:i ~steps) config.step_hook
-          in
           let config =
             {
               Pc_vm.default_config with
@@ -85,7 +86,7 @@ let run ?(config = default_config) reg program ~batch =
               engine;
               instrument = Some instrument;
               member_base = part.offset;
-              step_hook;
+              sink;
             }
           in
           Pc_vm.run ~config reg p ~batch:inputs
@@ -98,16 +99,17 @@ let run ?(config = default_config) reg program ~batch =
               engine;
               instrument = Some instrument;
               member_base = part.offset;
+              sink;
             }
           in
           Local_vm.run ~config reg p ~batch:inputs
       in
-      let counters =
+      let snapshot =
         match engine with
-        | Some e -> Engine.counters e
-        | None -> Engine.zero_counters
+        | Some e -> Engine.snapshot e
+        | None -> { Engine.at = Engine.Counters.zero; ops = [] }
       in
-      (outputs, counters, instrument)
+      (outputs, snapshot, instrument)
   in
   (* Shard 0 runs on the calling domain while the tail shards run on
      spawned ones; all thunks capture their (copied) sub-batches before
@@ -138,13 +140,14 @@ let run ?(config = default_config) reg program ~batch =
   in
   let counters =
     List.fold_left
-      (fun acc (_, c, _) -> Engine.add_counters acc c)
-      Engine.zero_counters shards
+      (fun acc (_, s, _) -> Engine.Counters.add acc s.Engine.at)
+      Engine.Counters.zero shards
   in
   let instrument = Instrument.create () in
   List.iter (fun (_, _, ins) -> Instrument.merge ~into:instrument ins) shards;
   let shard_times =
-    Array.of_list (List.map (fun (_, c, _) -> c.Engine.elapsed_seconds) shards)
+    Array.of_list
+      (List.map (fun (_, s, _) -> s.Engine.at.Engine.Counters.elapsed_seconds) shards)
   in
   let compute_time = Array.fold_left Float.max 0. shard_times in
   (* SPMD supersteps: every device steps its VM loop in lockstep until all
@@ -160,11 +163,36 @@ let run ?(config = default_config) reg program ~batch =
       (fun acc t -> acc +. (8. *. float_of_int (Tensor.numel t)))
       0. outputs
   in
-  let collective_time =
-    (float_of_int supersteps
-    *. Collectives.all_reduce_time config.mesh config.collective ~bytes:sync_bytes)
-    +. Collectives.all_gather_time config.mesh config.collective ~bytes:output_bytes
+  let all_reduce_total =
+    float_of_int supersteps
+    *. Collectives.all_reduce_time config.mesh config.collective ~bytes:sync_bytes
   in
+  let all_gather_total =
+    Collectives.all_gather_time config.mesh config.collective ~bytes:output_bytes
+  in
+  let collective_time = all_reduce_total +. all_gather_total in
+  (* The collective phases as spans on the mesh timeline: compute first
+     (per-shard engines run [0, compute_time]), then the aggregated sync
+     flags, then the final output gather. *)
+  (match config.sink with
+  | None -> ()
+  | Some sink ->
+    sink
+      (Obs_sink.Collective
+         {
+           name = "all-reduce";
+           bytes = sync_bytes *. float_of_int supersteps;
+           t0 = compute_time;
+           t1 = compute_time +. all_reduce_total;
+         });
+    sink
+      (Obs_sink.Collective
+         {
+           name = "all-gather";
+           bytes = output_bytes;
+           t0 = compute_time +. all_reduce_total;
+           t1 = compute_time +. collective_time;
+         }));
   {
     outputs;
     counters;

@@ -38,11 +38,15 @@ type config = {
   collective : Collectives.algorithm;
   sched : Sched.t;
   max_steps : int;
-  step_hook : (shard:int -> steps:int -> unit) option;
-      (** Per-superstep callback threaded into each shard's VM (the
-          resilience layer's fault-injection seam). Shards run on separate
-          domains, so the callback fires concurrently — it must be
-          domain-safe. Only honoured by [`Pc] programs. Default [None]. *)
+  sink : Obs_sink.t option;
+      (** Observability seam threaded into each shard's VM: [Step] events
+          arrive re-tagged with their shard index ({!Obs_sink.tag_shard}),
+          and the mesh's collective phases are reported as [Collective]
+          spans after the shards join. Shards run on separate domains, so
+          the sink fires concurrently — it must be domain-safe (an
+          [Obs.Trace.sink] is; it locks). Raising from a [Step] aborts
+          that shard's superstep, the fault-injection seam. Default
+          [None]. *)
 }
 
 val default_config : config
@@ -50,7 +54,7 @@ val default_config : config
 
 type result = {
   outputs : Tensor.t list;       (** reassembled full-batch outputs *)
-  counters : Engine.counters;    (** summed over shards *)
+  counters : Engine.Counters.t;  (** summed over shards *)
   instrument : Instrument.t;     (** merged over shards *)
   shard_times : float array;     (** per-shard simulated seconds *)
   compute_time : float;          (** max over shards *)

@@ -20,28 +20,28 @@ let test_eager_block_cost () =
   Engine.charge_block e ~ops:[ ("a", 200.); ("b", 100.) ] ~control_ops:2 ~traffic_bytes:100.;
   (* 4 launches × (1 + 0.5) + 300/100 + 100/50 = 6 + 3 + 2 = 11 *)
   check_f "eager time" 11. (Engine.elapsed e);
-  let c = Engine.counters e in
-  Alcotest.(check int) "kernels" 4 c.Engine.kernel_launches;
-  Alcotest.(check int) "host ops" 4 c.Engine.host_ops;
-  Alcotest.(check int) "blocks" 1 c.Engine.blocks;
-  check_f "flops" 300. c.Engine.flops;
-  check_f "traffic" 100. c.Engine.traffic_bytes
+  let c = (Engine.snapshot e).Engine.at in
+  Alcotest.(check int) "kernels" 4 c.Engine.Counters.kernel_launches;
+  Alcotest.(check int) "host ops" 4 c.Engine.Counters.host_ops;
+  Alcotest.(check int) "blocks" 1 c.Engine.Counters.blocks;
+  check_f "flops" 300. c.Engine.Counters.flops;
+  check_f "traffic" 100. c.Engine.Counters.traffic_bytes
 
 let test_fused_block_cost () =
   let e = Engine.create ~device:tiny_device ~mode:Engine.Fused () in
   Engine.charge_block e ~ops:[ ("a", 200.); ("b", 100.) ] ~control_ops:5 ~traffic_bytes:100.;
   (* 10 + 300/(100×2) + 2 = 13.5; control free inside fusion. *)
   check_f "fused time" 13.5 (Engine.elapsed e);
-  Alcotest.(check int) "one fused launch" 1 (Engine.counters e).Engine.fused_launches;
-  Alcotest.(check int) "no eager kernels" 0 (Engine.counters e).Engine.kernel_launches
+  Alcotest.(check int) "one fused launch" 1 ((Engine.snapshot e).Engine.at).Engine.Counters.fused_launches;
+  Alcotest.(check int) "no eager kernels" 0 ((Engine.snapshot e).Engine.at).Engine.Counters.kernel_launches
 
 let test_hybrid_block_cost () =
   let e = Engine.create ~device:tiny_device ~mode:Engine.Hybrid () in
   Engine.charge_block e ~ops:[ ("a", 200.) ] ~control_ops:2 ~traffic_bytes:0.;
   (* 10 + 2×(1+0.5) + 200/200 = 14 *)
   check_f "hybrid time" 14. (Engine.elapsed e);
-  Alcotest.(check int) "fused" 1 (Engine.counters e).Engine.fused_launches;
-  Alcotest.(check int) "control kernels" 2 (Engine.counters e).Engine.kernel_launches
+  Alcotest.(check int) "fused" 1 ((Engine.snapshot e).Engine.at).Engine.Counters.fused_launches;
+  Alcotest.(check int) "control kernels" 2 ((Engine.snapshot e).Engine.at).Engine.Counters.kernel_launches
 
 let test_kernel_and_call () =
   let e = Engine.create ~device:tiny_device ~mode:Engine.Eager () in
@@ -51,7 +51,7 @@ let test_kernel_and_call () =
   Engine.charge_host_call e;
   (* + 4 × 0.5 *)
   check_f "host call time" 4.5 (Engine.elapsed e);
-  Alcotest.(check int) "host calls" 1 (Engine.counters e).Engine.host_calls
+  Alcotest.(check int) "host calls" 1 ((Engine.snapshot e).Engine.at).Engine.Counters.host_calls
 
 let test_traffic_and_reset () =
   let e = Engine.create ~device:tiny_device ~mode:Engine.Fused () in
@@ -59,15 +59,15 @@ let test_traffic_and_reset () =
   check_f "traffic time" 0.5 (Engine.elapsed e);
   Engine.reset e;
   check_f "reset time" 0. (Engine.elapsed e);
-  Alcotest.(check int) "reset counters" 0 (Engine.counters e).Engine.blocks
+  Alcotest.(check int) "reset counters" 0 ((Engine.snapshot e).Engine.at).Engine.Counters.blocks
 
 let test_tally () =
   let e = Engine.create ~device:tiny_device ~mode:Engine.Eager () in
   Engine.charge_block e ~ops:[ ("grad", 1.); ("grad", 1.); ("add", 1.) ] ~control_ops:0
     ~traffic_bytes:0.;
   Engine.charge_kernel e ~name:"grad" ~flops:1.;
-  Alcotest.(check (list (pair string int))) "tally sorted desc"
-    [ ("grad", 3); ("add", 1) ] (Engine.op_tally e)
+  Alcotest.(check (list (pair string int))) "tally sorted by name"
+    [ ("add", 1); ("grad", 3) ] (Engine.snapshot e).Engine.ops
 
 let test_device_presets () =
   List.iter

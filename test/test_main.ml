@@ -36,6 +36,7 @@ let () =
         Test_mcmc.suites;
         Test_nuts_equivalence.suites;
         Test_shard.suites;
+        Test_obs.suites;
         Test_harness.suites;
         Test_serve.suites;
         Test_resil.suites;

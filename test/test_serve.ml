@@ -478,14 +478,14 @@ let test_engine_refill_retire_counters () =
   Engine.charge_refill e ~bytes:64.;
   Engine.charge_refill e ~bytes:64.;
   Engine.charge_retire e ~bytes:128.;
-  let c = Engine.counters e in
-  Alcotest.(check int) "refills" 2 c.Engine.lane_refills;
-  Alcotest.(check int) "retires" 1 c.Engine.lane_retires;
-  check_f "traffic accumulates" 256. c.Engine.traffic_bytes;
+  let c = (Engine.snapshot e).Engine.at in
+  Alcotest.(check int) "refills" 2 c.Engine.Counters.lane_refills;
+  Alcotest.(check int) "retires" 1 c.Engine.Counters.lane_retires;
+  check_f "traffic accumulates" 256. c.Engine.Counters.traffic_bytes;
   Alcotest.(check bool) "time advances" true (Engine.elapsed e > 0.);
-  let sum = Engine.add_counters c Engine.zero_counters in
-  Alcotest.(check int) "refills survive add" 2 sum.Engine.lane_refills;
-  Alcotest.(check int) "retires survive add" 1 sum.Engine.lane_retires
+  let sum = Engine.Counters.add c Engine.Counters.zero in
+  Alcotest.(check int) "refills survive add" 2 sum.Engine.Counters.lane_refills;
+  Alcotest.(check int) "retires survive add" 1 sum.Engine.Counters.lane_retires
 
 let test_server_charges_engine () =
   let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
@@ -500,9 +500,9 @@ let test_server_charges_engine () =
         }
       ~program:(Lazy.force fib_compiled) trace
   in
-  let c = Engine.counters engine in
-  Alcotest.(check int) "every lane load charged" 4 c.Engine.lane_refills;
-  Alcotest.(check int) "every retire charged" 4 c.Engine.lane_retires;
+  let c = (Engine.snapshot engine).Engine.at in
+  Alcotest.(check int) "every lane load charged" 4 c.Engine.Counters.lane_refills;
+  Alcotest.(check int) "every retire charged" 4 c.Engine.Counters.lane_retires;
   (* With an engine, the server clock runs on simulated seconds. *)
   check_f "makespan is simulated time" (Engine.elapsed engine)
     stats.Server.makespan

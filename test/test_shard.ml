@@ -111,33 +111,36 @@ let test_add_counters () =
   Engine.charge_block e1 ~ops:[ ("a", 100.) ] ~control_ops:1 ~traffic_bytes:64.;
   Engine.charge_block e2 ~ops:[ ("b", 50.); ("c", 25.) ] ~control_ops:0
     ~traffic_bytes:32.;
-  let c1 = Engine.counters e1 and c2 = Engine.counters e2 in
-  let sum = Engine.add_counters c1 c2 in
-  Alcotest.(check int) "blocks" (c1.Engine.blocks + c2.Engine.blocks)
-    sum.Engine.blocks;
-  check_f "flops" (c1.Engine.flops +. c2.Engine.flops) sum.Engine.flops;
+  let c1 = (Engine.snapshot e1).Engine.at and c2 = (Engine.snapshot e2).Engine.at in
+  let sum = Engine.Counters.add c1 c2 in
+  Alcotest.(check int) "blocks"
+    (c1.Engine.Counters.blocks + c2.Engine.Counters.blocks)
+    sum.Engine.Counters.blocks;
+  check_f "flops" (c1.Engine.Counters.flops +. c2.Engine.Counters.flops)
+    sum.Engine.Counters.flops;
   check_f "traffic"
-    (c1.Engine.traffic_bytes +. c2.Engine.traffic_bytes)
-    sum.Engine.traffic_bytes;
+    (c1.Engine.Counters.traffic_bytes +. c2.Engine.Counters.traffic_bytes)
+    sum.Engine.Counters.traffic_bytes;
   check_f "elapsed"
     (Engine.elapsed e1 +. Engine.elapsed e2)
-    sum.Engine.elapsed_seconds;
-  let z = Engine.zero_counters in
-  Alcotest.(check int) "zero blocks" 0 z.Engine.blocks;
-  check_f "zero elapsed" 0. z.Engine.elapsed_seconds
+    sum.Engine.Counters.elapsed_seconds;
+  let z = Engine.Counters.zero in
+  Alcotest.(check int) "zero blocks" 0 z.Engine.Counters.blocks;
+  check_f "zero elapsed" 0. z.Engine.Counters.elapsed_seconds
 
 let test_engine_merge () =
   let dst = Engine.create ~device:Device.gpu ~mode:Engine.Eager () in
   let src = Engine.create ~device:Device.gpu ~mode:Engine.Eager () in
   Engine.charge_block dst ~ops:[ ("a", 100.) ] ~control_ops:2 ~traffic_bytes:8.;
   Engine.charge_block src ~ops:[ ("b", 200.) ] ~control_ops:1 ~traffic_bytes:16.;
-  let before = Engine.elapsed dst and c_src = Engine.counters src in
-  Engine.merge dst c_src;
-  check_f "time accumulates" (before +. c_src.Engine.elapsed_seconds)
+  let before = Engine.elapsed dst and s_src = Engine.snapshot src in
+  Engine.merge ~into:dst s_src;
+  check_f "time accumulates"
+    (before +. s_src.Engine.at.Engine.Counters.elapsed_seconds)
     (Engine.elapsed dst);
-  let merged = Engine.counters dst in
-  check_f "flops accumulate" 300. merged.Engine.flops;
-  Alcotest.(check int) "blocks accumulate" 2 merged.Engine.blocks
+  let merged = (Engine.snapshot dst).Engine.at in
+  check_f "flops accumulate" 300. merged.Engine.Counters.flops;
+  Alcotest.(check int) "blocks accumulate" 2 merged.Engine.Counters.blocks
 
 (* ---------- sharded NUTS: determinism and time accounting ---------- *)
 
@@ -228,7 +231,7 @@ let test_sharded_time_accounting () =
     r.Shard_vm.sim_time;
   (* Engine counters from all four shards land in the merged total. *)
   Alcotest.(check bool) "merged fused launches" true
-    (r.Shard_vm.counters.Engine.fused_launches > 0)
+    (r.Shard_vm.counters.Engine.Counters.fused_launches > 0)
 
 let test_sharded_counters_merged () =
   let compiled, batch = Lazy.force nuts_fixture in
@@ -247,12 +250,12 @@ let test_sharded_counters_merged () =
      masked-lane waste (total flops can only drop), while every shard
      re-runs the schedule, so launch counts can only grow. *)
   Alcotest.(check bool) "sharding sheds masked-lane flops" true
-    (sharded.Shard_vm.counters.Engine.flops > 0.
-    && sharded.Shard_vm.counters.Engine.flops
-       <= single.Shard_vm.counters.Engine.flops);
+    (sharded.Shard_vm.counters.Engine.Counters.flops > 0.
+    && sharded.Shard_vm.counters.Engine.Counters.flops
+       <= single.Shard_vm.counters.Engine.Counters.flops);
   Alcotest.(check bool) "launch overheads multiply" true
-    (sharded.Shard_vm.counters.Engine.fused_launches
-    >= single.Shard_vm.counters.Engine.fused_launches)
+    (sharded.Shard_vm.counters.Engine.Counters.fused_launches
+    >= single.Shard_vm.counters.Engine.Counters.fused_launches)
 
 let suites =
   [

@@ -207,16 +207,16 @@ let test_vm_engine_accounting () =
   let engine = Engine.create ~device:Device.cpu ~mode:Engine.Eager () in
   let config = { Local_vm.default_config with engine = Some engine } in
   ignore (Autobatch.run_local ~config fib_compiled ~batch:[ Tensor.of_list [ 6. ] ]);
-  let c = Engine.counters engine in
+  let c = (Engine.snapshot engine).Engine.at in
   Alcotest.(check bool) "time advanced" true (Engine.elapsed engine > 0.);
-  Alcotest.(check bool) "blocks executed" true (c.Engine.blocks > 0);
-  Alcotest.(check bool) "host calls for recursion" true (c.Engine.host_calls > 0);
+  Alcotest.(check bool) "blocks executed" true (c.Engine.Counters.blocks > 0);
+  Alcotest.(check bool) "host calls for recursion" true (c.Engine.Counters.host_calls > 0);
   let engine2 = Engine.create ~device:Device.cpu ~mode:Engine.Fused () in
   let config2 = { Pc_vm.default_config with engine = Some engine2 } in
   ignore (Autobatch.run_pc ~config:config2 fib_compiled ~batch:[ Tensor.of_list [ 6. ] ]);
-  let c2 = Engine.counters engine2 in
-  Alcotest.(check int) "pc has no host calls" 0 c2.Engine.host_calls;
-  Alcotest.(check bool) "pc fused launches" true (c2.Engine.fused_launches > 0)
+  let c2 = (Engine.snapshot engine2).Engine.at in
+  Alcotest.(check int) "pc has no host calls" 0 c2.Engine.Counters.host_calls;
+  Alcotest.(check bool) "pc fused launches" true (c2.Engine.Counters.fused_launches > 0)
 
 let test_pc_max_depth_instrumented () =
   let ins = Instrument.create () in
@@ -339,8 +339,8 @@ let test_jit_engine_matches_pc () =
   ignore (Pc_jit.run ~engine:e2 exe ~batch);
   Alcotest.(check (float 1e-12)) "same simulated time" (Engine.elapsed e1)
     (Engine.elapsed e2);
-  Alcotest.(check int) "same fused launches" (Engine.counters e1).Engine.fused_launches
-    (Engine.counters e2).Engine.fused_launches
+  Alcotest.(check int) "same fused launches" ((Engine.snapshot e1).Engine.at).Engine.Counters.fused_launches
+    ((Engine.snapshot e2).Engine.at).Engine.Counters.fused_launches
 
 let test_jit_instrument () =
   let ins_pc = Instrument.create () in
