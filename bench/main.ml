@@ -9,7 +9,8 @@
    3. The sharded runtime's wall-clock scaling: batched NUTS split across
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
-   Pass a subset of [micro|figure5|figure6|ablations|shard|serve|resil|obs]
+   Pass a subset of
+   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof]
    as argv to run only those stages (default: all, with bench-sized
    parameters).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
@@ -287,6 +288,81 @@ let run_obs ?seed () =
     exit 1
   end
 
+let run_prof ?seed () =
+  (* Profiler contract smoke: the same workload with no sink and with the
+     divergence profiler attached to both the VM and the engine. The
+     profiler must not perturb the run — outputs and the simulated clock
+     must be bitwise identical — and its attribution must conserve time:
+     per-block + per-kernel + host self-time sums to the engine's total
+     within float-addition tolerance (1e-9 relative). *)
+  ignore seed;
+  print_endline "== Divergence profiler (sink off vs on + conservation) ==";
+  let nuts_compiled, nuts_batch = Lazy.force nuts_fixture in
+  let workloads =
+    [ ("fib-pc-z32", fib_compiled, fib_batch); ("nuts-pc-z16", nuts_compiled, nuts_batch) ]
+  in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun (name, compiled, batch) ->
+        let exec sink =
+          let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+          (match sink with Some s -> Engine.set_sink engine s | None -> ());
+          let config = { Pc_vm.default_config with engine = Some engine; sink } in
+          let best = ref infinity in
+          let outputs = ref [] in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            outputs := Autobatch.run_pc ~config compiled ~batch;
+            best := Float.min !best (Unix.gettimeofday () -. t0)
+          done;
+          (!outputs, Engine.elapsed engine, !best)
+        in
+        let out_off, sim_off, wall_off = exec None in
+        let prof =
+          Obs_prof.create
+            ~frames:
+              (Profile.flame_frames compiled.Autobatch.stack
+                 compiled.Autobatch.cfg)
+            ()
+        in
+        let out_on, sim_on, wall_on = exec (Some (Obs_prof.sink prof)) in
+        let bitwise =
+          Int64.bits_of_float sim_on = Int64.bits_of_float sim_off
+          && List.map Tensor.data out_off = List.map Tensor.data out_on
+        in
+        (* The profiler saw 3 repeat runs on one engine; attribution must
+           still sum to that engine's final clock. *)
+        let attributed = Obs_prof.attributed prof in
+        let conservation = Float.abs (attributed -. sim_on) /. sim_on in
+        let flame_ok = String.length (Obs_prof.folded prof) > 0 in
+        let ok = bitwise && conservation <= 1e-9 && flame_ok in
+        if not ok then failed := true;
+        [
+          name;
+          Table.si sim_off ^ "s";
+          Table.si wall_off ^ "s";
+          Table.si wall_on ^ "s";
+          string_of_int (Obs_prof.supersteps prof);
+          Printf.sprintf "%.3f" (Obs_prof.utilization prof);
+          Printf.sprintf "%.1e" conservation;
+          (if bitwise then "yes" else "NO");
+          (if ok then "ok" else "FAIL");
+        ])
+      workloads
+  in
+  Table.print_stdout
+    ~header:
+      [ "workload"; "sim"; "wall off"; "wall on"; "steps"; "util";
+        "conserve"; "bitwise"; "status" ]
+    ~rows;
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "prof stage failed: profiler perturbed the run or attribution lost time";
+    exit 1
+  end
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -350,7 +426,7 @@ let () =
   let stages =
     match stages with
     | [] ->
-      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs" ]
+      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs"; "prof" ]
     | picked -> picked
   in
   List.iter
@@ -364,10 +440,11 @@ let () =
       | "serve" -> run_serve ?seed ()
       | "resil" -> run_resil ?seed ()
       | "obs" -> run_obs ?seed ()
+      | "prof" -> run_prof ?seed ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil|obs)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof)\n"
           other;
         exit 1)
     stages

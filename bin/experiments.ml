@@ -317,69 +317,51 @@ let run_file_cmd =
     Term.(const run $ prog_pos_arg $ args)
 
 let profile_cmd =
-  let run name batch vm_name =
-    let prog, registry, input_shapes = resolve_program name in
-    let compiled = Autobatch.compile ~registry ~input_shapes prog in
-    let entry = Option.get (Lang.find_func prog prog.Lang.main) in
-    (* A simple synthetic batch: scalar inputs get a spread of values,
-       vector inputs zeros; nuts-gaussian gets its proper inputs. *)
-    let batch =
-      if name = "nuts-gaussian" then
-        Nuts_dsl.inputs
-          ~q0:(Tensor.zeros [| 10 |])
-          ~eps:0.4 ~n_iter:3 ~n_burn:0 ~batch ()
-      else
-        List.mapi
-          (fun i shape ->
-            ignore i;
-            Tensor.init (Shape.concat_outer batch shape) (fun idx ->
-                float_of_int ((idx.(0) mod 10) + 2)))
-          input_shapes
+  let run model_name dim batch n_iter top seed folded trace json =
+    if not (List.mem model_name Profile.known_models) then begin
+      Printf.eprintf "unknown model %S (%s)\n" model_name
+        (String.concat "|" Profile.known_models);
+      exit 1
+    end;
+    let result =
+      with_trace trace (fun tr ->
+          Profile.run ~dim ~batch ~n_iter ?seed ?trace:tr ~model:model_name ())
     in
-    ignore entry;
-    let instrument = Instrument.create () in
-    let origin =
-      match vm_name with
-      | "pc" ->
-        let config = { Pc_vm.default_config with instrument = Some instrument } in
-        ignore (Autobatch.run_pc ~config compiled ~batch);
-        Some compiled.Autobatch.stack.Stack_ir.origin
-      | "local" ->
-        let config = { Local_vm.default_config with instrument = Some instrument } in
-        ignore (Autobatch.run_local ~config compiled ~batch);
-        None
-      | other ->
-        Printf.eprintf "unknown vm %S (pc|local)\n" other;
-        exit 1
-    in
-    Printf.printf "overall utilization: %.3f over %d block executions\n"
-      (Instrument.overall_utilization instrument)
-      (Instrument.blocks_executed instrument);
-    let rows =
-      List.map
-        (fun (block, execs, active) ->
-          let where =
-            match origin with
-            | Some o when block < Array.length o ->
-              let f, l = o.(block) in
-              Printf.sprintf "%s.%d" f l
-            | Some _ | None -> "-"
-          in
-          [
-            string_of_int block;
-            where;
-            string_of_int execs;
-            Printf.sprintf "%.2f" (float_of_int active /. float_of_int execs);
-          ])
-        (Instrument.block_stats instrument)
-    in
-    Table.print_stdout ~header:[ "block"; "origin"; "execs"; "mean-active" ] ~rows
+    report ~name:"profile" ~json
+      ~human:(fun () -> Profile.print ~top result)
+      [ ("profile", Profile.to_json result) ];
+    Option.iter (fun path -> write_file path (Profile.folded result)) folded
   in
-  let batch = Arg.(value & opt int 16 & info [ "batch" ] ~doc:"Batch size.") in
-  let vm = Arg.(value & opt string "pc" & info [ "vm" ] ~doc:"Runtime: pc or local.") in
+  let model =
+    Arg.(value & opt string "eight_schools"
+         & info [ "model" ]
+             ~doc:"Target posterior: eight_schools, gaussian, funnel, or \
+                   logistic.")
+  in
+  let dim =
+    Arg.(value & opt int 10
+         & info [ "dim" ] ~doc:"Dimension (ignored by eight_schools).")
+  in
+  let batch = Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.") in
+  let n_iter =
+    Arg.(value & opt int 2 & info [ "n-iter" ] ~doc:"Trajectories per chain.")
+  in
+  let top =
+    Arg.(value & opt int 12 & info [ "top" ] ~doc:"Hot-block rows to print.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (flamegraph.pl input) of simulated \
+                   self-time to FILE.")
+  in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Per-block execution profile under a batching runtime.")
-    Term.(const run $ prog_pos_arg $ batch $ vm)
+    (Cmd.info "profile"
+       ~doc:"Divergence profile of batched NUTS under the program-counter VM: \
+             per-block attribution of simulated time, lane-utilization \
+             accounting, and flamegraph export.")
+    Term.(const run $ model $ dim $ batch $ n_iter $ top $ seed_arg () $ folded
+          $ trace_arg () $ json_arg ())
 
 let sample_cmd =
   let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Local CI: everything a commit must pass, in the order it fails fastest.
 #
-#   ./ci.sh         # build + fast test tier + obs smoke + format check
+#   ./ci.sh         # build + fast test tier + obs/prof smokes + format check
 #   ./ci.sh --fast  # same (the default tier, spelled out)
 #   ./ci.sh --full  # same, but the complete test suite instead of the fast tier
 #
@@ -35,6 +35,13 @@ dune build "$tier"
 # more than 1%, outputs change, or the trace fails to re-parse.
 step "bench obs smoke"
 dune exec bench/main.exe -- obs
+
+# The divergence profiler must also be free AND conservative: the prof
+# stage exits nonzero if attaching Obs_prof perturbs outputs or the
+# simulated clock, if attribution loses time (>1e-9 relative), or if the
+# folded flamegraph export comes back empty.
+step "bench prof smoke"
+dune exec bench/main.exe -- prof
 
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.

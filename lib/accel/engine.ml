@@ -138,9 +138,19 @@ let traffic_time t bytes = bytes /. t.device.Device.bytes_per_sec
    setup, argument marshalling, result unmarshalling. *)
 let host_call_factor = 4.
 
+(* Bookkeeping charges (traffic, refill/retire, host calls) emit a
+   [Launched] span so profilers can attribute every simulated second, but
+   no [Launch] fault point: they are host-side actions, not poisonable
+   kernel launches, and fault-injection schedules must not shift when a
+   profiler is watching. *)
+let charge_span t ~name ~t0 =
+  emit t (Obs_sink.Launched { kind = Obs_sink.Kernel; name; t0; t1 = t.st.time })
+
 let charge_traffic t ~bytes =
+  let t0 = t.st.time in
   t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
-  t.st.time <- t.st.time +. traffic_time t bytes
+  t.st.time <- t.st.time +. traffic_time t bytes;
+  charge_span t ~name:"transfer" ~t0
 
 let charge_kernel t ~name ~flops =
   emit t (Obs_sink.Launch { kind = Obs_sink.Kernel; name });
@@ -161,20 +171,26 @@ let charge_kernel t ~name ~flops =
    output rows, each dispatched from the host like any other small
    bookkeeping action. *)
 let charge_refill t ~bytes =
+  let t0 = t.st.time in
   t.st.lane_refills <- t.st.lane_refills + 1;
   t.st.host_ops <- t.st.host_ops + 1;
   t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
-  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes
+  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes;
+  charge_span t ~name:"lane-refill" ~t0
 
 let charge_retire t ~bytes =
+  let t0 = t.st.time in
   t.st.lane_retires <- t.st.lane_retires + 1;
   t.st.host_ops <- t.st.host_ops + 1;
   t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
-  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes
+  t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes;
+  charge_span t ~name:"lane-retire" ~t0
 
 let charge_host_call t =
+  let t0 = t.st.time in
   t.st.host_calls <- t.st.host_calls + 1;
-  t.st.time <- t.st.time +. (host_call_factor *. t.device.Device.host_op_overhead)
+  t.st.time <- t.st.time +. (host_call_factor *. t.device.Device.host_op_overhead);
+  charge_span t ~name:"host-call" ~t0
 
 let block_name = "block"
 

@@ -82,6 +82,12 @@ val charge_retire : t -> bytes:float -> unit
     the finished lane's output rows ([bytes]) back. *)
 
 val charge_traffic : t -> bytes:float -> unit
+(** The bookkeeping charges above each emit an {!Obs_sink.Launched} span
+    (["host-call"], ["lane-refill"], ["lane-retire"], ["transfer"]) so the
+    profiler can attribute every simulated second, but no
+    {!Obs_sink.Launch} fault point — host-side bookkeeping is not a
+    poisonable kernel launch, and fault-injection schedules must not shift
+    when a profiler is attached. *)
 
 val elapsed : t -> float
 (** Simulated seconds so far. *)

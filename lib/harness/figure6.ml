@@ -33,7 +33,11 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
     Option.value ~default:1. (Instrument.utilization instrument ~name:"grad")
   in
   (* Keep the program-counter instrument of the widest run: its live-lane
-     gauge is the occupancy time series the --stats flag reports. *)
+     gauge is the occupancy time series the --stats flag reports. The
+     gauge is fed from the VM's per-superstep Occupancy events
+     (Instrument.observe_occupancy), the same stream Obs_prof consumes,
+     so this series and a profiler attached to the same run agree by
+     construction. *)
   let widest = ref None in
   let points =
     List.map

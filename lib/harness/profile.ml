@@ -1,0 +1,223 @@
+(* The `experiments profile` harness: run batched NUTS on a built-in
+   target under the program-counter VM with the divergence profiler
+   attached, and render hot-block tables, utilization accounting, and a
+   folded-stacks flamegraph. *)
+
+type result = {
+  model_name : string;
+  batch : int;
+  n_iter : int;
+  sim_seconds : float;
+  snapshot : Engine.snapshot;
+  stack : Stack_ir.program;
+  prof : Obs_prof.t;
+}
+
+let known_models = [ "eight_schools"; "gaussian"; "funnel"; "logistic" ]
+
+let resolve_model ~dim ~seed = function
+  | "eight_schools" -> (Eight_schools.create ()).Eight_schools.model
+  | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
+  | "funnel" -> (Funnel_model.create ~dim ()).Funnel_model.model
+  | "logistic" ->
+    (Logistic_model.create ~seed ~n:(dim * 40) ~dim ()).Logistic_model.model
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Profile.run: unknown model %S (%s)" other
+         (String.concat "|" known_models))
+
+(* Canonical call stack per merged block, root-first, for the flamegraph.
+   The stack program only remembers each block's source function
+   ([Stack_ir.origin]); we rebuild a call path from the CFG callgraph by
+   BFS from the entry, which yields the (a) shortest chain of direct
+   calls reaching that function. Recursive programs simply reach the
+   function once — the flamegraph shows self-time per function frame, not
+   dynamic recursion depth, which is the right view for a merged-PC
+   runtime where all recursion depths execute the same blocks. The leaf
+   frame is ["fn#k"], the function-local block index, so sibling blocks
+   of one function stay separate flame cells. *)
+let flame_frames (stack : Stack_ir.program) (cfg : Cfg.program) =
+  let cg = Callgraph.build cfg in
+  let parent : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Hashtbl.replace parent cfg.Cfg.entry None;
+  Queue.add cfg.Cfg.entry q;
+  while not (Queue.is_empty q) do
+    let f = Queue.pop q in
+    Ir_util.Sset.iter
+      (fun g ->
+        if not (Hashtbl.mem parent g) then begin
+          Hashtbl.replace parent g (Some f);
+          Queue.add g q
+        end)
+      (Callgraph.callees cg f)
+  done;
+  let rec path f acc =
+    match Hashtbl.find_opt parent f with
+    | Some (Some p) -> path p (f :: acc)
+    | Some None | None -> f :: acc
+  in
+  Array.map
+    (fun (fn, local) ->
+      Array.of_list (path fn [] @ [ Printf.sprintf "%s#%d" fn local ]))
+    stack.Stack_ir.origin
+
+let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace
+    ~model:model_name () =
+  let model = resolve_model ~dim ~seed model_name in
+  let reg, _key = Nuts_dsl.setup ~seed ~model () in
+  let q0 = Tensor.zeros [| model.Model.dim |] in
+  let eps = Nuts.find_reasonable_eps ~model ~q0 () in
+  let prog = Nuts_dsl.program () in
+  let compiled =
+    Autobatch.compile ~registry:reg
+      ~input_shapes:(Nuts_dsl.input_shapes ~model)
+      prog
+  in
+  let frames = flame_frames compiled.Autobatch.stack compiled.Autobatch.cfg in
+  let prof = Obs_prof.create ~frames () in
+  let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+  (* The profiler (and optional trace) sink is installed both as the VM
+     sink — Step/Occupancy — and as the engine sink — Launched spans —
+     the same double wiring Figure5's tracing uses. *)
+  let sinks =
+    Obs_prof.sink prof
+    ::
+    (match trace with
+    | None -> []
+    | Some tr ->
+      let track =
+        Obs_trace.track tr (Printf.sprintf "profile/%s/z%d" model_name batch)
+      in
+      [ Obs_trace.sink tr ~track ~clock:(fun () -> Engine.elapsed engine) ])
+  in
+  let sink = match sinks with [ s ] -> s | sinks -> Obs_sink.fanout sinks in
+  Engine.set_sink engine sink;
+  let config =
+    {
+      Pc_vm.default_config with
+      engine = Some engine;
+      instrument = Some (Instrument.create ());
+      sink = Some sink;
+    }
+  in
+  ignore
+    (Autobatch.run_pc ~config compiled
+       ~batch:(Nuts_dsl.inputs ~q0 ~eps ~n_iter ~n_burn:0 ~batch ()));
+  {
+    model_name;
+    batch;
+    n_iter;
+    sim_seconds = Engine.elapsed engine;
+    snapshot = Engine.snapshot engine;
+    stack = compiled.Autobatch.stack;
+    prof;
+  }
+
+let folded r = Obs_prof.folded r.prof
+
+let origin_label (stack : Stack_ir.program) block =
+  if block >= 0 && block < Array.length stack.Stack_ir.origin then
+    let f, l = stack.Stack_ir.origin.(block) in
+    Printf.sprintf "%s.%d" f l
+  else "-"
+
+let pct part whole = if whole = 0. then 0. else 100. *. part /. whole
+
+let print ?(top = 12) r =
+  let p = r.prof in
+  Printf.printf "divergence profile: %s under NUTS, batch %d, %d trajectories\n"
+    r.model_name r.batch r.n_iter;
+  let attributed = Obs_prof.attributed p in
+  Printf.printf
+    "simulated time %.6fs; attributed %.6fs (blocks+kernels+host; residual \
+     %.2e)\n"
+    r.sim_seconds attributed
+    (Float.abs (r.sim_seconds -. attributed));
+  Printf.printf
+    "lane utilization %.3f (time-weighted %.3f): divergence waste %.3f, \
+     drain waste %.3f over %d supersteps\n\n"
+    (Obs_prof.utilization p)
+    (Obs_prof.effective_utilization p)
+    (Obs_prof.divergence_waste p)
+    (Obs_prof.idle_waste p)
+    (Obs_prof.supersteps p);
+  let rows = Obs_prof.block_rows p in
+  let shown = List.filteri (fun i _ -> i < top) rows in
+  let cum = ref 0. in
+  Table.print_stdout
+    ~header:
+      [ "block"; "origin"; "execs"; "act/z"; "util%"; "self-s"; "total%"; "cum%" ]
+    ~rows:
+      (List.map
+         (fun (b : Obs_prof.block_row) ->
+           cum := !cum +. b.charged;
+           [
+             string_of_int b.block;
+             origin_label r.stack b.block;
+             string_of_int b.execs;
+             (if b.steps = 0 then "-"
+              else
+                Printf.sprintf "%.1f"
+                  (float_of_int b.active_lanes /. float_of_int b.steps));
+             (if b.total_lanes = 0 then "-"
+              else
+                Printf.sprintf "%.1f"
+                  (100. *. float_of_int b.active_lanes
+                  /. float_of_int b.total_lanes));
+             Printf.sprintf "%.6f" b.charged;
+             Printf.sprintf "%.1f" (pct b.charged r.sim_seconds);
+             Printf.sprintf "%.1f" (pct !cum r.sim_seconds);
+           ])
+         shown);
+  if List.length rows > top then
+    Printf.printf "(%d more blocks below the top %d)\n"
+      (List.length rows - top)
+      top;
+  (match Obs_prof.kernel_rows p with
+  | [] -> ()
+  | kernels ->
+    print_newline ();
+    Table.print_stdout
+      ~header:[ "kernel"; "launches"; "self-s"; "total%" ]
+      ~rows:
+        (List.map
+           (fun (k : Obs_prof.kernel_row) ->
+             [
+               k.kernel;
+               string_of_int k.launches;
+               Printf.sprintf "%.6f" k.charged;
+               Printf.sprintf "%.1f" (pct k.charged r.sim_seconds);
+             ])
+           kernels));
+  (match Obs_prof.collective_rows p with
+  | [] -> ()
+  | colls ->
+    print_newline ();
+    Table.print_stdout
+      ~header:[ "collective"; "count"; "seconds"; "bytes" ]
+      ~rows:
+        (List.map
+           (fun (c : Obs_prof.collective_row) ->
+             [
+               c.collective;
+               string_of_int c.count;
+               Printf.sprintf "%.6f" c.charged;
+               Printf.sprintf "%.0f" c.bytes;
+             ])
+           colls));
+  let host = Obs_prof.host_time p in
+  if host > 0. then
+    Printf.printf "\nhost (un-spanned engine time): %.6fs (%.1f%%)\n" host
+      (pct host r.sim_seconds)
+
+let to_json r =
+  Obs_json.Obj
+    [
+      ("model", Obs_json.Str r.model_name);
+      ("batch", Obs_json.Int r.batch);
+      ("n_iter", Obs_json.Int r.n_iter);
+      ("sim_seconds", Obs_json.Float r.sim_seconds);
+      ("engine", Engine.Counters.to_json r.snapshot.Engine.at);
+      ("profile", Obs_prof.to_json r.prof);
+    ]

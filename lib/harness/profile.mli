@@ -1,0 +1,52 @@
+(** The [experiments profile] harness: batched NUTS on a built-in target
+    under the program-counter VM with the divergence profiler
+    ({!Obs_prof}) attached — per-block attribution of simulated time,
+    lane-utilization accounting, hot-block tables, and folded-stacks
+    flamegraph export. Attaching the profiler does not perturb the run:
+    outputs and the simulated clock are bitwise identical either way
+    (gated by [bench prof]). *)
+
+type result = {
+  model_name : string;
+  batch : int;
+  n_iter : int;
+  sim_seconds : float;  (** the engine's total simulated time *)
+  snapshot : Engine.snapshot;
+  stack : Stack_ir.program;
+  prof : Obs_prof.t;
+}
+
+val known_models : string list
+(** ["eight_schools"], ["gaussian"], ["funnel"], ["logistic"]. *)
+
+val flame_frames : Stack_ir.program -> Cfg.program -> string array array
+(** Per merged block: the root-first canonical call-stack frames used by
+    {!Obs_prof.folded}. Functions sit at their shortest direct-call path
+    from the CFG entry; the leaf frame is ["fn#k"] with [k] the
+    function-local block index (from [Stack_ir.origin]). *)
+
+val run :
+  ?dim:int ->
+  ?batch:int ->
+  ?n_iter:int ->
+  ?seed:int64 ->
+  ?trace:Obs_trace.t ->
+  model:string ->
+  unit ->
+  result
+(** Compile NUTS against [model] (dim 10, batch 64, 2 trajectories and
+    seed [0x5EED] by default; [dim] is ignored by [eight_schools], whose
+    dimension is fixed), run it on a fused GPU engine with profiler —
+    and, optionally, trace — sinks installed on both the VM and the
+    engine, and return the profile. Raises [Invalid_argument] for an
+    unknown model name. *)
+
+val folded : result -> string
+(** {!Obs_prof.folded} on the run's profiler: flamegraph.pl input. *)
+
+val print : ?top:int -> result -> unit
+(** Attribution summary, utilization accounting, and the top-[top]
+    (default 12) hot-block table, plus kernel/collective tables when
+    non-empty. *)
+
+val to_json : result -> Obs_json.t

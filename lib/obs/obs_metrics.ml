@@ -122,8 +122,19 @@ let quantile h q =
     Float.min h.hi (Float.max h.lo !result)
   end
 
-let hist_to_json h =
-  Obs_json.Obj
+(* Lower/upper bucket boundaries, for the raw-bucket export. Bucket 0 is
+   the zero/negative bucket; report it as the degenerate [0, 0] range. *)
+let bucket_lo i =
+  if i = 0 then 0.
+  else Float.exp2 (float_of_int (i - mid) /. float_of_int buckets_per_octave)
+
+let bucket_hi i =
+  if i = 0 then 0.
+  else
+    Float.exp2 (float_of_int (i - mid + 1) /. float_of_int buckets_per_octave)
+
+let hist_to_json ?(buckets = false) h =
+  let summary =
     [
       ("count", Obs_json.Int h.n);
       ("sum", Obs_json.Float h.sum);
@@ -134,6 +145,29 @@ let hist_to_json h =
       ("p90", Obs_json.Float (quantile h 0.9));
       ("p99", Obs_json.Float (quantile h 0.99));
     ]
+  in
+  let bucket_rows =
+    if not buckets then []
+    else begin
+      (* Only occupied buckets: the full 512-bucket array is almost all
+         zeros and would swamp the document. Disabled histograms have no
+         bucket storage at all. *)
+      let rows = ref [] in
+      for i = Array.length h.buckets - 1 downto 0 do
+        if h.buckets.(i) > 0 then
+          rows :=
+            Obs_json.Obj
+              [
+                ("lo", Obs_json.Float (bucket_lo i));
+                ("hi", Obs_json.Float (bucket_hi i));
+                ("count", Obs_json.Int h.buckets.(i));
+              ]
+            :: !rows
+      done;
+      [ ("buckets", Obs_json.List !rows) ]
+    end
+  in
+  Obs_json.Obj (summary @ bucket_rows)
 
 let to_json t =
   let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
@@ -151,3 +185,32 @@ let to_json t =
         Obs_json.Obj
           (List.map (fun (name, h) -> (name, hist_to_json h)) (by_name t.histograms)) );
     ]
+
+(* Aggregation across registries, mirroring [Engine.Counters.merge] and
+   [Instrument.merge]: every instrument kind adds. Counters and histogram
+   buckets add element-wise, gauges sum (per-shard lane counts stay
+   meaningful; use distinct names where last-write-wins is wanted), and
+   min/max combine. Instruments present only in [src] are created in
+   [into]; a disabled [into] stays dead (its instruments drop the data),
+   and a disabled [src] contributes nothing. *)
+let merge ~into src =
+  List.iter
+    (fun (name, c) -> incr ~by:c.count (counter into name))
+    src.counters;
+  List.iter
+    (fun (name, g) ->
+      let d = gauge into name in
+      set d (d.value +. g.value))
+    src.gauges;
+  List.iter
+    (fun (name, h) ->
+      let d = histogram into name in
+      if d.h_on then begin
+        if Array.length h.buckets = Array.length d.buckets then
+          Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets;
+        d.n <- d.n + h.n;
+        d.sum <- d.sum +. h.sum;
+        if h.lo < d.lo then d.lo <- h.lo;
+        if h.hi > d.hi then d.hi <- h.hi
+      end)
+    src.histograms

@@ -53,9 +53,19 @@ val quantile : histogram -> float -> float
     estimate is the geometric midpoint of the bucket holding the rank-[q]
     observation, so its relative error is bounded by the bucket width. *)
 
-val hist_to_json : histogram -> Obs_json.t
-(** [{count; sum; mean; min; max; p50; p90; p99}]. *)
+val hist_to_json : ?buckets:bool -> histogram -> Obs_json.t
+(** [{count; sum; mean; min; max; p50; p90; p99}]. With [~buckets:true],
+    adds a ["buckets"] list of [{lo; hi; count}] rows — the raw occupied
+    bucket boundaries and counts, for downstream plotting. The zero bucket
+    is reported as the degenerate range [\[0, 0\]]. Default [false]. *)
 
 val to_json : t -> Obs_json.t
 (** Whole-registry document: counters, gauges and histogram summaries,
     each section sorted by instrument name. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds [src]'s instruments into [into], matching by
+    name and creating missing instruments, in the style of
+    [Engine.Counters.merge]: counters add, gauges sum, histograms add
+    bucket-wise with count/sum accumulated and min/max combined. Used to
+    aggregate per-shard registries. A disabled [into] absorbs nothing. *)

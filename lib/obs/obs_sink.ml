@@ -16,6 +16,14 @@ type event =
     }
   | Checkpoint of { step : int; bytes : int }
   | Restore of { step : int }
+  | Occupancy of {
+      shard : int;
+      step : int;
+      block : int;
+      active : int;
+      live : int;
+      total : int;
+    }
 
 type t = event -> unit
 
@@ -25,6 +33,7 @@ let fanout sinks ev = List.iter (fun sink -> sink ev) sinks
 let tag_shard shard sink ev =
   match ev with
   | Step s -> sink (Step { s with shard })
+  | Occupancy o -> sink (Occupancy { o with shard })
   | ev -> sink ev
 
 let kind_name = function
@@ -38,3 +47,4 @@ let kind_name = function
   | Request_completed _ -> "complete"
   | Checkpoint _ -> "checkpoint"
   | Restore _ -> "restore"
+  | Occupancy _ -> "occupancy"

@@ -39,6 +39,22 @@ type event =
           then service [started, finished). *)
   | Checkpoint of { step : int; bytes : int }
   | Restore of { step : int }
+  | Occupancy of {
+      shard : int;
+      step : int;
+      block : int;
+      active : int;
+      live : int;
+      total : int;
+    }
+      (** Lane occupancy for the superstep announced by the preceding
+          {!Step}: of [total] batch lanes, [live] have not yet halted and
+          [active] are executing the scheduled [block] (the rest of the
+          live lanes are masked off — divergence waste; [total - live] is
+          idle/drain waste). Invariant: [0 <= active <= live <= total].
+          Fired right after {!Step}, before the block runs, so a profiler
+          can use it as the attribution context for the engine spans the
+          block charges. *)
 
 type t = event -> unit
 
@@ -50,9 +66,11 @@ val fanout : t list -> t
     earlier sink skips the later ones (and aborts the observed action). *)
 
 val tag_shard : int -> t -> t
-(** Rewrite the [shard] field of {!Step} events; other events pass through.
-    [Shard_vm] uses this so one user sink sees correctly-labelled steps from
-    every shard. *)
+(** Rewrite the [shard] field of {!Step} and {!Occupancy} events; other
+    events pass through. [Shard_vm] uses this so one user sink sees
+    correctly-labelled steps from every shard. *)
 
 val kind_name : event -> string
-(** Short stable tag for CSV export ("step", "launch", ...). *)
+(** Short stable tag for CSV export ("step", "launch", ...). Every
+    constructor maps to a distinct tag; existing tags never change
+    (downstream CSV consumers key on them). *)

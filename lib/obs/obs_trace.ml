@@ -46,7 +46,8 @@ let sink t ~track ~clock : Obs_sink.t =
   | Obs_sink.Request_shed { at; _ }
   | Obs_sink.Request_rejected { at; _ } -> record t ~track ~ts:at ev
   | Obs_sink.Request_completed { queued; _ } -> record t ~track ~ts:queued ev
-  | Obs_sink.Step _ | Obs_sink.Checkpoint _ | Obs_sink.Restore _ ->
+  | Obs_sink.Step _ | Obs_sink.Checkpoint _ | Obs_sink.Restore _
+  | Obs_sink.Occupancy _ ->
     record t ~track ~ts:(clock ()) ev
 
 let entries t = Mutex.protect t.mutex (fun () -> List.rev t.rev_entries)
@@ -105,7 +106,8 @@ let to_chrome t =
   (* Group entries per Chrome thread, preserving recording order. *)
   let tid_of e =
     match e.ev with
-    | Obs_sink.Step { shard; _ } -> (e.track * shard_stride) + shard
+    | Obs_sink.Step { shard; _ } | Obs_sink.Occupancy { shard; _ } ->
+      (e.track * shard_stride) + shard
     | _ -> e.track * shard_stride
   in
   let by_tid : (int, entry list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -140,6 +142,13 @@ let to_chrome t =
   in
   let events_of_tid tid =
     let entries = List.rev !(Hashtbl.find by_tid tid) in
+    (* Chrome counters are keyed by (pid, name), so the counter name must
+       carry the thread label for distinct tracks/shards to stay apart. *)
+    let counter_label =
+      let base = tid / shard_stride and shard = tid mod shard_stride in
+      if shard = 0 then track_name base
+      else Printf.sprintf "%s/shard%d" (track_name base) shard
+    in
     (* Superstep spans: each Step closes the previous block's span and
        opens the next; the final span closes at the thread's last
        timestamp. *)
@@ -222,6 +231,29 @@ let to_chrome t =
           emit
             (instant ~name:"restore" ~cat:"resilience" ~tid ~ts:e.ts
                ~args:[ ("step", Obs_json.Int step) ]
+               ())
+        | Obs_sink.Occupancy { active; live; total; _ } ->
+          (* Stacked lane counter plus a utilization-percent track. *)
+          emit
+            (chrome_event
+               ~name:(counter_label ^ " lanes")
+               ~cat:"occupancy" ~ph:"C" ~tid ~ts:e.ts
+               ~args:
+                 [
+                   ("active", Obs_json.Int active);
+                   ("masked", Obs_json.Int (live - active));
+                   ("halted", Obs_json.Int (total - live));
+                 ]
+               ());
+          let pct =
+            if total = 0 then 0.
+            else 100. *. float_of_int active /. float_of_int total
+          in
+          emit
+            (chrome_event
+               ~name:(counter_label ^ " utilization %")
+               ~cat:"occupancy" ~ph:"C" ~tid ~ts:e.ts
+               ~args:[ ("pct", Obs_json.Float pct) ]
                ()))
       entries;
     close_span !last_ts;
@@ -268,6 +300,10 @@ let to_csv t =
         | Obs_sink.Checkpoint { step; bytes } ->
           ("checkpoint", Printf.sprintf "step=%d bytes=%d" step bytes)
         | Obs_sink.Restore { step } -> ("restore", Printf.sprintf "step=%d" step)
+        | Obs_sink.Occupancy { shard; step; block; active; live; total } ->
+          ( Printf.sprintf "block %d" block,
+            Printf.sprintf "step=%d shard=%d active=%d live=%d total=%d" step
+              shard active live total )
       in
       Buffer.add_string buf
         (Printf.sprintf "%s,%.9f,%s,%s,%s\n" (track_name e.track) e.ts

@@ -40,8 +40,11 @@ val to_chrome : t -> Obs_json.t
 (** Chrome trace-event document: [{"traceEvents": [...]}] with
     thread-name metadata per track, B/E span pairs for supersteps (one
     span per scheduled block), X complete events for launches, collectives
-    and request queue/service phases, and instant events for enqueue/shed/
-    reject/checkpoint/restore. Timestamps are microseconds. *)
+    and request queue/service phases, instant events for enqueue/shed/
+    reject/checkpoint/restore, and C counter tracks from
+    {!Obs_sink.Occupancy} events (stacked active/masked/halted lane
+    counts plus a utilization-percent series, per track/shard).
+    Timestamps are microseconds. *)
 
 val to_chrome_string : t -> string
 val to_csv : t -> string

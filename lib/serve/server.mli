@@ -28,9 +28,13 @@ type config = {
   shed : Request_queue.shed_policy;
   vm : Pc_vm.config;
       (** engine/instrument/sched for the lane pool; an instrument is
-          created if absent so occupancy is always recorded. The VM
-          config's [sink] is shared with the server itself: besides the
-          lane pool's [Step] events, it receives the request lifecycle —
+          created if absent so occupancy is always recorded (the lane
+          pool's per-superstep [Occupancy] events feed it via
+          [Instrument.observe_occupancy] — the occupancy stats below and
+          any profiler sink read the same event stream). The VM config's
+          [sink] is shared with the server itself: besides the lane
+          pool's [Step]/[Occupancy] events, it receives the request
+          lifecycle —
           [Request_enqueued]/[Request_shed]/[Request_rejected] instants
           and one [Request_completed] span per served request, all on the
           server clock. *)

@@ -258,6 +258,15 @@ let record_live t ~live ~lanes =
   g.lanes_sum.(i) <- g.lanes_sum.(i) +. float_of_int lanes;
   g.fill <- (g.fill + 1) mod g.width
 
+(* The event-driven door to the gauge: the VMs emit one
+   [Obs_sink.Occupancy] per superstep and feed it both to the user sink
+   and here, so the gauge and any profiler sink see the same numbers by
+   construction (no parallel counting path). *)
+let observe_occupancy t ev =
+  match ev with
+  | Obs_sink.Occupancy { live; total; _ } -> record_live t ~live ~lanes:total
+  | _ -> ()
+
 let live_samples t = t.live_samples
 
 let mean_occupancy t =

@@ -33,6 +33,13 @@ val record_live : t -> live:int -> lanes:int -> unit
     {!mean_occupancy} and a bounded {!occupancy_series} time series
     (adjacent samples merge as the run grows, so memory stays constant). *)
 
+val observe_occupancy : t -> Obs_sink.event -> unit
+(** Feed one {!Obs_sink.Occupancy} event into the live-lane gauge
+    ([record_live ~live ~lanes:total]); every other event is ignored. The
+    VMs route their per-superstep occupancy through this so the gauge and
+    any attached profiler sink read the same event — there is no separate
+    counting path. *)
+
 val utilization : t -> name:string -> float option
 (** useful/issued lane fraction for one primitive; [None] if never run. *)
 

@@ -93,18 +93,45 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
     in
     let rec vm_loop () =
       Array.fill counts 0 nb 0;
+      let live = ref 0 in
       for b = 0 to z - 1 do
-        if active.(b) && pc.(b) < nb then counts.(pc.(b)) <- counts.(pc.(b)) + 1
+        if active.(b) && pc.(b) < nb then begin
+          counts.(pc.(b)) <- counts.(pc.(b)) + 1;
+          incr live
+        end
       done;
       match Sched.pick config.sched ~last:!last ~counts with
       | None -> ()
       | Some i ->
         tick ();
         (* Block indices are function-local here; the sink still sees one
-           Step per scheduled block, which is what tracing needs. *)
-        (match config.sink with
-        | None -> ()
-        | Some sink -> sink (Obs_sink.Step { shard = 0; step = !steps; block = i }));
+           Step per scheduled block, which is what tracing needs. The
+           occupancy event counts lanes live in *this* frame: during a
+           host-recursion call, lanes outside the call are idle by
+           construction, which is exactly the waste the profiler should
+           see. *)
+        (match (config.sink, config.instrument) with
+        | None, None -> ()
+        | sink, instrument ->
+          let occ =
+            Obs_sink.Occupancy
+              {
+                shard = 0;
+                step = !steps;
+                block = i;
+                active = counts.(i);
+                live = !live;
+                total = z;
+              }
+          in
+          (match sink with
+          | None -> ()
+          | Some sink ->
+            sink (Obs_sink.Step { shard = 0; step = !steps; block = i });
+            sink occ);
+          Option.iter
+            (fun ins -> Instrument.observe_occupancy ins occ)
+            instrument);
         last := i;
         let lmask = Array.init z (fun b -> active.(b) && pc.(b) = i) in
         let members = Vm_util.indices_of_mask lmask in

@@ -263,20 +263,43 @@ let step ?(sched = Sched.Earliest) ?engine ?instrument ?sink
     ?(max_steps = 100_000_000) t =
   let nb = Array.length t.blocks in
   Array.fill t.counts 0 nb 0;
+  let live = ref 0 in
   for b = 0 to t.z - 1 do
-    if t.pc.top.(b) < t.halt then
-      t.counts.(t.pc.top.(b)) <- t.counts.(t.pc.top.(b)) + 1
+    if t.pc.top.(b) < t.halt then begin
+      t.counts.(t.pc.top.(b)) <- t.counts.(t.pc.top.(b)) + 1;
+      incr live
+    end
   done;
   match Sched.pick sched ~last:t.last ~counts:t.counts with
   | None -> false
   | Some i ->
     t.steps <- t.steps + 1;
     if t.steps > max_steps then raise Step_limit_exceeded;
-    (* As in Pc_vm: the Step event fires before the block executes, so a
-       raising sink aborts the superstep with no effects applied. *)
-    (match (sink : Obs_sink.t option) with
-    | None -> ()
-    | Some sink -> sink (Obs_sink.Step { shard = 0; step = t.steps; block = i }));
+    (* As in Pc_vm: the Step and Occupancy events fire before the block
+       executes, so a raising sink aborts the superstep with no effects
+       applied; the occupancy event also feeds the live-lane gauge. *)
+    (match ((sink : Obs_sink.t option), instrument) with
+    | None, None -> ()
+    | sink, instrument ->
+      let occ =
+        Obs_sink.Occupancy
+          {
+            shard = 0;
+            step = t.steps;
+            block = i;
+            active = t.counts.(i);
+            live = !live;
+            total = t.z;
+          }
+      in
+      (match sink with
+      | None -> ()
+      | Some sink ->
+        sink (Obs_sink.Step { shard = 0; step = t.steps; block = i });
+        sink occ);
+      Option.iter
+        (fun ins -> Instrument.observe_occupancy ins occ)
+        instrument);
     t.last <- i;
     let n_active = ref 0 in
     for b = 0 to t.z - 1 do

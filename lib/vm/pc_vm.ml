@@ -400,19 +400,38 @@ module Lanes = struct
       if t.steps > config.max_steps then raise Step_limit_exceeded;
       (* The superstep event fires before the block executes, so a sink
          that raises (an injected fault) aborts the superstep whole —
-         never a half-applied block. *)
-      (match config.sink with
-      | None -> ()
-      | Some sink -> sink (Obs_sink.Step { shard = 0; step = t.steps; block = i }));
+         never a half-applied block. The occupancy event follows under the
+         same rule; it doubles as the profiler's attribution context for
+         the engine spans this block is about to charge, and feeds the
+         instrument's live-lane gauge (same event, no parallel count). *)
+      (match (config.sink, config.instrument) with
+      | None, None -> ()
+      | sink, instrument ->
+        let occ =
+          Obs_sink.Occupancy
+            {
+              shard = 0;
+              step = t.steps;
+              block = i;
+              active = t.counts.(i);
+              live = !live;
+              total = z;
+            }
+        in
+        (match sink with
+        | None -> ()
+        | Some sink ->
+          sink (Obs_sink.Step { shard = 0; step = t.steps; block = i });
+          sink occ);
+        Option.iter
+          (fun ins -> Instrument.observe_occupancy ins occ)
+          instrument);
       t.last <- i;
       let mask = Array.init z (fun b -> pc.Pc_stack.top.(b) = i) in
       let members = Vm_util.indices_of_mask mask in
       let n_active = Array.length members in
       t.traffic <- 0.;
       t.charged_ops <- [];
-      Option.iter
-        (fun ins -> Instrument.record_live ins ~live:!live ~lanes:z)
-        config.instrument;
       let record_prim name =
         Option.iter
           (fun ins -> Instrument.record_prim ins ~name ~useful:n_active ~issued:z)

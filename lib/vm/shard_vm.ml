@@ -70,10 +70,16 @@ let run ?(config = default_config) reg program ~batch =
     in
     let instrument = Instrument.create () in
     let inputs = sub_batch part in
-    (* Step events from shard [i] reach the user's sink re-tagged with the
-       shard index; the sink fires from the shard's domain, so it must be
-       domain-safe (a [Trace.sink] is). *)
+    (* Step/Occupancy events from shard [i] reach the user's sink re-tagged
+       with the shard index; the sink fires from the shard's domain, so it
+       must be domain-safe (a [Trace.sink] or [Obs_prof.sink] is). The same
+       tagged sink is installed on the shard's private engine so its
+       [Launched] spans are observable too — on the shard's own domain,
+       which is how the profiler pairs them with this shard's steps. *)
     let sink = Option.map (Obs_sink.tag_shard i) config.sink in
+    (match (engine, sink) with
+    | Some engine, Some sink -> Engine.set_sink engine sink
+    | _ -> ());
     fun () ->
       let outputs =
         match program with

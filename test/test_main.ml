@@ -37,6 +37,7 @@ let () =
         Test_nuts_equivalence.suites;
         Test_shard.suites;
         Test_obs.suites;
+        Test_prof.suites;
         Test_harness.suites;
         Test_serve.suites;
         Test_resil.suites;

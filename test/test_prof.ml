@@ -1,0 +1,556 @@
+(* Tests for the divergence profiler: the Occupancy event's invariant on
+   every runtime, Obs_prof attribution (conservation against the engine
+   clock, golden folded-stacks export), the profiler-never-perturbs
+   acceptance criterion across all five runtimes, the metrics-registry
+   merge it relies on, and the event-driven occupancy gauge. *)
+
+let t = Alcotest.test_case
+
+(* ---------- fixtures ---------- *)
+
+let fib_program =
+  let open Lang in
+  let open Lang.Infix in
+  program ~main:"fib"
+    [
+      func "fib" ~params:[ "n" ]
+        [
+          if_
+            (var "n" <= flt 1.)
+            [ return_ [ flt 1. ] ]
+            [
+              call [ "left" ] "fib" [ var "n" - flt 2. ];
+              call [ "right" ] "fib" [ var "n" - flt 1. ];
+              return_ [ var "left" + var "right" ];
+            ];
+        ];
+    ]
+
+let fib_compiled =
+  lazy (Autobatch.compile ~input_shapes:[ Shape.scalar ] fib_program)
+
+let fib_batch z =
+  [ Tensor.init [| z |] (fun i -> float_of_int (3 + (i.(0) mod 5))) ]
+
+(* ---------- every event kind has a distinct, stable tag ---------- *)
+
+let all_events : Obs_sink.event list =
+  (* One value per constructor; extending the event type without extending
+     this list (and kind_name) is caught by the compiler's exhaustiveness
+     check on kind_name itself, and this test pins the tag strings. *)
+  [
+    Obs_sink.Step { shard = 0; step = 1; block = 0 };
+    Obs_sink.Launch { kind = Obs_sink.Kernel; name = "k" };
+    Obs_sink.Launched { kind = Obs_sink.Kernel; name = "k"; t0 = 0.; t1 = 1. };
+    Obs_sink.Collective { name = "all_reduce"; bytes = 8.; t0 = 0.; t1 = 1. };
+    Obs_sink.Request_enqueued { id = 0; at = 0. };
+    Obs_sink.Request_shed { id = 0; at = 0. };
+    Obs_sink.Request_rejected { id = 0; at = 0. };
+    Obs_sink.Request_completed { id = 0; queued = 0.; started = 0.; finished = 1. };
+    Obs_sink.Checkpoint { step = 1; bytes = 8 };
+    Obs_sink.Restore { step = 1 };
+    Obs_sink.Occupancy
+      { shard = 0; step = 1; block = 0; active = 1; live = 2; total = 4 };
+  ]
+
+let test_kind_names_distinct () =
+  let tags = List.map Obs_sink.kind_name all_events in
+  Alcotest.(check (list string))
+    "stable tags"
+    [
+      "step"; "launch"; "launched"; "collective"; "enqueue"; "shed";
+      "reject"; "complete"; "checkpoint"; "restore"; "occupancy";
+    ]
+    tags;
+  Alcotest.(check int) "all distinct"
+    (List.length tags)
+    (List.length (List.sort_uniq compare tags))
+
+let test_tag_shard_rewrites_occupancy () =
+  let got = ref [] in
+  let sink = Obs_sink.tag_shard 3 (fun ev -> got := ev :: !got) in
+  sink (Obs_sink.Step { shard = 0; step = 1; block = 2 });
+  sink
+    (Obs_sink.Occupancy
+       { shard = 0; step = 1; block = 2; active = 1; live = 2; total = 4 });
+  sink (Obs_sink.Checkpoint { step = 1; bytes = 8 });
+  match List.rev !got with
+  | [
+   Obs_sink.Step { shard = 3; _ };
+   Obs_sink.Occupancy { shard = 3; active = 1; live = 2; total = 4; _ };
+   Obs_sink.Checkpoint _;
+  ] ->
+    ()
+  | _ -> Alcotest.fail "tag_shard should rewrite Step and Occupancy shards only"
+
+(* ---------- metrics: merge and raw-bucket export ---------- *)
+
+let test_metrics_merge () =
+  let a = Obs_metrics.create () and b = Obs_metrics.create () in
+  Obs_metrics.incr ~by:3 (Obs_metrics.counter a "c");
+  Obs_metrics.incr ~by:4 (Obs_metrics.counter b "c");
+  Obs_metrics.incr ~by:7 (Obs_metrics.counter b "only_b");
+  Obs_metrics.set (Obs_metrics.gauge a "g") 1.5;
+  Obs_metrics.set (Obs_metrics.gauge b "g") 2.;
+  let ha = Obs_metrics.histogram a "h" and hb = Obs_metrics.histogram b "h" in
+  List.iter (Obs_metrics.observe ha) [ 0.1; 0.2 ];
+  List.iter (Obs_metrics.observe hb) [ 0.4; 0.05 ];
+  Obs_metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Obs_metrics.count (Obs_metrics.counter a "c"));
+  Alcotest.(check int) "missing counter created" 7
+    (Obs_metrics.count (Obs_metrics.counter a "only_b"));
+  Alcotest.(check (float 0.)) "gauges sum" 3.5
+    (Obs_metrics.value (Obs_metrics.gauge a "g"));
+  Alcotest.(check int) "histogram count" 4 (Obs_metrics.hist_count ha);
+  Alcotest.(check (float 1e-12)) "histogram sum" 0.75 (Obs_metrics.hist_sum ha);
+  Alcotest.(check (float 0.)) "histogram min" 0.05 (Obs_metrics.hist_min ha);
+  Alcotest.(check (float 0.)) "histogram max" 0.4 (Obs_metrics.hist_max ha);
+  (* The source is untouched. *)
+  Alcotest.(check int) "src counter unchanged" 4
+    (Obs_metrics.count (Obs_metrics.counter b "c"));
+  Alcotest.(check int) "src histogram unchanged" 2 (Obs_metrics.hist_count hb);
+  (* A disabled target absorbs nothing. *)
+  let dead = Obs_metrics.create ~enabled:false () in
+  Obs_metrics.merge ~into:dead b;
+  Alcotest.(check int) "disabled target stays dead" 0
+    (Obs_metrics.count (Obs_metrics.counter dead "c"))
+
+let test_hist_buckets_json () =
+  let m = Obs_metrics.create () in
+  let h = Obs_metrics.histogram m "h" in
+  List.iter (Obs_metrics.observe h) [ 0.; 0.25; 0.25; 1.0 ];
+  (match Obs_metrics.hist_to_json h with
+  | Obs_json.Obj fields ->
+    Alcotest.(check bool) "no buckets by default" false
+      (List.mem_assoc "buckets" fields)
+  | _ -> Alcotest.fail "hist_to_json should be an object");
+  match Obs_metrics.hist_to_json ~buckets:true h with
+  | Obs_json.Obj fields -> (
+    match List.assoc_opt "buckets" fields with
+    | Some (Obs_json.List rows) ->
+      (* Only occupied buckets, and their counts cover every observation. *)
+      let count row =
+        match Obs_json.member "count" row with
+        | Some (Obs_json.Int n) -> n
+        | _ -> Alcotest.fail "bucket row missing count"
+      in
+      let num k row =
+        match Obs_json.member k row with
+        | Some (Obs_json.Float x) -> x
+        | Some (Obs_json.Int n) -> float_of_int n
+        | _ -> Alcotest.failf "bucket row missing %s" k
+      in
+      Alcotest.(check int) "bucket counts sum to total" 4
+        (List.fold_left (fun acc r -> acc + count r) 0 rows);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "occupied" true (count r > 0);
+          Alcotest.(check bool) "lo <= hi" true (num "lo" r <= num "hi" r))
+        rows;
+      (* The zero observation lands in the degenerate [0, 0] bucket. *)
+      Alcotest.(check bool) "zero bucket present" true
+        (List.exists (fun r -> num "lo" r = 0. && num "hi" r = 0.) rows)
+    | _ -> Alcotest.fail "buckets field missing")
+  | _ -> Alcotest.fail "hist_to_json should be an object"
+
+(* ---------- Occupancy invariant on every runtime ---------- *)
+
+(* 0 <= active <= live <= total, on every event, from every runtime; the
+   sink may fire from shard domains, so the tallies are mutex-guarded. *)
+let occupancy_checker () =
+  let mu = Mutex.create () in
+  let seen = ref 0 and bad = ref 0 in
+  let sink ev =
+    match ev with
+    | Obs_sink.Occupancy { active; live; total; _ } ->
+      Mutex.protect mu (fun () ->
+          incr seen;
+          if not (0 <= active && active <= live && live <= total) then incr bad)
+    | _ -> ()
+  in
+  (sink, seen, bad)
+
+let check_occupancy name run =
+  let sink, seen, bad = occupancy_checker () in
+  run sink;
+  Alcotest.(check bool) (name ^ ": saw occupancy events") true (!seen > 0);
+  Alcotest.(check int) (name ^ ": invariant violations") 0 !bad
+
+let test_occupancy_invariant_pc () =
+  let compiled = Lazy.force fib_compiled in
+  check_occupancy "pc" (fun sink ->
+      let config = { Pc_vm.default_config with sink = Some sink } in
+      ignore (Autobatch.run_pc ~config compiled ~batch:(fib_batch 8)))
+
+let test_occupancy_invariant_jit () =
+  let compiled = Lazy.force fib_compiled in
+  let exe = Autobatch.jit compiled ~batch:8 in
+  check_occupancy "jit" (fun sink ->
+      ignore (Pc_jit.run ~sink exe ~batch:(fib_batch 8)))
+
+let test_occupancy_invariant_local () =
+  let compiled = Lazy.force fib_compiled in
+  check_occupancy "local" (fun sink ->
+      let config = { Local_vm.default_config with sink = Some sink } in
+      ignore (Autobatch.run_local ~config compiled ~batch:(fib_batch 8)))
+
+let test_occupancy_invariant_shard () =
+  let compiled = Lazy.force fib_compiled in
+  check_occupancy "shard" (fun sink ->
+      let config =
+        {
+          Shard_vm.default_config with
+          mesh = Mesh.gpu_pod ~n:2 ();
+          mode = Some Engine.Fused;
+          sink = Some sink;
+        }
+      in
+      ignore (Autobatch.run_sharded ~config compiled ~batch:(fib_batch 8)))
+
+let test_occupancy_invariant_server () =
+  let compiled = Lazy.force fib_compiled in
+  let requests =
+    List.init 4 (fun id ->
+        Request.make ~id ~member:(id * 16) ~arrival:0.
+          ~cost_hint:(float_of_int (4 + id))
+          ~program:compiled
+          ~inputs:[ Tensor.of_list [ float_of_int (4 + id) ] ]
+          ())
+  in
+  check_occupancy "server" (fun sink ->
+      let config =
+        {
+          Server.default_config with
+          lanes = 2;
+          vm = { Pc_vm.default_config with sink = Some sink };
+        }
+      in
+      ignore (Server.run ~config ~program:compiled requests))
+
+(* ---------- the occupancy gauge is event-fed ---------- *)
+
+let test_occupancy_feeds_gauge () =
+  (* The instrument's live-lane gauge and a sink see the same events, so
+     live_samples equals the event count and mean_occupancy equals the
+     ratio of the summed fields. *)
+  let compiled = Lazy.force fib_compiled in
+  let mu = Mutex.create () in
+  let n = ref 0 and live_sum = ref 0 and total_sum = ref 0 in
+  let sink ev =
+    match ev with
+    | Obs_sink.Occupancy { live; total; _ } ->
+      Mutex.protect mu (fun () ->
+          incr n;
+          live_sum := !live_sum + live;
+          total_sum := !total_sum + total)
+    | _ -> ()
+  in
+  let ins = Instrument.create () in
+  let config =
+    { Pc_vm.default_config with instrument = Some ins; sink = Some sink }
+  in
+  ignore (Autobatch.run_pc ~config compiled ~batch:(fib_batch 8));
+  Alcotest.(check bool) "saw events" true (!n > 0);
+  Alcotest.(check int) "one gauge sample per event" !n (Instrument.live_samples ins);
+  Alcotest.(check (float 1e-12))
+    "mean occupancy is the event ratio"
+    (float_of_int !live_sum /. float_of_int !total_sum)
+    (Instrument.mean_occupancy ins)
+
+(* ---------- attribution: conservation against the engine clock ---------- *)
+
+let check_conservation name total prof =
+  let attributed = Obs_prof.attributed prof in
+  let rel = Float.abs (attributed -. total) /. total in
+  if rel > 1e-9 then
+    Alcotest.failf "%s: attributed %.12g vs engine %.12g (rel %.3g)" name
+      attributed total rel;
+  Alcotest.(check bool) (name ^ ": has block rows") true
+    (Obs_prof.block_rows prof <> []);
+  List.iter
+    (fun (r : Obs_prof.block_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: block %d effective <= charged" name r.block)
+        true
+        (r.effective <= r.charged +. 1e-12))
+    (Obs_prof.block_rows prof);
+  let u = Obs_prof.utilization prof in
+  Alcotest.(check bool) (name ^ ": utilization in (0,1]") true (u > 0. && u <= 1.);
+  Alcotest.(check (float 1e-9))
+    (name ^ ": waste fractions complete the lane budget")
+    1.
+    (u +. Obs_prof.divergence_waste prof +. Obs_prof.idle_waste prof)
+
+let test_conservation_pc () =
+  let compiled = Lazy.force fib_compiled in
+  let prof = Obs_prof.create () in
+  let sink = Obs_prof.sink prof in
+  let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+  Engine.set_sink engine sink;
+  let config =
+    { Pc_vm.default_config with engine = Some engine; sink = Some sink }
+  in
+  ignore (Autobatch.run_pc ~config compiled ~batch:(fib_batch 16));
+  check_conservation "pc" (Engine.elapsed engine) prof
+
+let test_conservation_jit () =
+  let compiled = Lazy.force fib_compiled in
+  let exe = Autobatch.jit compiled ~batch:16 in
+  let prof = Obs_prof.create () in
+  let sink = Obs_prof.sink prof in
+  let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+  Engine.set_sink engine sink;
+  ignore (Pc_jit.run ~engine ~sink exe ~batch:(fib_batch 16));
+  check_conservation "jit" (Engine.elapsed engine) prof
+
+let test_conservation_shard () =
+  (* Each shard has its own engine and domain; attribution must conserve
+     the sum of the per-shard clocks (collectives live on the mesh
+     timeline and are excluded on both sides). *)
+  let compiled = Lazy.force fib_compiled in
+  let prof = Obs_prof.create () in
+  let config =
+    {
+      Shard_vm.default_config with
+      mesh = Mesh.gpu_pod ~n:2 ();
+      mode = Some Engine.Fused;
+      sink = Some (Obs_prof.sink prof);
+    }
+  in
+  let r = Autobatch.run_sharded ~config compiled ~batch:(fib_batch 16) in
+  let total = Array.fold_left ( +. ) 0. r.Shard_vm.shard_times in
+  check_conservation "shard" total prof
+
+(* ---------- the profiler must not perturb execution ---------- *)
+
+let check_prof_unperturbed name run =
+  let outs_off, clock_off = run None in
+  let prof = Obs_prof.create () in
+  let outs_on, clock_on = run (Some (Obs_prof.sink prof)) in
+  Alcotest.(check bool)
+    (name ^ ": profiled something")
+    true
+    (Obs_prof.supersteps prof > 0);
+  Alcotest.(check bool)
+    (name ^ ": clock identical")
+    true
+    (Int64.equal (Int64.bits_of_float clock_off) (Int64.bits_of_float clock_on));
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: output %d bitwise" name i)
+        true (Tensor.equal a b))
+    (List.combine outs_off outs_on)
+
+let test_prof_off_on_pc () =
+  let compiled = Lazy.force fib_compiled in
+  check_prof_unperturbed "pc" (fun sink ->
+      let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+      (match sink with Some s -> Engine.set_sink engine s | None -> ());
+      let config = { Pc_vm.default_config with engine = Some engine; sink } in
+      let outs = Autobatch.run_pc ~config compiled ~batch:(fib_batch 8) in
+      (outs, Engine.elapsed engine))
+
+let test_prof_off_on_jit () =
+  let compiled = Lazy.force fib_compiled in
+  let exe = Autobatch.jit compiled ~batch:8 in
+  check_prof_unperturbed "jit" (fun sink ->
+      let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+      (match sink with Some s -> Engine.set_sink engine s | None -> ());
+      let outs = Pc_jit.run ~engine ?sink exe ~batch:(fib_batch 8) in
+      (outs, Engine.elapsed engine))
+
+let test_prof_off_on_local () =
+  let compiled = Lazy.force fib_compiled in
+  check_prof_unperturbed "local" (fun sink ->
+      let engine = Engine.create ~device:Device.cpu ~mode:Engine.Eager () in
+      (match sink with Some s -> Engine.set_sink engine s | None -> ());
+      let config = { Local_vm.default_config with engine = Some engine; sink } in
+      let outs = Autobatch.run_local ~config compiled ~batch:(fib_batch 8) in
+      (outs, Engine.elapsed engine))
+
+let test_prof_off_on_shard () =
+  let compiled = Lazy.force fib_compiled in
+  check_prof_unperturbed "shard" (fun sink ->
+      let config =
+        {
+          Shard_vm.default_config with
+          mesh = Mesh.gpu_pod ~n:2 ();
+          mode = Some Engine.Fused;
+          sink;
+        }
+      in
+      let r = Autobatch.run_sharded ~config compiled ~batch:(fib_batch 8) in
+      (r.Shard_vm.outputs, r.Shard_vm.sim_time))
+
+let test_prof_off_on_server () =
+  let compiled = Lazy.force fib_compiled in
+  let requests () =
+    List.init 4 (fun id ->
+        Request.make ~id ~member:(id * 16) ~arrival:0.
+          ~cost_hint:(float_of_int (4 + id))
+          ~program:compiled
+          ~inputs:[ Tensor.of_list [ float_of_int (4 + id) ] ]
+          ())
+  in
+  check_prof_unperturbed "server" (fun sink ->
+      let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+      (match sink with Some s -> Engine.set_sink engine s | None -> ());
+      let config =
+        {
+          Server.default_config with
+          lanes = 2;
+          vm = { Pc_vm.default_config with engine = Some engine; sink };
+        }
+      in
+      let stats = Server.run ~config ~program:compiled (requests ()) in
+      let outs =
+        List.concat_map
+          (fun (r : Server.record) -> r.Server.outputs)
+          stats.Server.completions
+      in
+      (outs, stats.Server.makespan))
+
+(* ---------- golden folded-stacks export ---------- *)
+
+(* A hand-fed event sequence covering every attribution path: an
+   unattributed span before the first step, two framed blocks (one with
+   divergence), a frameless block, a bookkeeping kernel, a gap (host
+   time), and a collective on its own timeline. The folded export is
+   compared byte-for-byte with test/folded_golden.txt; regenerate with
+   AUTOBATCH_BLESS_FOLDED=/abs/path/to/test/folded_golden.txt after a
+   deliberate format change. *)
+let golden_prof () =
+  let frames = [| [| "main"; "main#0" |]; [| "main"; "f"; "f#0" |] |] in
+  let p = Obs_prof.create ~frames () in
+  let s = Obs_prof.sink p in
+  s (Obs_sink.Launched
+       { kind = Obs_sink.Fused_block; name = "block ?"; t0 = 0.; t1 = 1e-4 });
+  s (Obs_sink.Step { shard = 0; step = 1; block = 0 });
+  s (Obs_sink.Occupancy
+       { shard = 0; step = 1; block = 0; active = 4; live = 6; total = 8 });
+  s (Obs_sink.Launched
+       { kind = Obs_sink.Fused_block; name = "block 0"; t0 = 1e-4; t1 = 1.1e-3 });
+  s (Obs_sink.Launched
+       { kind = Obs_sink.Kernel; name = "transfer"; t0 = 1.1e-3; t1 = 1.2e-3 });
+  s (Obs_sink.Step { shard = 0; step = 2; block = 1 });
+  s (Obs_sink.Occupancy
+       { shard = 0; step = 2; block = 1; active = 2; live = 2; total = 8 });
+  (* The engine advanced 1.2e-3 -> 1.5e-3 without a span: host time. *)
+  s (Obs_sink.Launched
+       { kind = Obs_sink.Fused_block; name = "block 1"; t0 = 1.5e-3; t1 = 2.5e-3 });
+  s (Obs_sink.Collective
+       { name = "all_reduce"; bytes = 4096.; t0 = 10.; t1 = 10.3 });
+  s (Obs_sink.Step { shard = 0; step = 3; block = 2 });
+  s (Obs_sink.Occupancy
+       { shard = 0; step = 3; block = 2; active = 8; live = 8; total = 8 });
+  s (Obs_sink.Launched
+       { kind = Obs_sink.Fused_block; name = "block 2"; t0 = 2.5e-3; t1 = 2.7e-3 });
+  p
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let test_folded_golden () =
+  let p = golden_prof () in
+  (* The synthetic feed's books first: engine clock ends at 2.7e-3. *)
+  Alcotest.(check (float 1e-15)) "attributed = engine clock" 2.7e-3
+    (Obs_prof.attributed p);
+  Alcotest.(check (float 1e-15)) "host gap" 3e-4 (Obs_prof.host_time p);
+  Alcotest.(check (float 1e-15)) "unattributed" 1e-4 (Obs_prof.unattributed_time p);
+  Alcotest.(check (float 1e-15)) "collective excluded" 0.3
+    (Obs_prof.collective_time p);
+  Alcotest.(check int) "supersteps" 3 (Obs_prof.supersteps p);
+  Alcotest.(check (float 1e-12)) "utilization" (14. /. 24.)
+    (Obs_prof.utilization p);
+  Alcotest.(check (float 1e-12)) "divergence waste" (2. /. 24.)
+    (Obs_prof.divergence_waste p);
+  Alcotest.(check (float 1e-12)) "idle waste" (8. /. 24.)
+    (Obs_prof.idle_waste p);
+  let m = Obs_prof.metrics p in
+  Alcotest.(check int) "superstep counter" 3
+    (Obs_metrics.count (Obs_metrics.counter m "supersteps"));
+  Alcotest.(check int) "block launch counter" 4
+    (Obs_metrics.count (Obs_metrics.counter m "block_launches"));
+  let got = Obs_prof.folded p in
+  match Sys.getenv_opt "AUTOBATCH_BLESS_FOLDED" with
+  | Some path when path <> "" ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc got)
+  | _ ->
+    Alcotest.(check string)
+      "folded export matches golden"
+      (read_file "folded_golden.txt")
+      got
+
+(* ---------- live folded export over the real callgraph ---------- *)
+
+let test_live_folded () =
+  let compiled = Lazy.force fib_compiled in
+  let frames =
+    Profile.flame_frames compiled.Autobatch.stack compiled.Autobatch.cfg
+  in
+  Alcotest.(check int) "one frame stack per merged block"
+    (Array.length compiled.Autobatch.stack.Stack_ir.origin)
+    (Array.length frames);
+  Array.iter
+    (fun stack ->
+      Alcotest.(check bool) "stack rooted at entry" true
+        (Array.length stack >= 2 && stack.(0) = "fib");
+      let leaf = stack.(Array.length stack - 1) in
+      Alcotest.(check bool) "leaf is fn#local" true
+        (String.length leaf > 4 && String.contains leaf '#'))
+    frames;
+  let prof = Obs_prof.create ~frames () in
+  let sink = Obs_prof.sink prof in
+  let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+  Engine.set_sink engine sink;
+  let config =
+    { Pc_vm.default_config with engine = Some engine; sink = Some sink }
+  in
+  ignore (Autobatch.run_pc ~config compiled ~batch:(fib_batch 8));
+  let folded = Obs_prof.folded prof in
+  Alcotest.(check bool) "non-empty" true (String.length folded > 0);
+  let lines = String.split_on_char '\n' (String.trim folded) in
+  List.iter
+    (fun line ->
+      (* flamegraph.pl grammar: "frame(;frame)* <positive int>". *)
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "no weight separator: %S" line
+      | Some i ->
+        let stack = String.sub line 0 i in
+        let weight = String.sub line (i + 1) (String.length line - i - 1) in
+        Alcotest.(check bool) "stack non-empty" true (String.length stack > 0);
+        (match int_of_string_opt weight with
+        | Some n when n > 0 -> ()
+        | _ -> Alcotest.failf "bad weight in %S" line))
+    lines;
+  Alcotest.(check bool) "some stack reaches a fib block" true
+    (List.exists
+       (fun l -> String.length l >= 4 && String.sub l 0 4 = "fib;")
+       lines)
+
+let suites =
+  [
+    ( "prof",
+      [
+        t "event tags distinct and stable" `Quick test_kind_names_distinct;
+        t "tag_shard rewrites occupancy" `Quick test_tag_shard_rewrites_occupancy;
+        t "metrics merge" `Quick test_metrics_merge;
+        t "histogram raw buckets json" `Quick test_hist_buckets_json;
+        t "occupancy invariant pc" `Quick test_occupancy_invariant_pc;
+        t "occupancy invariant jit" `Quick test_occupancy_invariant_jit;
+        t "occupancy invariant local" `Quick test_occupancy_invariant_local;
+        t "occupancy invariant shard" `Quick test_occupancy_invariant_shard;
+        t "occupancy invariant server" `Quick test_occupancy_invariant_server;
+        t "occupancy feeds the gauge" `Quick test_occupancy_feeds_gauge;
+        t "conservation pc" `Quick test_conservation_pc;
+        t "conservation jit" `Quick test_conservation_jit;
+        t "conservation shard" `Quick test_conservation_shard;
+        t "profiler off/on pc" `Quick test_prof_off_on_pc;
+        t "profiler off/on jit" `Quick test_prof_off_on_jit;
+        t "profiler off/on local" `Quick test_prof_off_on_local;
+        t "profiler off/on shard" `Quick test_prof_off_on_shard;
+        t "profiler off/on server" `Quick test_prof_off_on_server;
+        t "golden folded stacks" `Quick test_folded_golden;
+        t "live folded over the callgraph" `Quick test_live_folded;
+      ] );
+  ]
