@@ -10,7 +10,7 @@
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
    Pass a subset of
-   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof]
+   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse]
    as argv to run only those stages (default: all, with bench-sized
    parameters).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
@@ -363,6 +363,137 @@ let run_prof ?seed () =
     exit 1
   end
 
+let run_fuse ?seed () =
+  (* Superblock fusion A/B gate: compile each workload twice — plain and
+     through the lib/fuse passes — and hold the fused build to the PR's
+     bar: bitwise-identical outputs on every runtime (pc, jit, local,
+     sharded), at least 25% fewer supersteps (= fused kernel launches on
+     the merged-PC runtime), and a lower total simulated cost. Also
+     writes the committed BENCH_fuse.json baseline; everything recorded
+     is simulated-clock-deterministic, so the file is stable across
+     hosts. *)
+  print_endline "== Superblock fusion A/B (plain vs fused compile) ==";
+  let eight_schools_fixture =
+    let model = (Eight_schools.create ()).Eight_schools.model in
+    let reg, _ = Nuts_dsl.setup ?seed ~model () in
+    let q0 = Tensor.zeros [| model.Model.dim |] in
+    let eps = Nuts.find_reasonable_eps ~model ~q0 () in
+    let prog = Nuts_dsl.program () in
+    let compile fuse =
+      Autobatch.compile ~registry:reg ?fuse
+        ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+    in
+    let batch = Nuts_dsl.inputs ~q0 ~eps ~n_iter:2 ~n_burn:0 ~batch:16 () in
+    ("eight_schools-z16", compile, batch, 16)
+  in
+  let fib_fixture =
+    let compile fuse =
+      Autobatch.compile ?fuse ~input_shapes:[ Shape.scalar ] fib_program
+    in
+    ("fib-z32", compile, fib_batch, 32)
+  in
+  let failed = ref false in
+  let points = ref [] in
+  let rows =
+    List.map
+      (fun (name, compile, batch, z) ->
+        let plain = compile None in
+        let fused = compile (Some Fuse.default_options) in
+        let exec compiled =
+          let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+          let config = { Pc_vm.default_config with engine = Some engine } in
+          let outputs = Autobatch.run_pc ~config compiled ~batch in
+          ( List.map Tensor.data outputs,
+            (Engine.snapshot engine).Engine.at.Engine.Counters.blocks,
+            Engine.elapsed engine )
+        in
+        let out_p, steps_p, sim_p = exec plain in
+        let out_f, steps_f, sim_f = exec fused in
+        let others compiled =
+          let jit = Pc_jit.run (Autobatch.jit compiled ~batch:z) ~batch in
+          let local = Autobatch.run_local compiled ~batch in
+          let shard =
+            (Autobatch.run_sharded
+               ~config:
+                 { Shard_vm.default_config with mesh = Mesh.gpu_pod ~n:2 () }
+               compiled ~batch)
+              .Shard_vm.outputs
+          in
+          List.map (List.map Tensor.data) [ jit; local; shard ]
+        in
+        let bitwise =
+          out_f = out_p && List.for_all (( = ) out_p) (others fused)
+        in
+        let reduction =
+          1. -. (float_of_int steps_f /. float_of_int steps_p)
+        in
+        let report = Option.get fused.Autobatch.fuse in
+        let ok =
+          bitwise && steps_f < steps_p && reduction >= 0.25 && sim_f < sim_p
+        in
+        if not ok then failed := true;
+        points :=
+          Obs_json.Obj
+            [
+              ("workload", Obs_json.Str name);
+              ("plain_supersteps", Obs_json.Int steps_p);
+              ("fused_supersteps", Obs_json.Int steps_f);
+              ("superstep_reduction", Obs_json.Float reduction);
+              ("plain_sim_seconds", Obs_json.Float sim_p);
+              ("fused_sim_seconds", Obs_json.Float sim_f);
+              ("megablocks", Obs_json.Int (Fuse.megablock_count report));
+              ( "entries_duplicated",
+                Obs_json.Int
+                  report.Fuse.stack_stats.Fuse_stack.entries_duplicated );
+              ("bitwise_identical", Obs_json.Bool bitwise);
+              ("pass", Obs_json.Bool ok);
+            ]
+          :: !points;
+        [
+          name;
+          string_of_int steps_p;
+          string_of_int steps_f;
+          Printf.sprintf "%.1f%%" (100. *. reduction);
+          Table.si sim_p ^ "s";
+          Table.si sim_f ^ "s";
+          string_of_int (Fuse.megablock_count report);
+          (if bitwise then "yes" else "NO");
+          (if ok then "ok" else "FAIL");
+        ])
+      [ fib_fixture; eight_schools_fixture ]
+  in
+  Table.print_stdout
+    ~header:
+      [ "workload"; "steps"; "fused"; "saved"; "sim"; "fused sim";
+        "megablocks"; "bitwise"; "status" ]
+    ~rows;
+  Obs_report.write ~path:"BENCH_fuse.json"
+    (Obs_json.Obj
+       [
+         ("bench", Obs_json.Str "fuse");
+         ("source", Obs_json.Str "bench/main.exe fuse");
+         ( "workload",
+           Obs_json.Str
+             "plain vs fused compile of fib z=32 and NUTS-on-eight_schools \
+              z=16 (2 trajectories) under the pc VM on a fused GPU engine" );
+         ( "note",
+           Obs_json.Str
+             "supersteps = Engine.Counters.blocks = fused kernel launches \
+              on the merged-PC runtime; bitwise compares Tensor.data of \
+              every output across pc/jit/local/sharded runtimes between the \
+              plain and fused builds; the stage (and CI) fails unless every \
+              workload is bitwise identical, saves >=25% of its supersteps, \
+              and lowers the simulated cost" );
+         ("points", Obs_json.List (List.rev !points));
+       ]);
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "fuse stage failed: fused build perturbed outputs or missed the \
+       superstep/cost bar";
+    exit 1
+  end
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -426,7 +557,7 @@ let () =
   let stages =
     match stages with
     | [] ->
-      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs"; "prof" ]
+      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs"; "prof"; "fuse" ]
     | picked -> picked
   in
   List.iter
@@ -441,10 +572,11 @@ let () =
       | "resil" -> run_resil ?seed ()
       | "obs" -> run_obs ?seed ()
       | "prof" -> run_prof ?seed ()
+      | "fuse" -> run_fuse ?seed ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse)\n"
           other;
         exit 1)
     stages

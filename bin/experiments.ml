@@ -5,6 +5,7 @@
      dune exec bin/experiments.exe -- figure6
      dune exec bin/experiments.exe -- ablations
      dune exec bin/experiments.exe -- inspect fib
+     dune exec bin/experiments.exe -- fuse fib --dot fib.dot
      dune exec bin/experiments.exe -- sample --dim 10 --chains 64 *)
 
 open Cmdliner
@@ -44,6 +45,51 @@ let json_arg () =
            ~doc:"Print a machine-readable JSON report to stdout instead of \
                  the tables.")
 
+(* The --fuse/--no-fuse A/B knob shared by the experiment subcommands,
+   plus --profile FILE for profile-guided fusion (which implies --fuse).
+   --no-fuse wins and restates the default, so scripts can pass it
+   unconditionally when sweeping both arms. *)
+let load_profile path =
+  match Fuse_profile.load ~path with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 1
+
+let fuse_args () =
+  let fuse =
+    Arg.(value & flag
+         & info [ "fuse" ]
+             ~doc:"Compile through the superblock fusion passes (jump \
+                   threading, chain fusion, if-conversion, loop rotation, \
+                   call-entry duplication) before running.")
+  in
+  let no_fuse =
+    Arg.(value & flag
+         & info [ "no-fuse" ]
+             ~doc:"Force fusion off (wins over $(b,--fuse) and \
+                   $(b,--profile)); this is the default.")
+  in
+  let profile =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Profile-guided fusion: weight the duplicating rewrites by \
+                   an execution profile — folded stacks as written by \
+                   $(b,experiments profile --folded), or JSON. Implies \
+                   $(b,--fuse).")
+  in
+  let combine fuse no_fuse profile_path =
+    if no_fuse then None
+    else if fuse || profile_path <> None then
+      Some
+        {
+          Fuse.default_options with
+          Fuse.profile = Option.map load_profile profile_path;
+        }
+    else None
+  in
+  Term.(const combine $ fuse $ no_fuse $ profile)
+
 (* [with_trace path f] runs [f] with a trace when [path] is set and writes
    the Chrome document afterwards. *)
 let with_trace path f =
@@ -59,7 +105,7 @@ let report ~name ~json ~human fields =
   else human ()
 
 let figure5_cmd =
-  let run paper_scale batches n_data dim n_iter seed csv trace json =
+  let run paper_scale batches n_data dim n_iter seed csv trace json fuse =
     let base = if paper_scale then Figure5.paper_scale else Figure5.default_scale in
     let scale =
       {
@@ -70,7 +116,9 @@ let figure5_cmd =
         seed = Option.value ~default:base.Figure5.seed seed;
       }
     in
-    let points = with_trace trace (fun tr -> Figure5.run ~scale ?trace:tr ()) in
+    let points =
+      with_trace trace (fun tr -> Figure5.run ~scale ?trace:tr ?fuse ())
+    in
     report ~name:"figure5" ~json
       ~human:(fun () -> Figure5.print points)
       [ ("points", Figure5.to_json points) ];
@@ -94,14 +142,14 @@ let figure5_cmd =
     (Cmd.info "figure5"
        ~doc:"NUTS throughput vs batch size on Bayesian logistic regression (paper Figure 5).")
     Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ seed_arg () $ csv
-          $ trace_arg () $ json_arg ())
+          $ trace_arg () $ json_arg () $ fuse_args ())
 
 let figure6_cmd =
-  let run dim batches n_iter seed stats_flag csv json =
+  let run dim batches n_iter seed stats_flag csv json fuse =
     let stats =
       Figure6.run ~dim
         ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
-        ~n_iter ?seed ()
+        ~n_iter ?seed ?fuse ()
     in
     report ~name:"figure6" ~json
       ~human:(fun () ->
@@ -130,7 +178,7 @@ let figure6_cmd =
     (Cmd.info "figure6"
        ~doc:"Batch-gradient utilization on the correlated Gaussian (paper Figure 6).")
     Term.(const run $ dim $ batches_arg [] $ n_iter $ seed_arg () $ stats_flag $ csv
-          $ json_arg ())
+          $ json_arg () $ fuse_args ())
 
 let ablations_cmd =
   let run dim batch n_iter seed =
@@ -291,6 +339,68 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a program's compiled IR.")
     Term.(const run $ prog_pos_arg $ stack)
 
+let fuse_cmd =
+  let run name profile_path dot ir json no_inline speculate_rng =
+    let prog, registry, input_shapes = resolve_program name in
+    let options =
+      {
+        Fuse.default_options with
+        Fuse.profile = Option.map load_profile profile_path;
+        inline_entries = not no_inline;
+        speculate_rng;
+      }
+    in
+    let compiled = Autobatch.compile ~registry ~fuse:options ~input_shapes prog in
+    let report = Option.get compiled.Autobatch.fuse in
+    if json then Obs_report.print (Fuse.to_json report)
+    else Fuse.print report;
+    if ir then Format.printf "@.%a@." Cfg.pp_program compiled.Autobatch.cfg;
+    Option.iter
+      (fun path ->
+        write_file path
+          (Dot.fused_cfg_to_dot ~groups:report.Fuse.megablocks
+             compiled.Autobatch.cfg))
+      dot
+  in
+  let profile =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Profile-guided fusion: weight the duplicating rewrites by \
+                   an execution profile (folded stacks or JSON).")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Write the fused CFG as Graphviz DOT with megablocks \
+                   grouped into dashed clusters labelled by their source \
+                   block ids.")
+  in
+  let ir =
+    Arg.(value & flag
+         & info [ "ir" ] ~doc:"Also dump the fused CFG in text form.")
+  in
+  let no_inline =
+    Arg.(value & flag
+         & info [ "no-inline" ]
+             ~doc:"Skip call-entry duplication on the merged stack program \
+                   (keep only the CFG-level rewrites).")
+  in
+  let speculate_rng =
+    Arg.(value & flag
+         & info [ "speculate-rng" ]
+             ~doc:"Let if-conversion speculate RNG draws into both arms. \
+                   Still bitwise-deterministic (draws are counter-based), \
+                   but the lane RNG streams differ from the unfused \
+                   program's, so A/B output comparison no longer holds.")
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Run the superblock fusion compiler on a program and report what \
+             it did: per-pass rewrite counts, megablock provenance, kernel \
+             sizes, and per-function/per-block op counts.")
+    Term.(const run $ prog_pos_arg $ profile $ dot $ ir $ json_arg ()
+          $ no_inline $ speculate_rng)
+
 let run_file_cmd =
   let run name args =
     let prog, registry, input_shapes = resolve_program name in
@@ -317,7 +427,7 @@ let run_file_cmd =
     Term.(const run $ prog_pos_arg $ args)
 
 let profile_cmd =
-  let run model_name dim batch n_iter top seed folded trace json =
+  let run model_name dim batch n_iter top seed folded trace json fuse =
     if not (List.mem model_name Profile.known_models) then begin
       Printf.eprintf "unknown model %S (%s)\n" model_name
         (String.concat "|" Profile.known_models);
@@ -325,7 +435,8 @@ let profile_cmd =
     end;
     let result =
       with_trace trace (fun tr ->
-          Profile.run ~dim ~batch ~n_iter ?seed ?trace:tr ~model:model_name ())
+          Profile.run ~dim ~batch ~n_iter ?seed ?trace:tr ?fuse
+            ~model:model_name ())
     in
     report ~name:"profile" ~json
       ~human:(fun () -> Profile.print ~top result)
@@ -361,7 +472,7 @@ let profile_cmd =
              per-block attribution of simulated time, lane-utilization \
              accounting, and flamegraph export.")
     Term.(const run $ model $ dim $ batch $ n_iter $ top $ seed_arg () $ folded
-          $ trace_arg () $ json_arg ())
+          $ trace_arg () $ json_arg () $ fuse_args ())
 
 let sample_cmd =
   let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt
@@ -602,6 +713,6 @@ let () =
                    Control-Intensive Programs for Modern Accelerators'.")
           [
             figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
-            resilience_cmd; inspect_cmd; dot_cmd; run_file_cmd; profile_cmd;
-            sample_cmd;
+            resilience_cmd; inspect_cmd; dot_cmd; fuse_cmd; run_file_cmd;
+            profile_cmd; sample_cmd;
           ]))

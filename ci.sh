@@ -43,6 +43,14 @@ dune exec bench/main.exe -- obs
 step "bench prof smoke"
 dune exec bench/main.exe -- prof
 
+# Superblock fusion must pay for itself and stay invisible: the fuse
+# stage compiles fib and eight_schools NUTS plain and fused, exits
+# nonzero unless the fused builds are bitwise identical on every runtime
+# (pc/jit/local/sharded), save >=25% of their supersteps, and lower the
+# simulated cost. Regenerates BENCH_fuse.json (deterministic).
+step "bench fuse gate"
+dune exec bench/main.exe -- fuse
+
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.
 if [ -f .ocamlformat ]; then

@@ -4,21 +4,39 @@ type compiled = {
   cfg : Cfg.program;
   stack : Stack_ir.program;
   shapes : Shape.t Ir_util.Smap.t;
+  fuse : Fuse.report option;
 }
 
-let compile ?registry ?options ?(optimize = false) ?input_shapes
+let compile ?registry ?options ?(optimize = false) ?fuse ?input_shapes
     (source : Lang.program) =
   let registry = match registry with Some r -> r | None -> Prim.standard () in
   Validate.check_exn registry source;
   let cfg = Lower_cfg.lower source in
+  (* Fusion implies optimization: the post-fusion Optimize.run is what
+     lets fold/CSE/DCE work across the old block boundaries. *)
+  let optimize = optimize || Option.is_some fuse in
   let cfg = if optimize then Optimize.run registry cfg else cfg in
+  let cfg, staged =
+    match fuse with
+    | None -> (cfg, None)
+    | Some fopts ->
+      let cfg, staged = Fuse.apply_cfg ~options:fopts registry cfg in
+      (Optimize.run registry cfg, Some staged)
+  in
   let shapes =
     match input_shapes with
     | None -> Ir_util.Smap.empty
     | Some inputs -> Shape_infer.infer registry cfg ~inputs
   in
   let stack = Lower_stack.lower ?options ~shapes cfg in
-  { source; registry; cfg; stack; shapes }
+  let stack, fuse_report =
+    match staged with
+    | None -> (stack, None)
+    | Some staged ->
+      let stack, report = Fuse.apply_stack staged stack in
+      (stack, Some report)
+  in
+  { source; registry; cfg; stack; shapes; fuse = fuse_report }
 
 let run_local ?config c ~batch = Local_vm.run ?config c.registry c.cfg ~batch
 let run_pc ?config c ~batch = Pc_vm.run ?config c.registry c.stack ~batch

@@ -23,12 +23,14 @@ type compiled = {
   cfg : Cfg.program;
   stack : Stack_ir.program;
   shapes : Shape.t Ir_util.Smap.t;  (** element shapes, when inferable *)
+  fuse : Fuse.report option;  (** fusion report, when compiled with [fuse] *)
 }
 
 val compile :
   ?registry:Prim.registry ->
   ?options:Lower_stack.options ->
   ?optimize:bool ->
+  ?fuse:Fuse.options ->
   ?input_shapes:Shape.t list ->
   Lang.program ->
   compiled
@@ -40,6 +42,10 @@ val compile :
     [optimize] (default false) runs the {!Optimize} passes — constant
     folding, copy propagation, dead-code elimination — on the CFG before
     stack lowering; results stay bitwise identical.
+    [fuse] additionally runs the superblock fusion passes ({!Fuse}) at
+    both the CFG and stack levels — fewer supersteps and kernel
+    dispatches, still bitwise identical — and implies [optimize] (the
+    pipeline re-optimizes across the fused block boundaries).
     Raises [Invalid_argument] with the validation errors on a malformed
     program. *)
 

@@ -53,7 +53,7 @@ let mk_point strategy batch useful sim =
     grads_per_sec = (if sim > 0. then float_of_int useful /. sim else Float.nan);
   }
 
-let run ?(scale = default_scale) ?trace () =
+let run ?(scale = default_scale) ?trace ?fuse () =
   let logistic = Logistic_model.create ~seed:scale.seed ~n:scale.n_data ~dim:scale.dim () in
   let model = logistic.Logistic_model.model in
   let reg, _key = Nuts_dsl.setup ~seed:scale.seed ~model () in
@@ -68,7 +68,8 @@ let run ?(scale = default_scale) ?trace () =
   let cfg = Nuts.default_config ~eps () in
   let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
   let compiled =
-    Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+    Autobatch.compile ~registry:reg ?fuse
+      ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
   in
   let inputs z = Nuts_dsl.inputs ~q0 ~eps ~n_iter:scale.n_iter ~n_burn:0 ~batch:z () in
   let points = ref [] in

@@ -41,10 +41,13 @@ type point = {
   grads_per_sec : float;
 }
 
-val run : ?scale:scale -> ?trace:Obs_trace.t -> unit -> point list
+val run :
+  ?scale:scale -> ?trace:Obs_trace.t -> ?fuse:Fuse.options -> unit -> point list
 (** With [trace], the smallest-batch run of every strategy is recorded on
     its own track — superstep spans from the VM and kernel/fused-launch
-    spans from the engine, on the engine's simulated clock. *)
+    spans from the engine, on the engine's simulated clock. With [fuse],
+    the NUTS program is compiled through the superblock fusion passes
+    ({!Fuse}) — the [--fuse] A/B knob on the CLI. *)
 
 val print : point list -> unit
 (** Batch-size × strategy table of gradients/second on stdout. *)

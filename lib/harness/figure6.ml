@@ -9,7 +9,7 @@ type stats = {
 }
 
 let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ])
-    ?(n_iter = 10) ?(seed = 0x5EEDL) () =
+    ?(n_iter = 10) ?(seed = 0x5EEDL) ?fuse () =
   let gaussian = Gaussian_model.create ~rho ~dim () in
   let model = gaussian.Gaussian_model.model in
   let reg, key = Nuts_dsl.setup ~seed ~model () in
@@ -26,7 +26,8 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
   let cfg = Nuts.default_config ~eps () in
   let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
   let compiled =
-    Autobatch.compile ~registry:reg ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+    Autobatch.compile ~registry:reg ?fuse
+      ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
   in
   let inputs z = Nuts_dsl.inputs ~q0 ~eps ~n_iter ~n_burn:0 ~batch:z () in
   let util_of instrument =

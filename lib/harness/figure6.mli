@@ -40,9 +40,11 @@ val run :
   ?batch_sizes:int list ->
   ?n_iter:int ->
   ?seed:int64 ->
+  ?fuse:Fuse.options ->
   unit ->
   stats
-(** Defaults: dim 100, rho 0.7, batch sizes 1…256, 10 trajectories. *)
+(** Defaults: dim 100, rho 0.7, batch sizes 1…256, 10 trajectories.
+    [fuse] compiles through the superblock fusion passes ({!Fuse}). *)
 
 val print : stats -> unit
 

@@ -10,6 +10,8 @@ type result = {
   sim_seconds : float;
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
+  cfg : Cfg.program;
+  fuse_report : Fuse.report option;
   prof : Obs_prof.t;
 }
 
@@ -62,7 +64,7 @@ let flame_frames (stack : Stack_ir.program) (cfg : Cfg.program) =
       Array.of_list (path fn [] @ [ Printf.sprintf "%s#%d" fn local ]))
     stack.Stack_ir.origin
 
-let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace
+let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace ?fuse
     ~model:model_name () =
   let model = resolve_model ~dim ~seed model_name in
   let reg, _key = Nuts_dsl.setup ~seed ~model () in
@@ -70,7 +72,7 @@ let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in
   let prog = Nuts_dsl.program () in
   let compiled =
-    Autobatch.compile ~registry:reg
+    Autobatch.compile ~registry:reg ?fuse
       ~input_shapes:(Nuts_dsl.input_shapes ~model)
       prog
   in
@@ -111,6 +113,8 @@ let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace
     sim_seconds = Engine.elapsed engine;
     snapshot = Engine.snapshot engine;
     stack = compiled.Autobatch.stack;
+    cfg = compiled.Autobatch.cfg;
+    fuse_report = compiled.Autobatch.fuse;
     prof;
   }
 
@@ -213,11 +217,24 @@ let print ?(top = 12) r =
 
 let to_json r =
   Obs_json.Obj
-    [
-      ("model", Obs_json.Str r.model_name);
-      ("batch", Obs_json.Int r.batch);
-      ("n_iter", Obs_json.Int r.n_iter);
-      ("sim_seconds", Obs_json.Float r.sim_seconds);
-      ("engine", Engine.Counters.to_json r.snapshot.Engine.at);
-      ("profile", Obs_prof.to_json r.prof);
-    ]
+    ([
+       ("model", Obs_json.Str r.model_name);
+       ("batch", Obs_json.Int r.batch);
+       ("n_iter", Obs_json.Int r.n_iter);
+       ("sim_seconds", Obs_json.Float r.sim_seconds);
+       ("engine", Engine.Counters.to_json r.snapshot.Engine.at);
+       ( "op_counts",
+         Obs_json.Obj
+           (List.map
+              (fun (fn, counts) ->
+                ( fn,
+                  Obs_json.List
+                    (Array.to_list
+                       (Array.map (fun c -> Obs_json.Int c) counts)) ))
+              (Optimize.block_op_counts r.cfg)) );
+       ("profile", Obs_prof.to_json r.prof);
+     ]
+    @
+    match r.fuse_report with
+    | None -> []
+    | Some fr -> [ ("fuse", Fuse.to_json fr) ])

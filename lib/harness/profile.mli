@@ -13,6 +13,8 @@ type result = {
   sim_seconds : float;  (** the engine's total simulated time *)
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
+  cfg : Cfg.program;
+  fuse_report : Fuse.report option;
   prof : Obs_prof.t;
 }
 
@@ -31,6 +33,7 @@ val run :
   ?n_iter:int ->
   ?seed:int64 ->
   ?trace:Obs_trace.t ->
+  ?fuse:Fuse.options ->
   model:string ->
   unit ->
   result

@@ -73,6 +73,88 @@ let cfg_to_dot (p : Cfg.program) =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(* Fused-CFG export: same graph as [cfg_to_dot], but each block that the
+   fusion pass built out of several source blocks (a megablock) is drawn
+   inside its own labelled sub-cluster, so fusion decisions are visible at
+   a glance. [groups] is the fusion provenance: per function, for every
+   surviving block, the source block ids it absorbed (in execution
+   order). *)
+let fused_cfg_to_dot ?(groups = []) (p : Cfg.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "digraph fused_cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iteri
+    (fun fi (fname, (f : Cfg.func)) ->
+      let prov = List.assoc_opt fname groups in
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" fi
+           (escape fname));
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          let term_str =
+            match b.Cfg.term with
+            | Cfg.Jump _ | Cfg.Branch _ -> ""
+            | Cfg.Return -> "return"
+          in
+          let members =
+            match prov with
+            | Some g when bi < Array.length g -> g.(bi)
+            | Some _ | None -> [ bi ]
+          in
+          let node =
+            Printf.sprintf "    \"%s_%d\" [label=\"%d:\\l%s\"%s];\n" fname bi bi
+              (block_label Cfg.pp_op b.Cfg.ops term_str)
+              (if List.length members > 1 then
+                 ", style=filled, fillcolor=lightgoldenrod"
+               else "")
+          in
+          if List.length members > 1 then
+            (* A megablock: wrap the node in its own cluster naming the
+               source blocks it fused. *)
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    subgraph cluster_%d_mb%d {\n      label=\"megablock {%s}\";\n\
+                  \      style=dashed;\n  %s    }\n"
+                 fi bi
+                 (String.concat "," (List.map string_of_int members))
+                 node)
+          else Buffer.add_string buf node)
+        f.Cfg.blocks;
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          match b.Cfg.term with
+          | Cfg.Jump j ->
+            Buffer.add_string buf
+              (Printf.sprintf "    \"%s_%d\" -> \"%s_%d\";\n" fname bi fname j)
+          | Cfg.Branch { if_true; if_false; _ } ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "    \"%s_%d\" -> \"%s_%d\" [label=\"true\"];\n    \"%s_%d\" -> \
+                  \"%s_%d\" [label=\"false\"];\n"
+                 fname bi fname if_true fname bi fname if_false)
+          | Cfg.Return -> ())
+        f.Cfg.blocks;
+      Buffer.add_string buf "  }\n")
+    p.Cfg.funcs;
+  List.iter
+    (fun (fname, (f : Cfg.func)) ->
+      Array.iteri
+        (fun bi (b : Cfg.block) ->
+          List.iter
+            (fun op ->
+              match op with
+              | Cfg.Call_op { func; _ } ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "  \"%s_%d\" -> \"%s_0\" [style=dashed, color=blue];\n" fname
+                     bi func)
+              | Cfg.Prim_op _ | Cfg.Const_op _ | Cfg.Mov _ -> ())
+            b.Cfg.ops)
+        f.Cfg.blocks)
+    p.Cfg.funcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 let stack_to_dot (p : Stack_ir.program) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -104,6 +186,13 @@ let stack_to_dot (p : Stack_ir.program) =
              "  b%d -> b%d [style=dashed, color=blue, label=\"call\"];\n  b%d -> b%d \
               [style=dotted, color=gray, label=\"ret to\"];\n"
              i entry i ret)
+      | Stack_ir.Spushbranch { ret; if_true; if_false; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  b%d -> b%d [style=dashed, color=blue, label=\"call true\"];\n  b%d -> \
+              b%d [style=dashed, color=blue, label=\"call false\"];\n  b%d -> b%d \
+              [style=dotted, color=gray, label=\"ret to\"];\n"
+             i if_true i if_false i ret)
       | Stack_ir.Sreturn ->
         Buffer.add_string buf (Printf.sprintf "  b%d -> halt [style=dotted];\n" i))
     p.Stack_ir.blocks;

@@ -8,6 +8,14 @@ val cfg_to_dot : Cfg.program -> string
 (** One cluster per function; branch edges are labelled true/false, call
     ops produce dashed inter-function edges. *)
 
+val fused_cfg_to_dot :
+  ?groups:(string * int list array) list -> Cfg.program -> string
+(** Like {!cfg_to_dot}, with fusion provenance: [groups] gives, per
+    function and per surviving block, the source block ids the fusion
+    pass merged into it. Megablocks (more than one source block) are
+    drawn filled inside their own dashed sub-cluster labelled with the
+    source ids. *)
+
 val stack_to_dot : Stack_ir.program -> string
 (** The merged Figure-4 program: blocks labelled with their source
     function, [pushjump] edges dashed toward the callee entry with a

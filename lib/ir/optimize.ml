@@ -200,6 +200,20 @@ let dead_code (p : Cfg.program) =
 let count_ops (p : Cfg.program) =
   List.fold_left (fun acc (_, fn) -> acc + Cfg.n_ops fn) 0 p.Cfg.funcs
 
+(* Finer-grained readouts of the same measure: per function and per
+   block, so a fusion or optimization pass's shrinkage is attributable to
+   the code it actually touched. *)
+let block_op_counts (p : Cfg.program) =
+  List.map
+    (fun (name, (fn : Cfg.func)) ->
+      (name, Array.map (fun (b : Cfg.block) -> List.length b.Cfg.ops) fn.Cfg.blocks))
+    p.Cfg.funcs
+
+let func_op_counts (p : Cfg.program) =
+  List.map
+    (fun (name, counts) -> (name, Array.fold_left ( + ) 0 counts))
+    (block_op_counts p)
+
 let run ?(rounds = 4) reg p =
   let rec go n p =
     if n = 0 then p

@@ -29,3 +29,10 @@ val run : ?rounds:int -> Prim.registry -> Cfg.program -> Cfg.program
 
 val count_ops : Cfg.program -> int
 (** Total ops across all functions (for measuring shrinkage). *)
+
+val func_op_counts : Cfg.program -> (string * int) list
+(** Op count per function, in program order. *)
+
+val block_op_counts : Cfg.program -> (string * int array) list
+(** Op count per block of each function, in program order — the
+    per-block granularity the fusion reports attribute shrinkage with. *)

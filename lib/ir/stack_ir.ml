@@ -11,6 +11,7 @@ type terminator =
   | Sjump of int
   | Sbranch of { cond : string; if_true : int; if_false : int }
   | Spushjump of { ret : int; entry : int }
+  | Spushbranch of { ret : int; cond : string; if_true : int; if_false : int }
   | Sreturn
 
 type block = { ops : op list; term : terminator }
@@ -46,7 +47,7 @@ let all_vars p =
     (fun b ->
       List.iter (fun op -> acc := op_defs op @ op_uses op @ !acc) b.ops;
       match b.term with
-      | Sbranch { cond; _ } -> acc := cond :: !acc
+      | Sbranch { cond; _ } | Spushbranch { cond; _ } -> acc := cond :: !acc
       | Sjump _ | Spushjump _ | Sreturn -> ())
     p.blocks;
   List.sort_uniq compare !acc
@@ -73,6 +74,8 @@ let pp_term ppf = function
   | Sbranch { cond; if_true; if_false } ->
     Format.fprintf ppf "branch %s ? %d : %d" cond if_true if_false
   | Spushjump { ret; entry } -> Format.fprintf ppf "pushjump ret=%d entry=%d" ret entry
+  | Spushbranch { ret; cond; if_true; if_false } ->
+    Format.fprintf ppf "pushbranch ret=%d %s ? %d : %d" ret cond if_true if_false
   | Sreturn -> Format.pp_print_string ppf "return"
 
 let pp_program ppf p =

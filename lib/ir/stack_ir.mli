@@ -25,6 +25,12 @@ type terminator =
   | Sbranch of { cond : string; if_true : int; if_false : int }
   | Spushjump of { ret : int; entry : int }
       (** replace pc top with [ret], then push [entry] *)
+  | Spushbranch of { ret : int; cond : string; if_true : int; if_false : int }
+      (** replace pc top with [ret], then push [if_true] or [if_false]
+          per lane by [cond] — a call whose callee entry has been fused
+          into the call site ({!module:Fuse} entry duplication), so the
+          superstep that makes the call also executes the callee's first
+          block and takes its branch *)
   | Sreturn  (** pop the pc stack *)
 
 type block = { ops : op list; term : terminator }

@@ -180,6 +180,19 @@ let compile reg (p : Stack_ir.program) ~batch =
                 pc.top.(b) <- entry)
               !members),
           Vm_util.stack_move_bytes ~lanes:z ~row:1 )
+      | Stack_ir.Spushbranch { ret; cond; if_true; if_false } ->
+        let read = reader cond in
+        ( 3,
+          (fun () ->
+            let data = Tensor.data (read ()) in
+            Array.iter
+              (fun b ->
+                if pc.sp.(b) >= pc.cap then pc_grow pc z;
+                pc.data.((pc.sp.(b) * z) + b) <- ret;
+                pc.sp.(b) <- pc.sp.(b) + 1;
+                pc.top.(b) <- (if data.(b) <> 0. then if_true else if_false))
+              !members),
+          Vm_util.stack_move_bytes ~lanes:z ~row:1 )
       | Stack_ir.Sreturn ->
         ( 2,
           (fun () ->

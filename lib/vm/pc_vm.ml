@@ -508,6 +508,19 @@ module Lanes = struct
         Option.iter
           (fun ins -> Instrument.record_depth ins (Pc_stack.max_depth pc))
           config.instrument
+      | Stack_ir.Spushbranch { ret; cond; if_true; if_false } ->
+        incr control_ops;
+        let data = Tensor.data (read_charged t cond) in
+        Pc_stack.set_top_masked pc ~mask ret;
+        Pc_stack.push pc ~mask;
+        Array.iter
+          (fun b ->
+            pc.Pc_stack.top.(b) <- (if data.(b) <> 0. then if_true else if_false))
+          members;
+        t.traffic <- t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1;
+        Option.iter
+          (fun ins -> Instrument.record_depth ins (Pc_stack.max_depth pc))
+          config.instrument
       | Stack_ir.Sreturn ->
         Pc_stack.pop pc ~mask;
         t.traffic <- t.traffic +. Vm_util.stack_move_bytes ~lanes:z ~row:1);

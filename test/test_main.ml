@@ -29,6 +29,7 @@ let () =
         Test_optimize.suites;
         (if fast then [] else Test_corpus.suites);
         Test_vm.suites;
+        Test_fuse.suites;
         Test_pipeline.suites;
         (if fast then [] else Test_random_programs.suites);
         Test_ad.suites;

@@ -210,6 +210,49 @@ let test_cse_self_assignment_safe () =
   let out = Autobatch.run_single c ~member:0 ~args:[ Tensor.scalar 5. ] in
   Alcotest.(check (float 0.)) "x incremented twice" 7. (Tensor.item (List.hd out))
 
+let test_op_count_granularity () =
+  (* count_ops = sum of func_op_counts = sum of block_op_counts, and the
+     per-block rows line up with each function's actual block list. *)
+  let prog =
+    let open Lang in
+    let open Lang.Infix in
+    program ~main:"m"
+      [
+        func "m" ~params:[ "x" ]
+          [
+            call [ "y" ] "twice" [ var "x" ];
+            if_ (var "y" > flt 4.) [ assign "y" (var "y" - flt 1.) ] [];
+            return_ [ var "y" ];
+          ];
+        func "twice" ~params:[ "a" ] [ return_ [ var "a" + var "a" ] ];
+      ]
+  in
+  let cfg = Lower_cfg.lower prog in
+  let total = Optimize.count_ops cfg in
+  let per_func = Optimize.func_op_counts cfg in
+  let per_block = Optimize.block_op_counts cfg in
+  Alcotest.(check int)
+    "func_op_counts sums to count_ops" total
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 per_func);
+  Alcotest.(check int)
+    "block_op_counts sums to count_ops" total
+    (List.fold_left
+       (fun acc (_, counts) -> Array.fold_left ( + ) acc counts)
+       0 per_block);
+  List.iter
+    (fun (fname, (f : Cfg.func)) ->
+      let counts = List.assoc fname per_block in
+      Alcotest.(check int)
+        (fname ^ " row per block")
+        (Array.length f.Cfg.blocks) (Array.length counts);
+      Array.iteri
+        (fun i b ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s block %d" fname i)
+            (List.length b.Cfg.ops) counts.(i))
+        f.Cfg.blocks)
+    cfg.Cfg.funcs
+
 let suites =
   match suites with
   | [ (name, cases) ] ->
@@ -219,6 +262,7 @@ let suites =
         @ [
             t "common subexpressions" `Quick test_cse;
             t "CSE self-assignment safety" `Quick test_cse_self_assignment_safe;
+            t "op-count granularity" `Quick test_op_count_granularity;
           ] );
     ]
   | other -> other

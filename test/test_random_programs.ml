@@ -390,11 +390,77 @@ let prop_vector_differential =
   QCheck.Test.make ~name:"vector programs: all engines agree" ~count:100
     arb_vector_program vector_runs_agree
 
+(* Fusion differential: a compile with superblock fusion (DESIGN.md §S19)
+   must stay bitwise equal to the reference interpreter on every engine —
+   megablocks change scheduling, never values. The scalar generator's
+   ifs, bounded loops and recursion exercise if-conversion, chain fusion,
+   latch rotation and call-entry duplication. *)
+let fused_runs_agree prog =
+  let reg = Prim.standard () in
+  match Validate.check_program reg prog with
+  | Error msgs ->
+    QCheck.Test.fail_reportf "generator produced invalid program: %s"
+      (String.concat "; " msgs)
+  | Ok () ->
+    let input_shapes = [ Shape.scalar; Shape.scalar ] in
+    let plain = Autobatch.compile ~registry:reg ~input_shapes prog in
+    let fused =
+      Autobatch.compile ~registry:reg ~fuse:Fuse.default_options ~input_shapes
+        prog
+    in
+    let z = 5 in
+    let expected =
+      List.init z (fun b ->
+          Autobatch.run_single plain ~member:b
+            ~args:(List.map (fun t -> Tensor.slice_row t b) batch_inputs))
+    in
+    let check label outputs =
+      List.iteri
+        (fun b per_member ->
+          List.iteri
+            (fun i expect ->
+              let got = Tensor.slice_row (List.nth outputs i) b in
+              if not (Tensor.equal expect got) then
+                QCheck.Test.fail_reportf
+                  "%s disagrees with interpreter on member %d output %d:\n\
+                   expected %s, got %s\nprogram:\n%s"
+                  label b i (Tensor.to_string expect) (Tensor.to_string got)
+                  (print_program prog))
+            per_member)
+        expected
+    in
+    check "fused pc" (Autobatch.run_pc fused ~batch:batch_inputs);
+    check "fused local" (Autobatch.run_local fused ~batch:batch_inputs);
+    (* A never-called function leaves its variables without inferred
+       shapes and the JIT refuses to preallocate (fused or not); only
+       require jit agreement when the unfused program jit-compiles. *)
+    (match Autobatch.jit plain ~batch:z with
+    | exception Invalid_argument _ -> ()
+    | _ ->
+      check "fused jit"
+        (Pc_jit.run (Autobatch.jit fused ~batch:z) ~batch:batch_inputs));
+    check "fused shard"
+      (Autobatch.run_sharded
+         ~config:{ Shard_vm.default_config with mesh = Mesh.gpu_pod ~n:2 () }
+         fused ~batch:batch_inputs)
+        .Shard_vm.outputs;
+    true
+
+let prop_fused_differential =
+  QCheck.Test.make ~name:"random programs: fused compile stays bitwise"
+    ~count:120 arb_program fused_runs_agree
+
+let prop_fused_vector_differential =
+  QCheck.Test.make ~name:"vector programs: fused compile stays bitwise"
+    ~count:80 arb_vector_program fused_runs_agree
+
 let suites =
   [
     ( "random-programs",
       [
         QCheck_alcotest.to_alcotest prop_differential;
         QCheck_alcotest.to_alcotest prop_vector_differential;
+        QCheck_alcotest.to_alcotest prop_fused_differential;
+        QCheck_alcotest.to_alcotest prop_fused_vector_differential;
       ] );
   ]

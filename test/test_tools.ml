@@ -135,6 +135,11 @@ let stack_invariants (prog : Lang.program) =
             QCheck.Test.fail_reportf
               "block %d pushes [%s] but continuation pops [%s]" i
               (String.concat "," pushes) (String.concat "," pops)
+        | Stack_ir.Spushbranch { ret; if_true; if_false; _ } ->
+          (* Only the fusion pass emits this; an unfused compile must not. *)
+          if ret < 0 || ret >= nb || if_true < 0 || if_true >= nb
+             || if_false < 0 || if_false >= nb
+          then QCheck.Test.fail_reportf "pushbranch target out of range"
         | Stack_ir.Sreturn -> ())
       sp.Stack_ir.blocks;
     true
