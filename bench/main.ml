@@ -10,7 +10,7 @@
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
    Pass a subset of
-   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse]
+   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched]
    as argv to run only those stages (default: all, with bench-sized
    parameters).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
@@ -494,6 +494,140 @@ let run_fuse ?seed () =
     exit 1
   end
 
+let run_sched ?seed () =
+  (* Scheduling-policy and lane-defragmentation gate, two halves.
+
+     Determinism: every runtime — pc, jit, local, sharded, the serving
+     stack, and the defragmenting Sched_vm under both migration plans —
+     must produce outputs bitwise identical to the Earliest pc baseline
+     under every scheduling policy (Sched_sweep.bitwise_matrix; 35
+     checks per workload). Policies and migration only move cost, never
+     results.
+
+     Utilization: retiring drained lanes and refilling small pools must
+     actually pay. Each workload's whole-batch pc run (Earliest; the
+     batch drains in place, Figure 6's waste) is compared against the
+     Sched_vm defrag arm on a mesh of small lane pools, and the stage
+     fails unless the effective-utilization factor clears the bar:
+     >=2x on eight_schools z=64, >=1.5x on fib z=32. Regenerates the
+     committed BENCH_sched.json; everything recorded is
+     simulated-clock-deterministic. *)
+  print_endline "== Scheduling policies + lane defragmentation gate ==";
+  let eight_schools_fixture =
+    let model = (Eight_schools.create ()).Eight_schools.model in
+    let reg, _ = Nuts_dsl.setup ?seed ~model () in
+    let q0 = Tensor.zeros [| model.Model.dim |] in
+    let eps = Nuts.find_reasonable_eps ~model ~q0 () in
+    let prog = Nuts_dsl.program () in
+    let compiled =
+      Autobatch.compile ~registry:reg
+        ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+    in
+    let batch = Nuts_dsl.inputs ~q0 ~eps ~n_iter:1 ~n_burn:0 ~batch:64 () in
+    ("eight_schools-z64", compiled, batch, 4, 2, 2.0)
+  in
+  let fib_fixture = ("fib-pc-z32", fib_compiled, fib_batch, 2, 4, 1.5) in
+  let failed = ref false in
+  let points = ref [] in
+  let compares = ref [] in
+  let rows =
+    List.map
+      (fun (name, compiled, batch, shards, lanes, bar) ->
+        let checks = Sched_sweep.bitwise_matrix compiled ~batch in
+        let bad = Sched_sweep.failures checks in
+        let base_out, base =
+          Sched_sweep.profiled_pc ~label:(name ^ "/pc")
+            ~policy:Sched_policy.Earliest compiled ~batch
+        in
+        let r, defrag =
+          Sched_sweep.defrag_view
+            ~label:(Printf.sprintf "%s/defrag-%dx%d" name shards lanes)
+            ~plan:Sched_plan.aggressive ~shards ~lanes compiled ~batch ()
+        in
+        let bitwise =
+          bad = [] && List.for_all2 Tensor.equal base_out r.Sched_vm.outputs
+        in
+        let factor = defrag.Profile.v_effective /. base.Profile.v_effective in
+        let ok = bitwise && factor >= bar in
+        if not ok then failed := true;
+        compares := (name, [ base; defrag ]) :: !compares;
+        points :=
+          Obs_json.Obj
+            [
+              ("workload", Obs_json.Str name);
+              ("checks", Obs_json.Int (List.length checks));
+              ("bitwise_failures", Obs_json.Int (List.length bad));
+              ("shards", Obs_json.Int shards);
+              ("lanes_per_shard", Obs_json.Int lanes);
+              ("baseline_effective", Obs_json.Float base.Profile.v_effective);
+              ("defrag_effective", Obs_json.Float defrag.Profile.v_effective);
+              ("factor", Obs_json.Float factor);
+              ("bar", Obs_json.Float bar);
+              ("supersteps", Obs_json.Int r.Sched_vm.supersteps);
+              ("refills", Obs_json.Int r.Sched_vm.refills);
+              ("migrations", Obs_json.Int r.Sched_vm.migrations);
+              ("steals", Obs_json.Int r.Sched_vm.steals);
+              ("migration_bytes", Obs_json.Float r.Sched_vm.migration_bytes);
+              ("compare", Profile.compare_to_json [ base; defrag ]);
+              ("pass", Obs_json.Bool ok);
+            ]
+          :: !points;
+        [
+          name;
+          string_of_int (List.length checks);
+          Printf.sprintf "%.3f" base.Profile.v_effective;
+          Printf.sprintf "%.3f" defrag.Profile.v_effective;
+          Printf.sprintf "%.2fx" factor;
+          Printf.sprintf ">=%.1fx" bar;
+          string_of_int r.Sched_vm.migrations;
+          string_of_int r.Sched_vm.steals;
+          (if bitwise then "yes" else "NO");
+          (if ok then "ok" else "FAIL");
+        ])
+      [ fib_fixture; eight_schools_fixture ]
+  in
+  Table.print_stdout
+    ~header:
+      [ "workload"; "checks"; "base eff"; "defrag eff"; "factor"; "bar";
+        "migr"; "steals"; "bitwise"; "status" ]
+    ~rows;
+  List.iter
+    (fun (name, views) ->
+      print_newline ();
+      Printf.printf "-- %s --\n" name;
+      Profile.print_compare views)
+    (List.rev !compares);
+  Obs_report.write ~path:"BENCH_sched.json"
+    (Obs_json.Obj
+       [
+         ("bench", Obs_json.Str "sched");
+         ("source", Obs_json.Str "bench/main.exe sched");
+         ( "workload",
+           Obs_json.Str
+             "fib z=32 and NUTS-on-eight_schools z=64 (1 trajectory): \
+              runtime x policy x migration-plan bitwise matrix, plus the \
+              whole-batch Earliest pc run vs the Sched_vm defragmenting \
+              runtime on a mesh of small lane pools (aggressive plan)" );
+         ( "note",
+           Obs_json.Str
+             "checks = bitwise_matrix comparisons against the Earliest pc \
+              baseline (5 policies x {pc, jit, local, shard, server} plus \
+              Sched_vm under {no-migration, aggressive}); effective \
+              utilization = Obs_prof.effective_utilization (useful lanes \
+              over issued lanes weighted by simulated kernel time); the \
+              stage (and CI) fails unless every check is bitwise AND the \
+              defrag arm's factor clears the bar (>=2x eight_schools, \
+              >=1.5x fib)" );
+         ("points", Obs_json.List (List.rev !points));
+       ]);
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "sched stage failed: a policy or migration schedule perturbed outputs \
+       or the defrag arm missed the utilization bar";
+    exit 1
+  end
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -557,7 +691,8 @@ let () =
   let stages =
     match stages with
     | [] ->
-      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs"; "prof"; "fuse" ]
+      [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs";
+        "prof"; "fuse"; "sched" ]
     | picked -> picked
   in
   List.iter
@@ -573,10 +708,11 @@ let () =
       | "obs" -> run_obs ?seed ()
       | "prof" -> run_prof ?seed ()
       | "fuse" -> run_fuse ?seed ()
+      | "sched" -> run_sched ?seed ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched)\n"
           other;
         exit 1)
     stages

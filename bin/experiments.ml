@@ -90,22 +90,99 @@ let fuse_args () =
   in
   Term.(const combine $ fuse $ no_fuse $ profile)
 
-(* [with_trace path f] runs [f] with a trace when [path] is set and writes
-   the Chrome document afterwards. *)
-let with_trace path f =
-  let tr = Option.map (fun _ -> Obs_trace.create ()) path in
+(* The block-scheduling knobs shared by figure5|figure6|profile|serve:
+   --policy NAME picks one policy for the run, --compare-policies reruns
+   the workload under every policy and adds a delta readout against the
+   earliest baseline. *)
+let policy_conv =
+  let parse s =
+    match Sched_policy.of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown policy %S (%s)" s
+              (String.concat "|"
+                 (List.map Sched_policy.to_string Sched_policy.all))))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Sched_policy.to_string p))
+
+let policy_args () =
+  let policy =
+    Arg.(value & opt (some policy_conv) None
+         & info [ "policy" ] ~docv:"NAME"
+             ~doc:"Block scheduling policy for the batched VMs: earliest, \
+                   most-active, round-robin, cost-lookahead, or \
+                   critical-path (default earliest). Outputs are \
+                   policy-invariant; only the schedule and the simulated \
+                   cost change.")
+  in
+  let compare =
+    Arg.(value & flag
+         & info [ "compare-policies" ]
+             ~doc:"Run the workload once per scheduling policy and report \
+                   every run against the $(b,earliest) baseline \
+                   ($(b,--policy) is ignored).")
+  in
+  let combine policy compare =
+    if compare then Sched_policy.all
+    else [ Option.value ~default:Sched_policy.Earliest policy ]
+  in
+  Term.(const combine $ policy $ compare)
+
+let comparing = function [] | [ _ ] -> false | _ -> true
+
+(* Concatenate per-policy CSV documents, keeping only the first header
+   line (every to_csv here puts its header on line one; the policy is a
+   column, so the rows self-identify). *)
+let concat_csv = function
+  | [] -> ""
+  | first :: rest ->
+    first
+    ^ String.concat ""
+        (List.map
+           (fun csv ->
+             match String.index_opt csv '\n' with
+             | Some i -> String.sub csv (i + 1) (String.length csv - i - 1)
+             | None -> "")
+           rest)
+
+(* [with_trace ?policy ?csv path f] runs [f] with a trace when [path] or
+   [csv] is set and writes the Chrome document (and/or the CSV rows,
+   stamped with the scheduling policy) afterwards. *)
+let with_trace ?policy ?csv path f =
+  let tr =
+    if path <> None || csv <> None then Some (Obs_trace.create ()) else None
+  in
   let result = f tr in
-  (match (path, tr) with
-  | Some path, Some tr -> Obs_trace.write tr ~path
-  | _ -> ());
+  (match tr with
+  | Some tr ->
+    Option.iter (fun path -> Obs_trace.write tr ~path) path;
+    Option.iter (fun path -> write_file path (Obs_trace.to_csv ?policy tr)) csv
+  | None -> ());
   result
+
+let trace_csv_arg () =
+  Arg.(value & opt (some string) None
+       & info [ "trace-csv" ] ~docv:"FILE"
+           ~doc:"Also write the recorded events (spans, occupancy samples, \
+                 migrations) as CSV rows, each stamped with the run's \
+                 scheduling policy.")
 
 let report ~name ~json ~human fields =
   if json then Obs_report.print (Obs_report.document ~name fields)
   else human ()
 
+(* In --compare-policies mode the trace CSV's policy column is stamped
+   "mixed": one trace document records every policy's run. *)
+let policy_label = function
+  | [ p ] -> Sched_policy.to_string p
+  | _ -> "mixed"
+
 let figure5_cmd =
-  let run paper_scale batches n_data dim n_iter seed csv trace json fuse =
+  let run paper_scale batches n_data dim n_iter seed csv trace trace_csv json
+      fuse policies =
     let base = if paper_scale then Figure5.paper_scale else Figure5.default_scale in
     let scale =
       {
@@ -116,11 +193,23 @@ let figure5_cmd =
         seed = Option.value ~default:base.Figure5.seed seed;
       }
     in
-    let points =
-      with_trace trace (fun tr -> Figure5.run ~scale ?trace:tr ?fuse ())
+    let runs =
+      with_trace ~policy:(policy_label policies) ?csv:trace_csv trace (fun tr ->
+          List.map
+            (fun policy ->
+              (policy, Figure5.run ~scale ?trace:tr ~policy ?fuse ()))
+            policies)
     in
+    let points = List.concat_map snd runs in
     report ~name:"figure5" ~json
-      ~human:(fun () -> Figure5.print points)
+      ~human:(fun () ->
+        List.iteri
+          (fun i (policy, points) ->
+            if i > 0 then print_newline ();
+            if comparing policies then
+              Printf.printf "-- policy %s --\n" (Sched_policy.to_string policy);
+            Figure5.print points)
+          runs)
       [ ("points", Figure5.to_json points) ];
     Option.iter (fun path -> write_file path (Figure5.to_csv points)) csv
   in
@@ -142,24 +231,40 @@ let figure5_cmd =
     (Cmd.info "figure5"
        ~doc:"NUTS throughput vs batch size on Bayesian logistic regression (paper Figure 5).")
     Term.(const run $ paper $ batches_arg [] $ n_data $ dim $ n_iter $ seed_arg () $ csv
-          $ trace_arg () $ json_arg () $ fuse_args ())
+          $ trace_arg () $ trace_csv_arg () $ json_arg () $ fuse_args ()
+          $ policy_args ())
 
 let figure6_cmd =
-  let run dim batches n_iter seed stats_flag csv json fuse =
-    let stats =
-      Figure6.run ~dim
-        ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
-        ~n_iter ?seed ?fuse ()
+  let run dim batches n_iter seed stats_flag csv json fuse policies =
+    let all =
+      List.map
+        (fun policy ->
+          Figure6.run ~dim
+            ?batch_sizes:(match batches with [] -> None | bs -> Some bs)
+            ~n_iter ?seed ?fuse ~policy ())
+        policies
     in
     report ~name:"figure6" ~json
       ~human:(fun () ->
-        Figure6.print stats;
-        if stats_flag then begin
-          print_newline ();
-          Figure6.print_occupancy stats
-        end)
-      [ ("stats", Figure6.to_json stats) ];
-    Option.iter (fun path -> write_file path (Figure6.to_csv stats)) csv
+        List.iteri
+          (fun i stats ->
+            if i > 0 then print_newline ();
+            if comparing policies then
+              Printf.printf "-- policy %s --\n" stats.Figure6.policy;
+            Figure6.print stats;
+            if stats_flag then begin
+              print_newline ();
+              Figure6.print_occupancy stats
+            end)
+          all)
+      [ ( "stats",
+          match all with
+          | [ one ] -> Figure6.to_json one
+          | many -> Obs_json.List (List.map Figure6.to_json many) );
+      ];
+    Option.iter
+      (fun path -> write_file path (concat_csv (List.map Figure6.to_csv all)))
+      csv
   in
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
@@ -178,7 +283,7 @@ let figure6_cmd =
     (Cmd.info "figure6"
        ~doc:"Batch-gradient utilization on the correlated Gaussian (paper Figure 6).")
     Term.(const run $ dim $ batches_arg [] $ n_iter $ seed_arg () $ stats_flag $ csv
-          $ json_arg () $ fuse_args ())
+          $ json_arg () $ fuse_args () $ policy_args ())
 
 let ablations_cmd =
   let run dim batch n_iter seed =
@@ -427,20 +532,38 @@ let run_file_cmd =
     Term.(const run $ prog_pos_arg $ args)
 
 let profile_cmd =
-  let run model_name dim batch n_iter top seed folded trace json fuse =
+  let run model_name dim batch n_iter top seed folded trace trace_csv json fuse
+      policies =
     if not (List.mem model_name Profile.known_models) then begin
       Printf.eprintf "unknown model %S (%s)\n" model_name
         (String.concat "|" Profile.known_models);
       exit 1
     end;
-    let result =
-      with_trace trace (fun tr ->
-          Profile.run ~dim ~batch ~n_iter ?seed ?trace:tr ?fuse
-            ~model:model_name ())
+    let results =
+      with_trace ~policy:(policy_label policies) ?csv:trace_csv trace (fun tr ->
+          List.map
+            (fun policy ->
+              Profile.run ~dim ~batch ~n_iter ?seed ?trace:tr ?fuse ~policy
+                ~model:model_name ())
+            policies)
+    in
+    let result = List.hd results in
+    let views = List.map Profile.view results in
+    let fields =
+      ("profile", Profile.to_json result)
+      ::
+      (if comparing policies then
+         [ ("compare", Profile.compare_to_json views) ]
+       else [])
     in
     report ~name:"profile" ~json
-      ~human:(fun () -> Profile.print ~top result)
-      [ ("profile", Profile.to_json result) ];
+      ~human:(fun () ->
+        Profile.print ~top result;
+        if comparing policies then begin
+          print_newline ();
+          Profile.print_compare views
+        end)
+      fields;
     Option.iter (fun path -> write_file path (Profile.folded result)) folded
   in
   let model =
@@ -472,7 +595,8 @@ let profile_cmd =
              per-block attribution of simulated time, lane-utilization \
              accounting, and flamegraph export.")
     Term.(const run $ model $ dim $ batch $ n_iter $ top $ seed_arg () $ folded
-          $ trace_arg () $ json_arg () $ fuse_args ())
+          $ trace_arg () $ trace_csv_arg () $ json_arg () $ fuse_args ()
+          $ policy_args ())
 
 let sample_cmd =
   let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt
@@ -545,7 +669,7 @@ let sample_cmd =
 
 let serve_cmd =
   let run dim lanes requests max_iter loads policies queue_depth closed_clients
-      seed csv trace json =
+      seed csv trace trace_csv json scheds =
     let policies =
       List.map
         (function
@@ -558,16 +682,34 @@ let serve_cmd =
             exit 1)
         policies
     in
-    let stats =
-      with_trace trace (fun tr ->
-          Serving.run ~dim ~lanes ~n_requests:requests ~max_iter
-            ?loads:(match loads with [] -> None | ls -> Some ls)
-            ~policies ~queue_depth ~closed_clients ?seed ?trace:tr ())
+    let all =
+      with_trace ~policy:(policy_label scheds) ?csv:trace_csv trace (fun tr ->
+          List.map
+            (fun sched ->
+              Serving.run ~dim ~lanes ~n_requests:requests ~max_iter
+                ?loads:(match loads with [] -> None | ls -> Some ls)
+                ~policies ~queue_depth ~closed_clients ?seed ?trace:tr ~sched
+                ())
+            scheds)
     in
     report ~name:"serve" ~json
-      ~human:(fun () -> Serving.print stats)
-      [ ("stats", Serving.to_json stats) ];
-    Option.iter (fun path -> write_file path (Serving.to_csv stats)) csv
+      ~human:(fun () ->
+        List.iteri
+          (fun i stats ->
+            if i > 0 then print_newline ();
+            if comparing scheds then
+              Printf.printf "-- scheduling policy %s --\n"
+                stats.Serving.sched_policy;
+            Serving.print stats)
+          all)
+      [ ( "stats",
+          match all with
+          | [ one ] -> Serving.to_json one
+          | many -> Obs_json.List (List.map Serving.to_json many) );
+      ];
+    Option.iter
+      (fun path -> write_file path (concat_csv (List.map Serving.to_csv all)))
+      csv
   in
   let dim = Arg.(value & opt int 10 & info [ "dim" ] ~doc:"Gaussian dimension.") in
   let lanes =
@@ -613,7 +755,7 @@ let serve_cmd =
              (throughput, latency percentiles, live-lane occupancy).")
     Term.(const run $ dim $ lanes $ requests $ max_iter $ loads $ policies
           $ queue_depth $ closed_clients $ seed_arg () $ csv $ trace_arg ()
-          $ json_arg ())
+          $ trace_csv_arg () $ json_arg () $ policy_args ())
 
 let resilience_cmd =
   let run z intervals rates vms shards lanes requests bandwidth seed csv json =

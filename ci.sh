@@ -51,6 +51,15 @@ dune exec bench/main.exe -- prof
 step "bench fuse gate"
 dune exec bench/main.exe -- fuse
 
+# Scheduling policies and lane defragmentation must be invisible in the
+# outputs and visible in the utilization: the sched stage exits nonzero
+# unless every runtime is bitwise identical to the Earliest baseline
+# under every policy and migration plan, and the defragmenting runtime's
+# effective utilization clears its bar (>=2x on eight_schools z=64,
+# >=1.5x on fib z=32). Regenerates BENCH_sched.json (deterministic).
+step "bench sched gate"
+dune exec bench/main.exe -- sched
+
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.
 if [ -f .ocamlformat ]; then

@@ -44,6 +44,9 @@ let all_gather_time mesh algo ~bytes =
       +. (float_of_int (log2_ceil n) *. l.Mesh.latency)
   end
 
+let p2p_time mesh ~bytes =
+  if Mesh.size mesh <= 1 then 0. else step_time (Mesh.link mesh) ~bytes
+
 let broadcast_time mesh algo ~bytes =
   let n = Mesh.size mesh in
   if n <= 1 then 0.

@@ -33,3 +33,8 @@ val all_gather_time : Mesh.t -> algorithm -> bytes:float -> float
 
 val broadcast_time : Mesh.t -> algorithm -> bytes:float -> float
 (** One device's [bytes]-sized payload reaches every other device. *)
+
+val p2p_time : Mesh.t -> bytes:float -> float
+(** A single point-to-point transfer over one mesh link:
+    [bytes/bw + lat]. This is what a work-steal pays to move one lane's
+    state between shards ([Sched_vm]); free on a single-device mesh. *)

@@ -186,6 +186,21 @@ let charge_retire t ~bytes =
   t.st.time <- t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes;
   charge_span t ~name:"lane-retire" ~t0
 
+(* A lane migration: one host dispatch moving [bytes] of lane state, plus
+   [seconds] of link time the caller priced (Collectives.p2p_time for a
+   cross-shard steal, 0. for an on-device defrag move whose copy cost is
+   already in the device traffic term). No Counters field: the snapshot
+   record is serialized field-by-field by the resilience codec, so
+   migration counts live with the scheduler's own result instead. *)
+let charge_transfer t ~name ~bytes ~seconds =
+  let t0 = t.st.time in
+  t.st.host_ops <- t.st.host_ops + 1;
+  t.st.traffic_bytes <- t.st.traffic_bytes +. bytes;
+  t.st.time <-
+    t.st.time +. t.device.Device.host_op_overhead +. traffic_time t bytes
+    +. seconds;
+  charge_span t ~name ~t0
+
 let charge_host_call t =
   let t0 = t.st.time in
   t.st.host_calls <- t.st.host_calls + 1;

@@ -81,6 +81,15 @@ val charge_retire : t -> bytes:float -> unit
 (** A continuous-batching lane retirement: one host dispatch plus reading
     the finished lane's output rows ([bytes]) back. *)
 
+val charge_transfer : t -> name:string -> bytes:float -> seconds:float -> unit
+(** A named lane-state transfer (scheduler migration): one host dispatch,
+    [bytes] of device traffic, plus [seconds] of extra link time priced by
+    the caller — [Collectives.p2p_time] for a cross-shard work steal, [0.]
+    for a same-device defragmentation move. Emits a [Launched] span under
+    [name] and adds to [traffic_bytes]; deliberately no dedicated
+    {!Counters} field (the resilience codec round-trips that record by
+    field), so migration tallies ride with [Sched_vm]'s result. *)
+
 val charge_traffic : t -> bytes:float -> unit
 (** The bookkeeping charges above each emit an {!Obs_sink.Launched} span
     (["host-call"], ["lane-refill"], ["lane-retire"], ["transfer"]) so the

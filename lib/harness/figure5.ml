@@ -27,6 +27,7 @@ let paper_scale =
 type point = {
   strategy : string;
   batch : int;
+  policy : string;
   useful_grads : int;
   sim_seconds : float;
   grads_per_sec : float;
@@ -44,16 +45,18 @@ let strategies =
     "stan";
   ]
 
-let mk_point strategy batch useful sim =
+let mk_point ~policy strategy batch useful sim =
   {
     strategy;
     batch;
+    policy;
     useful_grads = useful;
     sim_seconds = sim;
     grads_per_sec = (if sim > 0. then float_of_int useful /. sim else Float.nan);
   }
 
-let run ?(scale = default_scale) ?trace ?fuse () =
+let run ?(scale = default_scale) ?trace ?fuse ?(policy = Sched_policy.Earliest) () =
+  let policy_name = Sched_policy.to_string policy in
   let logistic = Logistic_model.create ~seed:scale.seed ~n:scale.n_data ~dim:scale.dim () in
   let model = logistic.Logistic_model.model in
   let reg, _key = Nuts_dsl.setup ~seed:scale.seed ~model () in
@@ -95,13 +98,14 @@ let run ?(scale = default_scale) ?trace ?fuse () =
     let config =
       {
         Pc_vm.default_config with
+        sched = policy;
         engine = Some engine;
         instrument = Some instrument;
         sink = tracing name z engine;
       }
     in
     ignore (Autobatch.run_pc ~config compiled ~batch:(inputs z));
-    emit (mk_point name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
+    emit (mk_point ~policy:policy_name name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
   in
   let local_strategy name device mode z =
     let engine = Engine.create ~device ~mode () in
@@ -109,13 +113,14 @@ let run ?(scale = default_scale) ?trace ?fuse () =
     let config =
       {
         Local_vm.default_config with
+        sched = policy;
         engine = Some engine;
         instrument = Some instrument;
         sink = tracing name z engine;
       }
     in
     ignore (Autobatch.run_local ~config compiled ~batch:(inputs z));
-    emit (mk_point name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
+    emit (mk_point ~policy:policy_name name z (Instrument.prim_useful instrument ~name:"grad") (Engine.elapsed engine))
   in
   List.iter
     (fun z ->
@@ -137,7 +142,7 @@ let run ?(scale = default_scale) ?trace ?fuse () =
     let tally = (Engine.snapshot engine).Engine.ops in
     let grads = Option.value ~default:0 (List.assoc_opt "grad" tally) in
     let sim = Engine.elapsed engine in
-    List.iter (fun z -> emit (mk_point name z grads sim)) scale.batch_sizes
+    List.iter (fun z -> emit (mk_point ~policy:policy_name name z grads sim)) scale.batch_sizes
   in
   flat "eager-unbatched" Device.gpu;
   flat "stan" Device.stan_cpu;
@@ -149,12 +154,12 @@ let rate points ~strategy ~batch =
 
 let to_csv points =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "strategy,batch,useful_grads,sim_seconds,grads_per_sec\n";
+  Buffer.add_string buf "strategy,batch,useful_grads,sim_seconds,grads_per_sec,policy\n";
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%.9g,%.9g\n" p.strategy p.batch p.useful_grads
-           p.sim_seconds p.grads_per_sec))
+        (Printf.sprintf "%s,%d,%d,%.9g,%.9g,%s\n" p.strategy p.batch
+           p.useful_grads p.sim_seconds p.grads_per_sec p.policy))
     points;
   Buffer.contents buf
 
@@ -166,6 +171,7 @@ let to_json points =
            [
              ("strategy", Obs_json.Str p.strategy);
              ("batch", Obs_json.Int p.batch);
+             ("policy", Obs_json.Str p.policy);
              ("useful_grads", Obs_json.Int p.useful_grads);
              ("sim_seconds", Obs_json.Float p.sim_seconds);
              ("grads_per_sec", Obs_json.Float p.grads_per_sec);

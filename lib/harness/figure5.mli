@@ -36,18 +36,27 @@ val paper_scale : scale
 type point = {
   strategy : string;
   batch : int;
+  policy : string;  (** scheduling policy the sweep ran under *)
   useful_grads : int;
   sim_seconds : float;
   grads_per_sec : float;
 }
 
 val run :
-  ?scale:scale -> ?trace:Obs_trace.t -> ?fuse:Fuse.options -> unit -> point list
+  ?scale:scale ->
+  ?trace:Obs_trace.t ->
+  ?fuse:Fuse.options ->
+  ?policy:Sched_policy.t ->
+  unit ->
+  point list
 (** With [trace], the smallest-batch run of every strategy is recorded on
     its own track — superstep spans from the VM and kernel/fused-launch
     spans from the engine, on the engine's simulated clock. With [fuse],
     the NUTS program is compiled through the superblock fusion passes
-    ({!Fuse}) — the [--fuse] A/B knob on the CLI. *)
+    ({!Fuse}) — the [--fuse] A/B knob on the CLI. [policy] (default
+    [Earliest]) sets the block scheduling policy of the batched VMs; the
+    flat baselines don't schedule but are stamped with it anyway, so
+    every point in a sweep names its policy. *)
 
 val print : point list -> unit
 (** Batch-size × strategy table of gradients/second on stdout. *)
@@ -60,7 +69,7 @@ val rate : point list -> strategy:string -> batch:int -> float option
 
 val to_csv : point list -> string
 (** One row per (strategy, batch) point:
-    [strategy,batch,useful_grads,sim_seconds,grads_per_sec]. *)
+    [strategy,batch,useful_grads,sim_seconds,grads_per_sec,policy]. *)
 
 val to_json : point list -> Obs_json.t
 (** The same series as a JSON array, for {!Obs_report} documents. *)

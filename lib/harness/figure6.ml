@@ -1,6 +1,7 @@
 type point = { batch : int; local_util : float; pc_util : float }
 
 type stats = {
+  policy : string;
   points : point list;
   mean_grads_per_trajectory : float;
   max_grads_per_trajectory : float;
@@ -9,7 +10,7 @@ type stats = {
 }
 
 let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ])
-    ?(n_iter = 10) ?(seed = 0x5EEDL) ?fuse () =
+    ?(n_iter = 10) ?(seed = 0x5EEDL) ?fuse ?(policy = Sched_policy.Earliest) () =
   let gaussian = Gaussian_model.create ~rho ~dim () in
   let model = gaussian.Gaussian_model.model in
   let reg, key = Nuts_dsl.setup ~seed ~model () in
@@ -45,11 +46,17 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
       (fun z ->
         let local_ins = Instrument.create () in
         let local_config =
-          { Local_vm.default_config with instrument = Some local_ins }
+          {
+            Local_vm.default_config with
+            sched = policy;
+            instrument = Some local_ins;
+          }
         in
         ignore (Autobatch.run_local ~config:local_config compiled ~batch:(inputs z));
         let pc_ins = Instrument.create () in
-        let pc_config = { Pc_vm.default_config with instrument = Some pc_ins } in
+        let pc_config =
+          { Pc_vm.default_config with sched = policy; instrument = Some pc_ins }
+        in
         ignore (Autobatch.run_pc ~config:pc_config compiled ~batch:(inputs z));
         (match !widest with
         | Some (z0, _) when z0 >= z -> ()
@@ -89,6 +96,7 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
   done;
   let grads = Array.of_list !grads_per_traj in
   {
+    policy = Sched_policy.to_string policy;
     points;
     mean_grads_per_trajectory = Diagnostics.mean grads;
     max_grads_per_trajectory = Array.fold_left Float.max 0. grads;
@@ -98,11 +106,12 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
 
 let to_csv stats =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "batch,local_util,pc_util\n";
+  Buffer.add_string buf "batch,local_util,pc_util,policy\n";
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%.6f,%.6f\n" p.batch p.local_util p.pc_util))
+        (Printf.sprintf "%d,%.6f,%.6f,%s\n" p.batch p.local_util p.pc_util
+           stats.policy))
     stats.points;
   Buffer.add_string buf
     (Printf.sprintf "# grads/trajectory mean=%.3f max=%.3f\n"
@@ -112,6 +121,7 @@ let to_csv stats =
 let to_json stats =
   Obs_json.Obj
     [
+      ("policy", Obs_json.Str stats.policy);
       ( "points",
         Obs_json.List
           (List.map

@@ -22,6 +22,7 @@ type point = {
 }
 
 type stats = {
+  policy : string;  (** scheduling policy the sweep ran under *)
   points : point list;
   mean_grads_per_trajectory : float;
   max_grads_per_trajectory : float;
@@ -41,10 +42,13 @@ val run :
   ?n_iter:int ->
   ?seed:int64 ->
   ?fuse:Fuse.options ->
+  ?policy:Sched_policy.t ->
   unit ->
   stats
 (** Defaults: dim 100, rho 0.7, batch sizes 1…256, 10 trajectories.
-    [fuse] compiles through the superblock fusion passes ({!Fuse}). *)
+    [fuse] compiles through the superblock fusion passes ({!Fuse});
+    [policy] (default [Earliest]) sets both VMs' block scheduling
+    policy. *)
 
 val print : stats -> unit
 
@@ -52,8 +56,8 @@ val print_occupancy : stats -> unit
 (** The occupancy time series as a text sparkline (one row per bucket). *)
 
 val to_csv : stats -> string
-(** [batch,local_util,pc_util] rows plus a trailing comment line with the
-    trajectory statistics. *)
+(** [batch,local_util,pc_util,policy] rows plus a trailing comment line
+    with the trajectory statistics. *)
 
 val to_json : stats -> Obs_json.t
 (** Points, trajectory statistics, and the occupancy time series as one

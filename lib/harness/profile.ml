@@ -7,6 +7,7 @@ type result = {
   model_name : string;
   batch : int;
   n_iter : int;
+  policy : Sched_policy.t;
   sim_seconds : float;
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
@@ -65,7 +66,7 @@ let flame_frames (stack : Stack_ir.program) (cfg : Cfg.program) =
     stack.Stack_ir.origin
 
 let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace ?fuse
-    ~model:model_name () =
+    ?(policy = Sched_policy.Earliest) ~model:model_name () =
   let model = resolve_model ~dim ~seed model_name in
   let reg, _key = Nuts_dsl.setup ~seed ~model () in
   let q0 = Tensor.zeros [| model.Model.dim |] in
@@ -98,6 +99,7 @@ let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace ?fuse
   let config =
     {
       Pc_vm.default_config with
+      sched = policy;
       engine = Some engine;
       instrument = Some (Instrument.create ());
       sink = Some sink;
@@ -110,6 +112,7 @@ let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace ?fuse
     model_name;
     batch;
     n_iter;
+    policy;
     sim_seconds = Engine.elapsed engine;
     snapshot = Engine.snapshot engine;
     stack = compiled.Autobatch.stack;
@@ -130,8 +133,10 @@ let pct part whole = if whole = 0. then 0. else 100. *. part /. whole
 
 let print ?(top = 12) r =
   let p = r.prof in
-  Printf.printf "divergence profile: %s under NUTS, batch %d, %d trajectories\n"
-    r.model_name r.batch r.n_iter;
+  Printf.printf
+    "divergence profile: %s under NUTS, batch %d, %d trajectories, %s policy\n"
+    r.model_name r.batch r.n_iter
+    (Sched_policy.to_string r.policy);
   let attributed = Obs_prof.attributed p in
   Printf.printf
     "simulated time %.6fs; attributed %.6fs (blocks+kernels+host; residual \
@@ -221,6 +226,7 @@ let to_json r =
        ("model", Obs_json.Str r.model_name);
        ("batch", Obs_json.Int r.batch);
        ("n_iter", Obs_json.Int r.n_iter);
+       ("policy", Obs_json.Str (Sched_policy.to_string r.policy));
        ("sim_seconds", Obs_json.Float r.sim_seconds);
        ("engine", Engine.Counters.to_json r.snapshot.Engine.at);
        ( "op_counts",
@@ -238,3 +244,99 @@ let to_json r =
     match r.fuse_report with
     | None -> []
     | Some fr -> [ ("fuse", Fuse.to_json fr) ])
+
+(* ------------------------------------------------------------------ *)
+(* The compare readout: one row per run, deltas against the first
+   (baseline) row. Shared by `experiments ... --compare-policies` and
+   the `bench sched` gate, so the scoreboard and the gate agree on what
+   "x× better utilization" means. *)
+
+type view = {
+  v_label : string;
+  v_policy : string;
+  v_sim_seconds : float;
+  v_utilization : float;
+  v_effective : float;
+  v_divergence_waste : float;
+  v_idle_waste : float;
+  v_supersteps : int;
+  v_migrations : int;
+  v_steals : int;
+  v_migration_bytes : float;
+}
+
+let view_of_prof ?(label = "") ~policy ~sim_seconds prof =
+  {
+    v_label = label;
+    v_policy = policy;
+    v_sim_seconds = sim_seconds;
+    v_utilization = Obs_prof.utilization prof;
+    v_effective = Obs_prof.effective_utilization prof;
+    v_divergence_waste = Obs_prof.divergence_waste prof;
+    v_idle_waste = Obs_prof.idle_waste prof;
+    v_supersteps = Obs_prof.supersteps prof;
+    v_migrations = Obs_prof.migrations prof;
+    v_steals = Obs_prof.steals prof;
+    v_migration_bytes = Obs_prof.migration_bytes prof;
+  }
+
+let view ?(label = "") r =
+  view_of_prof ~label
+    ~policy:(Sched_policy.to_string r.policy)
+    ~sim_seconds:r.sim_seconds r.prof
+
+let ratio num den = if den = 0. then 0. else num /. den
+
+let print_compare views =
+  match views with
+  | [] -> ()
+  | baseline :: _ ->
+    Table.print_stdout
+      ~header:
+        [
+          "run"; "policy"; "sim-s"; "speedup"; "util"; "eff-util"; "eff x";
+          "div-waste"; "idle"; "migr"; "steals";
+        ]
+      ~rows:
+        (List.map
+           (fun v ->
+             [
+               v.v_label;
+               v.v_policy;
+               Printf.sprintf "%.6f" v.v_sim_seconds;
+               Printf.sprintf "%.2f" (ratio baseline.v_sim_seconds v.v_sim_seconds);
+               Printf.sprintf "%.3f" v.v_utilization;
+               Printf.sprintf "%.3f" v.v_effective;
+               Printf.sprintf "%.2f" (ratio v.v_effective baseline.v_effective);
+               Printf.sprintf "%.3f" v.v_divergence_waste;
+               Printf.sprintf "%.3f" v.v_idle_waste;
+               string_of_int v.v_migrations;
+               string_of_int v.v_steals;
+             ])
+           views)
+
+let view_to_json v =
+  Obs_json.Obj
+    [
+      ("label", Obs_json.Str v.v_label);
+      ("policy", Obs_json.Str v.v_policy);
+      ("sim_seconds", Obs_json.Float v.v_sim_seconds);
+      ("utilization", Obs_json.Float v.v_utilization);
+      ("effective_utilization", Obs_json.Float v.v_effective);
+      ("divergence_waste", Obs_json.Float v.v_divergence_waste);
+      ("idle_waste", Obs_json.Float v.v_idle_waste);
+      ("supersteps", Obs_json.Int v.v_supersteps);
+      ("migrations", Obs_json.Int v.v_migrations);
+      ("steals", Obs_json.Int v.v_steals);
+      ("migration_bytes", Obs_json.Float v.v_migration_bytes);
+    ]
+
+let compare_to_json views =
+  Obs_json.Obj
+    [
+      ("runs", Obs_json.List (List.map view_to_json views));
+      ( "baseline",
+        match views with
+        | [] -> Obs_json.Null
+        | v :: _ -> Obs_json.Str v.v_label );
+    ]

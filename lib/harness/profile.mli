@@ -10,6 +10,7 @@ type result = {
   model_name : string;
   batch : int;
   n_iter : int;
+  policy : Sched_policy.t;  (** the scheduling policy the run used *)
   sim_seconds : float;  (** the engine's total simulated time *)
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
@@ -34,6 +35,7 @@ val run :
   ?seed:int64 ->
   ?trace:Obs_trace.t ->
   ?fuse:Fuse.options ->
+  ?policy:Sched_policy.t ->
   model:string ->
   unit ->
   result
@@ -41,8 +43,10 @@ val run :
     seed [0x5EED] by default; [dim] is ignored by [eight_schools], whose
     dimension is fixed), run it on a fused GPU engine with profiler —
     and, optionally, trace — sinks installed on both the VM and the
-    engine, and return the profile. Raises [Invalid_argument] for an
-    unknown model name. *)
+    engine, and return the profile. [policy] picks the block scheduling
+    policy (default [Earliest]); outputs are policy-invariant, only the
+    schedule and hence the simulated cost change. Raises
+    [Invalid_argument] for an unknown model name. *)
 
 val folded : result -> string
 (** {!Obs_prof.folded} on the run's profiler: flamegraph.pl input. *)
@@ -53,3 +57,38 @@ val print : ?top:int -> result -> unit
     non-empty. *)
 
 val to_json : result -> Obs_json.t
+
+(** {1 Compare readout}
+
+    One row per profiled run, with speedup and effective-utilization
+    factors against the first (baseline) row. Shared by
+    [experiments ... --compare-policies] and the [bench sched] gate, so
+    the scoreboard and the gate agree on what an utilization factor
+    means. *)
+
+type view = {
+  v_label : string;
+  v_policy : string;
+  v_sim_seconds : float;
+  v_utilization : float;
+  v_effective : float;  (** {!Obs_prof.effective_utilization} *)
+  v_divergence_waste : float;
+  v_idle_waste : float;
+  v_supersteps : int;
+  v_migrations : int;
+  v_steals : int;
+  v_migration_bytes : float;
+}
+
+val view : ?label:string -> result -> view
+
+val view_of_prof :
+  ?label:string -> policy:string -> sim_seconds:float -> Obs_prof.t -> view
+(** For runs not driven by {!run} (e.g. the [Sched_sweep] defrag arms):
+    build a row straight from a profiler and a simulated clock. *)
+
+val print_compare : view list -> unit
+(** Delta table; the first view is the baseline (speedup 1.00). Prints
+    nothing for an empty list. *)
+
+val compare_to_json : view list -> Obs_json.t

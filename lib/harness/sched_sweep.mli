@@ -1,0 +1,81 @@
+(** The scheduling-policy sweep harness behind [bench sched] and the
+    [--compare-policies] CLI flag.
+
+    Three readouts over one compiled workload:
+
+    - {!policy_views}: a profiled program-counter run per policy
+      (profiler + fused-GPU engine, wired as {!Profile.run} wires them),
+      as {!Profile.view} rows for {!Profile.print_compare};
+    - {!defrag_view}: the defragmenting {!Sched_vm} runtime on a mesh of
+      small lane pools — the before/after utilization comparison the
+      [bench sched] gate scores;
+    - {!bitwise_matrix}: outputs of every runtime × policy × migration
+      plan checked bitwise against the [Earliest] program-counter
+      baseline — the determinism half of the gate. *)
+
+val profiled_pc :
+  ?label:string ->
+  policy:Sched_policy.t ->
+  Autobatch.compiled ->
+  batch:Tensor.t list ->
+  Tensor.t list * Profile.view
+(** One profiled whole-batch PC run; returns the outputs (for bitwise
+    checks) and the utilization view. [label] defaults to the policy
+    name. *)
+
+val policy_views :
+  ?policies:Sched_policy.t list ->
+  Autobatch.compiled ->
+  batch:Tensor.t list ->
+  unit ->
+  Profile.view list
+(** One view per policy (default {!Sched_policy.all}, so the [Earliest]
+    baseline comes first — {!Profile.print_compare}'s convention). *)
+
+val defrag_view :
+  ?label:string ->
+  ?policy:Sched_policy.t ->
+  ?plan:Sched_plan.config ->
+  shards:int ->
+  lanes:int ->
+  Autobatch.compiled ->
+  batch:Tensor.t list ->
+  unit ->
+  Sched_vm.result * Profile.view
+(** Run the batch through {!Sched_vm} on a [shards]-device mesh with
+    [lanes] lanes per device (capacity below the batch size forces
+    continuous refill — where retiring drained lanes pays). Default
+    [Earliest] policy and {!Sched_plan.default}; [label] defaults to
+    ["<policy>+defrag"]. *)
+
+(** {1 Bitwise matrix} *)
+
+type check = {
+  c_runtime : string;  (** pc | jit | local | shard | server | sched *)
+  c_policy : string;
+  c_plan : string;  (** migration plan name; ["-"] for plain runtimes *)
+  c_ok : bool;
+}
+
+val default_plans : (string * Sched_plan.config) list
+(** [no-migration] and [aggressive]. *)
+
+val bitwise_matrix :
+  ?policies:Sched_policy.t list ->
+  ?plans:(string * Sched_plan.config) list ->
+  ?lanes:int ->
+  ?shards:int ->
+  ?include_jit:bool ->
+  Autobatch.compiled ->
+  batch:Tensor.t list ->
+  check list
+(** Run the batch through every runtime under every policy — plus
+    {!Sched_vm} under every (policy, plan) pair on a [shards]-device
+    mesh with [lanes] lanes each, and the server as one width-1 request
+    per member — and compare outputs bitwise against the [Earliest] PC
+    baseline. [include_jit] (default true) requires the program compiled
+    with [input_shapes]. *)
+
+val failures : check list -> check list
+
+val checks_to_json : check list -> Obs_json.t

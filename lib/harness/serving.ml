@@ -19,6 +19,7 @@ type stats = {
   lanes : int;
   n_requests : int;
   solo_service : float;
+  sched_policy : string;
   points : point list;
 }
 
@@ -65,7 +66,8 @@ let summarize ~mode ~policy ~load ~offered (s : Server.stats) =
 let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
     ?(max_iter = 3) ?(loads = [ 0.6; 0.9; 1.3 ])
     ?(policies = [ Server.Synchronous; Server.Fifo; Server.Shortest_first ])
-    ?(queue_depth = 1024) ?(closed_clients = -1) ?(seed = 0x5EEDL) ?trace () =
+    ?(queue_depth = 1024) ?(closed_clients = -1) ?(seed = 0x5EEDL) ?trace
+    ?(sched = Sched_policy.Earliest) () =
   let closed_clients = if closed_clients < 0 then lanes else closed_clients in
   let gaussian = Gaussian_model.create ~rho ~dim () in
   let model = gaussian.Gaussian_model.model in
@@ -112,7 +114,8 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
     !tot /. float_of_int probe
   in
   let server_config policy =
-    { Server.default_config with lanes; policy; queue_depth }
+    let vm = { Server.default_config.Server.vm with Pc_vm.sched } in
+    { Server.default_config with lanes; policy; queue_depth; vm }
   in
   (* One trace track per measured serving run: the lane VM's superstep
      spans plus the request lifecycle (enqueue/shed/reject instants and
@@ -195,20 +198,27 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
           })
         policies
   in
-  { lanes; n_requests; solo_service; points = open_points @ closed_points }
+  {
+    lanes;
+    n_requests;
+    solo_service;
+    sched_policy = Sched_policy.to_string sched;
+    points = open_points @ closed_points;
+  }
 
 let to_csv stats =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "mode,policy,load,offered_rate,completed,shed,throughput,mean_occupancy,mean_latency,p50,p95,p99,makespan\n";
+    "mode,policy,load,offered_rate,completed,shed,throughput,mean_occupancy,mean_latency,p50,p95,p99,makespan,sched_policy\n";
   List.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%.3f,%.6f,%d,%d,%.6f,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f\n"
+        (Printf.sprintf
+           "%s,%s,%.3f,%.6f,%d,%d,%.6f,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%s\n"
            p.mode
            (Server.policy_name p.policy)
            p.load p.offered p.completed p.shed p.throughput p.mean_occupancy
-           p.mean_latency p.p50 p.p95 p.p99 p.makespan))
+           p.mean_latency p.p50 p.p95 p.p99 p.makespan stats.sched_policy))
     stats.points;
   Buffer.add_string buf
     (Printf.sprintf "# lanes=%d n_requests=%d solo_service=%.2f\n" stats.lanes
@@ -221,6 +231,7 @@ let to_json stats =
       ("lanes", Obs_json.Int stats.lanes);
       ("n_requests", Obs_json.Int stats.n_requests);
       ("solo_service", Obs_json.Float stats.solo_service);
+      ("sched_policy", Obs_json.Str stats.sched_policy);
       ( "points",
         Obs_json.List
           (List.map

@@ -37,6 +37,9 @@ type stats = {
   solo_service : float;
       (** mean clock units to serve one request alone — the capacity
           calibration constant *)
+  sched_policy : string;
+      (** the lane VM's block scheduling policy (distinct from the
+          admission [policy] above) *)
   points : point list;
 }
 
@@ -52,6 +55,7 @@ val run :
   ?closed_clients:int ->
   ?seed:int64 ->
   ?trace:Obs_trace.t ->
+  ?sched:Sched_policy.t ->
   unit ->
   stats
 (** Defaults: dim 10, rho 0.7, 8 lanes, 48 requests of 1–3 trajectories,
@@ -59,7 +63,8 @@ val run :
     [closed_clients = lanes] (0 disables the closed-loop runs). With
     [trace], every measured serving run gets its own track — VM superstep
     spans plus the request lifecycle, on the server clock (the calibration
-    probes are not traced). *)
+    probes are not traced). [sched] (default [Earliest]) sets the lane
+    VM's block scheduling policy for the measured runs. *)
 
 val print : stats -> unit
 val to_csv : stats -> string

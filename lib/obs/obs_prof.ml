@@ -78,6 +78,11 @@ type t = {
   mutable host : float;
   mutable unattributed : float;
   mutable supersteps : int;
+  (* Lane-migration attribution: every [Migration] event, split into
+     same-shard defragmentation moves and cross-shard steals. *)
+  mutable migrations : int;
+  mutable steals : int;
+  mutable migration_bytes : float;
 }
 
 let create ?(frames = [||]) () =
@@ -91,6 +96,9 @@ let create ?(frames = [||]) () =
     host = 0.;
     unattributed = 0.;
     supersteps = 0;
+    migrations = 0;
+    steals = 0;
+    migration_bytes = 0.;
   }
 
 let channel t =
@@ -215,6 +223,12 @@ let on_event t ev =
     c.c_count <- c.c_count + 1;
     c.c_charged <- c.c_charged +. (t1 -. t0);
     c.c_bytes <- c.c_bytes +. bytes
+  | Obs_sink.Migration { src_shard; dst_shard; bytes; _ } ->
+    let ch = channel t in
+    t.migrations <- t.migrations + 1;
+    if src_shard <> dst_shard then t.steals <- t.steals + 1;
+    t.migration_bytes <- t.migration_bytes +. bytes;
+    Obs_metrics.incr (Obs_metrics.counter ch.metrics "migrations")
   | Obs_sink.Launch _ | Obs_sink.Request_enqueued _ | Obs_sink.Request_shed _
   | Obs_sink.Request_rejected _ | Obs_sink.Request_completed _
   | Obs_sink.Checkpoint _ | Obs_sink.Restore _ ->
@@ -277,6 +291,9 @@ let collective_rows t =
              | c -> c))
 
 let host_time t = Mutex.protect t.mutex (fun () -> t.host)
+let migrations t = Mutex.protect t.mutex (fun () -> t.migrations)
+let steals t = Mutex.protect t.mutex (fun () -> t.steals)
+let migration_bytes t = Mutex.protect t.mutex (fun () -> t.migration_bytes)
 let unattributed_time t = Mutex.protect t.mutex (fun () -> t.unattributed)
 let supersteps t = Mutex.protect t.mutex (fun () -> t.supersteps)
 
@@ -430,6 +447,9 @@ let to_json t =
       ("effective_utilization", Obs_json.Float (effective_utilization t));
       ("divergence_waste", Obs_json.Float (divergence_waste t));
       ("idle_waste", Obs_json.Float (idle_waste t));
+      ("migrations", Obs_json.Int (migrations t));
+      ("steals", Obs_json.Int (steals t));
+      ("migration_bytes", Obs_json.Float (migration_bytes t));
       ("blocks", Obs_json.List blocks);
       ("kernels", Obs_json.List kernels);
       ("collectives", Obs_json.List collectives);

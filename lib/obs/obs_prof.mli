@@ -87,6 +87,20 @@ val divergence_waste : t -> float
 val idle_waste : t -> float
 (** Σ (total − live) / Σ total: lanes already halted (batch drain). *)
 
+(** {1 Migration attribution} — over all [Migration] events, so a
+    before/after utilization comparison (see [Harness.Profile]'s compare
+    readout) can attribute occupancy gains to the lane moves that bought
+    them. *)
+
+val migrations : t -> int
+(** All lane moves, defragmentation and steals alike. *)
+
+val steals : t -> int
+(** Cross-shard moves only ([src_shard <> dst_shard]). *)
+
+val migration_bytes : t -> float
+(** Total migrated payload. *)
+
 val metrics : t -> Obs_metrics.t
 (** Per-domain registries (superstep/launch counters, active-lane and
     utilization histograms) aggregated with {!Obs_metrics.merge}. *)

@@ -24,6 +24,13 @@ type event =
       live : int;
       total : int;
     }
+  | Migration of {
+      src_shard : int;
+      dst_shard : int;
+      member : int;
+      bytes : float;
+      step : int;
+    }
 
 type t = event -> unit
 
@@ -48,3 +55,4 @@ let kind_name = function
   | Checkpoint _ -> "checkpoint"
   | Restore _ -> "restore"
   | Occupancy _ -> "occupancy"
+  | Migration _ -> "migration"

@@ -55,6 +55,20 @@ type event =
           Fired right after {!Step}, before the block runs, so a profiler
           can use it as the attribution context for the engine spans the
           block charges. *)
+  | Migration of {
+      src_shard : int;
+      dst_shard : int;
+      member : int;
+      bytes : float;
+      step : int;
+    }
+      (** A live batch member's lane state moved between lanes — within
+          one shard ([src_shard = dst_shard], a defragmentation move) or
+          across shards (a work steal, priced by [Collectives.p2p_time]).
+          [step] is the defragmenting runtime's planning round; [bytes]
+          the migrated payload. Occupancy improvements then show up in
+          the ordinary {!Occupancy} stream, and this event attributes
+          them to the migrations that caused them. *)
 
 type t = event -> unit
 

@@ -47,7 +47,7 @@ let sink t ~track ~clock : Obs_sink.t =
   | Obs_sink.Request_rejected { at; _ } -> record t ~track ~ts:at ev
   | Obs_sink.Request_completed { queued; _ } -> record t ~track ~ts:queued ev
   | Obs_sink.Step _ | Obs_sink.Checkpoint _ | Obs_sink.Restore _
-  | Obs_sink.Occupancy _ ->
+  | Obs_sink.Occupancy _ | Obs_sink.Migration _ ->
     record t ~track ~ts:(clock ()) ev
 
 let entries t = Mutex.protect t.mutex (fun () -> List.rev t.rev_entries)
@@ -254,6 +254,21 @@ let to_chrome t =
                ~name:(counter_label ^ " utilization %")
                ~cat:"occupancy" ~ph:"C" ~tid ~ts:e.ts
                ~args:[ ("pct", Obs_json.Float pct) ]
+               ())
+        | Obs_sink.Migration { src_shard; dst_shard; member; bytes; step } ->
+          let name =
+            if src_shard = dst_shard then "defrag move" else "steal"
+          in
+          emit
+            (instant ~name ~cat:"migration" ~tid ~ts:e.ts
+               ~args:
+                 [
+                   ("src_shard", Obs_json.Int src_shard);
+                   ("dst_shard", Obs_json.Int dst_shard);
+                   ("member", Obs_json.Int member);
+                   ("bytes", Obs_json.Float bytes);
+                   ("step", Obs_json.Int step);
+                 ]
                ()))
       entries;
     close_span !last_ts;
@@ -269,9 +284,13 @@ let to_chrome t =
 
 let to_chrome_string t = Obs_json.to_string (to_chrome t)
 
-let to_csv t =
+let to_csv ?policy t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "track,ts,kind,name,detail\n";
+  (* The policy column is appended (not inserted) so consumers that index
+     columns by position keep working when no policy is recorded. *)
+  (match policy with
+  | None -> Buffer.add_string buf "track,ts,kind,name,detail\n"
+  | Some _ -> Buffer.add_string buf "track,ts,kind,name,detail,policy\n");
   let tracks = tracks t in
   let track_name id =
     match List.assoc_opt id tracks with
@@ -304,10 +323,17 @@ let to_csv t =
           ( Printf.sprintf "block %d" block,
             Printf.sprintf "step=%d shard=%d active=%d live=%d total=%d" step
               shard active live total )
+        | Obs_sink.Migration { src_shard; dst_shard; member; bytes; step } ->
+          ( (if src_shard = dst_shard then "defrag move" else "steal"),
+            Printf.sprintf "src=%d dst=%d member=%d bytes=%.0f step=%d"
+              src_shard dst_shard member bytes step )
+      in
+      let suffix =
+        match policy with None -> "" | Some p -> "," ^ p
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%.9f,%s,%s,%s\n" (track_name e.track) e.ts
-           (Obs_sink.kind_name e.ev) name detail))
+        (Printf.sprintf "%s,%.9f,%s,%s,%s%s\n" (track_name e.track) e.ts
+           (Obs_sink.kind_name e.ev) name detail suffix))
     (entries t);
   Buffer.contents buf
 

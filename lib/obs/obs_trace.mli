@@ -47,6 +47,12 @@ val to_chrome : t -> Obs_json.t
     Timestamps are microseconds. *)
 
 val to_chrome_string : t -> string
-val to_csv : t -> string
+
+val to_csv : ?policy:string -> t -> string
+(** One row per entry: [track,ts,kind,name,detail]. When [policy] is
+    given (a {!Sched_policy.to_string} name) a trailing [policy] column
+    is appended to the header and every row, so sweep CSVs from
+    different scheduling policies concatenate cleanly. *)
+
 val write : t -> path:string -> unit
 (** Write the Chrome document (compact JSON) to [path]. *)

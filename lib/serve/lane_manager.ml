@@ -39,18 +39,19 @@ let bytes_of outputs =
 
 let admit t ~now r =
   let w = Request.width r in
-  let lanes = Array.make w (-1) in
-  let k = ref 0 in
-  for lane = 0 to t.z - 1 do
-    if !k < w && not (Pc_vm.Lanes.occupied t.vm ~lane) then begin
-      lanes.(!k) <- lane;
-      incr k
-    end
-  done;
-  if !k < w then
-    invalid_arg
-      (Printf.sprintf "Lane_manager.admit: request %d wants %d lanes, %d free"
-         r.Request.id w (free_lanes t));
+  (* Lane selection is the planner's (Sched_plan.choose_lanes), so the
+     server and the defragmenting runtime share one code path. *)
+  let free =
+    Array.init t.z (fun lane -> not (Pc_vm.Lanes.occupied t.vm ~lane))
+  in
+  let lanes =
+    match Sched_plan.choose_lanes ~free ~width:w with
+    | Some lanes -> lanes
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Lane_manager.admit: request %d wants %d lanes, %d free"
+           r.Request.id w (free_lanes t))
+  in
   Array.iteri
     (fun i lane ->
       let inputs = Request.lane_inputs r ~row:i in

@@ -48,6 +48,21 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
     incr steps;
     if !steps > config.max_steps then raise Step_limit_exceeded
   in
+  (* Function-local cost tables for the table-driven policies, built on
+     first entry per function (host recursion re-enters run_function for
+     every batched call, so memoization matters). *)
+  let tables_cache : (string, Sched_policy.tables) Hashtbl.t = Hashtbl.create 8 in
+  let tables_for (f : Cfg.func) =
+    if not (Sched_policy.needs_tables config.sched) then None
+    else
+      Some
+        (match Hashtbl.find_opt tables_cache f.Cfg.name with
+        | Some tb -> tb
+        | None ->
+          let tb = Sched_cost.func_tables p ~fn:f.Cfg.name in
+          Hashtbl.replace tables_cache f.Cfg.name tb;
+          tb)
+  in
   let rec run_function (f : Cfg.func) args active =
     let env : (string, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
     if List.length f.Cfg.params <> List.length args then
@@ -100,7 +115,7 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
           incr live
         end
       done;
-      match Sched.pick config.sched ~last:!last ~counts with
+      match Sched.pick ?tables:(tables_for f) config.sched ~last:!last ~counts with
       | None -> ()
       | Some i ->
         tick ();

@@ -33,6 +33,7 @@ type t = {
   members : int array ref;  (* indices of the active members this step *)
   pc : pc_stack;
   blocks : block_exec array;
+  tables : Sched_policy.tables;  (* for the table-driven policies *)
   counts : int array;        (* per-block live-lane tallies, scratch *)
   mutable last : int;        (* scheduler cursor *)
   mutable steps : int;
@@ -230,6 +231,9 @@ let compile reg (p : Stack_ir.program) ~batch =
     members;
     pc;
     blocks;
+    (* Cost tables are static per program; computing them once here keeps
+       the per-step pick allocation-free under every policy. *)
+    tables = Sched_cost.stack_tables ~registry:reg p;
     counts = Array.make (Array.length blocks) 0;
     last = -1;
     steps = 0;
@@ -283,7 +287,7 @@ let step ?(sched = Sched.Earliest) ?engine ?instrument ?sink
       incr live
     end
   done;
-  match Sched.pick sched ~last:t.last ~counts:t.counts with
+  match Sched.pick ~tables:t.tables sched ~last:t.last ~counts:t.counts with
   | None -> false
   | Some i ->
     t.steps <- t.steps + 1;

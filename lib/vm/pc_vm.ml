@@ -88,6 +88,29 @@ module Pc_stack = struct
 
   let max_depth t = Array.fold_left max 0 t.sp
 
+  (* One member's pc column: stack entries below sp (bottom first, the
+     halt sentinel included) plus the cached top. *)
+  type lane = { pl_sp : int; pl_stack : int array; pl_top : int }
+
+  let capture_lane t ~lane =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_stack.capture_lane: lane out of range";
+    {
+      pl_sp = t.sp.(lane);
+      pl_stack = Array.init t.sp.(lane) (fun d -> t.data.((d * t.z) + lane));
+      pl_top = t.top.(lane);
+    }
+
+  let restore_lane t ~lane l =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_stack.restore_lane: lane out of range";
+    while l.pl_sp > t.cap do
+      grow t
+    done;
+    t.sp.(lane) <- l.pl_sp;
+    Array.iteri (fun d v -> t.data.((d * t.z) + lane) <- v) l.pl_stack;
+    t.top.(lane) <- l.pl_top
+
   let capture t =
     {
       Vm_image.pc_cap = t.cap;
@@ -140,6 +163,7 @@ module Lanes = struct
     members : int array;     (* per-lane global RNG member identity *)
     occupied : bool array;   (* lane currently carries a request *)
     counts : int array;
+    tables : Sched_policy.tables option;  (* for the table-driven policies *)
     mutable last : int;
     mutable steps : int;
     mutable traffic : float;
@@ -175,6 +199,10 @@ module Lanes = struct
         members = Array.init z (fun i -> config.member_base + i);
         occupied = Array.make z false;
         counts = Array.make (Array.length p.Stack_ir.blocks) 0;
+        tables =
+          (if Sched_policy.needs_tables config.sched then
+             Some (Sched_cost.stack_tables ~registry:reg p)
+           else None);
         last = -1;
         steps = 0;
         traffic = 0.;
@@ -271,6 +299,132 @@ module Lanes = struct
     let outputs = lane_outputs t ~lane in
     t.occupied.(lane) <- false;
     outputs
+
+  let member t ~lane =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_vm.Lanes.member: lane out of range";
+    t.members.(lane)
+
+  (* ---- The lane-migration seam (DESIGN.md S20). ----
+
+     A lane's complete execution state is its member identity, its pc
+     column and its row of every allocated variable (for stacked
+     variables: the saved frames plus the cached top). Batched
+     primitives are row-wise and the RNG keys on the member identity
+     carried here — never on the lane index — so exporting this record
+     and importing it into any free lane of any pool running the same
+     program continues the member's trajectory bitwise-exactly. *)
+
+  type var_lane =
+    | Lane_reg of Shape.t * float array
+    | Lane_msk of Shape.t * float array
+    | Lane_stk of Stacked.lane
+
+  type lane_state = {
+    ls_member : int;
+    ls_pc : Pc_stack.lane;
+    ls_vars : (string * var_lane) list;  (* sorted by name *)
+  }
+
+  let export_lane t ~lane =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_vm.Lanes.export_lane: lane out of range";
+    if not t.occupied.(lane) then
+      invalid_arg
+        (Printf.sprintf "Pc_vm.Lanes.export_lane: lane %d is idle" lane);
+    let row_of r =
+      let row = Tensor.row_numel !r in
+      (Vm_util.elem_shape_of_batched !r, Array.sub (Tensor.data !r) (lane * row) row)
+    in
+    let vars =
+      Hashtbl.fold
+        (fun v s acc ->
+          let vl =
+            match s with
+            | Reg r -> let e, d = row_of r in Lane_reg (e, d)
+            | Msk r -> let e, d = row_of r in Lane_msk (e, d)
+            | Stk s -> Lane_stk (Stacked.capture_lane s lane)
+          in
+          (v, vl) :: acc)
+        t.store []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    {
+      ls_member = t.members.(lane);
+      ls_pc = Pc_stack.capture_lane t.pc ~lane;
+      ls_vars = vars;
+    }
+
+  let evict t ~lane =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_vm.Lanes.evict: lane out of range";
+    if not t.occupied.(lane) then
+      invalid_arg (Printf.sprintf "Pc_vm.Lanes.evict: lane %d is idle" lane);
+    t.occupied.(lane) <- false;
+    (* Park the pc at halt, as create does for idle lanes. *)
+    Pc_stack.reset_lane t.pc ~lane ~bottom:t.halt ~start:t.halt
+
+  let import_lane t ~lane st =
+    if lane < 0 || lane >= t.z then
+      invalid_arg "Pc_vm.Lanes.import_lane: lane out of range";
+    if t.occupied.(lane) then
+      invalid_arg
+        (Printf.sprintf "Pc_vm.Lanes.import_lane: lane %d is occupied" lane);
+    (* Variables the source pool never allocated are implicitly zero for
+       this member; resetting first makes the destination agree. *)
+    reset_lane_storage t ~lane;
+    List.iter
+      (fun (v, vl) ->
+        let class_err () =
+          invalid_arg
+            (Printf.sprintf
+               "Pc_vm.Lanes.import_lane: variable %s changes storage class" v)
+        in
+        let lookup elem =
+          match Hashtbl.find_opt t.store v with
+          | Some s -> s
+          | None -> allocate t v elem
+        in
+        match vl with
+        | Lane_reg (elem, data) | Lane_msk (elem, data) -> (
+          match lookup elem with
+          | Reg r | Msk r ->
+            let row = Tensor.row_numel !r in
+            if Array.length data <> row then
+              invalid_arg
+                (Printf.sprintf
+                   "Pc_vm.Lanes.import_lane: variable %s row width mismatch" v);
+            Array.blit data 0 (Tensor.data !r) (lane * row) row
+          | Stk _ -> class_err ())
+        | Lane_stk l -> (
+          match lookup l.Stacked.l_elem with
+          | Stk s -> Stacked.restore_lane s lane l
+          | Reg _ | Msk _ -> class_err ()))
+      st.ls_vars;
+    Pc_stack.restore_lane t.pc ~lane st.ls_pc;
+    t.members.(lane) <- st.ls_member;
+    t.occupied.(lane) <- true
+
+  let lane_state_bytes st =
+    let var_elems =
+      List.fold_left
+        (fun acc (_, vl) ->
+          acc
+          + (match vl with
+            | Lane_reg (_, d) | Lane_msk (_, d) -> Array.length d
+            | Lane_stk l ->
+              Array.length l.Stacked.l_frames + Array.length l.Stacked.l_top))
+        0 st.ls_vars
+    in
+    (* pc entries price like elements: sp saved slots plus the top. *)
+    Vm_util.bytes_per_elem *. float_of_int (var_elems + st.ls_pc.Pc_stack.pl_sp + 1)
+
+  let migrate t ~src ~dst =
+    if src = dst then invalid_arg "Pc_vm.Lanes.migrate: src and dst coincide";
+    let st = export_lane t ~lane:src in
+    evict t ~lane:src;
+    import_lane t ~lane:dst st;
+    lane_state_bytes st
 
   let outputs t = List.map (fun v -> Tensor.copy (read t v)) t.p.Stack_ir.outputs
 
@@ -393,7 +547,7 @@ module Lanes = struct
         incr live
       end
     done;
-    match Sched.pick config.sched ~last:t.last ~counts:t.counts with
+    match Sched.pick ?tables:t.tables config.sched ~last:t.last ~counts:t.counts with
     | None -> false
     | Some i ->
       t.steps <- t.steps + 1;

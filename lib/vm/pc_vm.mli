@@ -67,6 +67,16 @@ module Pc_stack : sig
   (** Re-seed one member's pc stack as [create] would: sentinel [bottom]
       below, executing from [start]. Other members are untouched. *)
 
+  (** One member's pc column (saved entries bottom-first plus the cached
+      top), for the lane-migration seam. *)
+  type lane = { pl_sp : int; pl_stack : int array; pl_top : int }
+
+  val capture_lane : t -> lane:int -> lane
+
+  val restore_lane : t -> lane:int -> lane -> unit
+  (** Overwrite one member's pc column; capacity grows as needed, other
+      members untouched. *)
+
   val max_depth : t -> int
 
   val capture : t -> Vm_image.pc
@@ -143,6 +153,53 @@ module Lanes : sig
 
   val lane_outputs : t -> lane:int -> Tensor.t list
   (** Peek one lane's current output rows without freeing the lane. *)
+
+  val member : t -> lane:int -> int
+  (** The lane's global RNG member identity (meaningful while occupied). *)
+
+  (** {2 The lane-migration seam (DESIGN.md S20)}
+
+      A lane's complete execution state: member identity, pc column, and
+      one row of every allocated variable. Batched primitives are
+      row-wise and the RNG keys on the member identity carried here —
+      never on the lane index — so a lane state imported into any free
+      lane of any pool running the same program continues the member's
+      trajectory bitwise-exactly, under any scheduling policy. The
+      defragmenting runtime ({!Sched_vm}) and the migration fuzzer are
+      the two clients. *)
+
+  type var_lane =
+    | Lane_reg of Shape.t * float array  (** element shape, one row *)
+    | Lane_msk of Shape.t * float array
+    | Lane_stk of Stacked.lane
+
+  type lane_state = {
+    ls_member : int;
+    ls_pc : Pc_stack.lane;
+    ls_vars : (string * var_lane) list;  (** sorted by name *)
+  }
+
+  val export_lane : t -> lane:int -> lane_state
+  (** Capture an occupied lane (live or finished). Read-only: the lane
+      keeps running; pair with {!evict} to move rather than copy. *)
+
+  val evict : t -> lane:int -> unit
+  (** Free an occupied lane without reading outputs (the member left via
+      {!export_lane}); the pc parks at halt like a fresh idle lane. *)
+
+  val import_lane : t -> lane:int -> lane_state -> unit
+  (** Install a captured lane state into a free lane of a pool running
+      the same program. The lane's slice of every variable is reset
+      first, so variables the source pool never allocated stay implicitly
+      zero. Raises [Invalid_argument] if the lane is occupied or the
+      state disagrees with the pool's program. *)
+
+  val lane_state_bytes : lane_state -> float
+  (** Payload size of a migration, for transfer pricing. *)
+
+  val migrate : t -> src:int -> dst:int -> float
+  (** [export_lane src; evict src; import_lane dst] within one pool;
+      returns the bytes moved. *)
 
   val outputs : t -> Tensor.t list
   (** The full-width output tensors (leading batch dimension), freshly

@@ -1,18 +1,11 @@
-(** Basic-block selection heuristics (the paper's "second free choice").
+(** Deprecated alias of {!Sched_policy} (the [lib/sched] scheduling
+    subsystem), kept so historical spellings like [Sched.Earliest] and
+    [Vm.Sched]-era call sites keep compiling. There is exactly one policy
+    type: [Sched.t = Sched_policy.t], and {!Sched_policy} is the home of
+    the documentation, the cost tables ({!Sched_cost}) and the
+    defragmentation planner ({!Sched_plan}). New code should say
+    [Sched_policy]. *)
 
-    Any non-starving policy is correct; the paper's Algorithm 1 and 2 use
-    [Earliest] — run the lowest-numbered block that has at least one
-    active member, which with source-ordered block emission is "earliest
-    in program order". [Most_active] greedily maximizes utilization of the
-    selected block; [Round_robin] cycles through blocks for fairness.
-    These are compared in the scheduling ablation (DESIGN.md A2). *)
-
-type t = Earliest | Most_active | Round_robin
-
-val to_string : t -> string
-val all : t list
-
-val pick : t -> last:int -> counts:int array -> int option
-(** Choose a block index with [counts.(i) > 0], or [None] if all zero.
-    [last] is the previously chosen block (for [Round_robin]; pass [-1]
-    initially). *)
+include module type of struct
+  include Sched_policy
+end

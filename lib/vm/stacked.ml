@@ -80,6 +80,43 @@ let reset_lane t b =
 let max_depth t = Array.fold_left max 0 t.sp
 let capacity t = t.cap
 
+type lane = {
+  l_elem : Shape.t;
+  l_sp : int;
+  l_frames : float array;  (* depths 0..sp-1, bottom first *)
+  l_top : float array;
+}
+
+(* One member's complete column: saved frames below sp plus the cached
+   top row. Together with the variable's masked-write discipline this is
+   everything the member's future pops can observe, so capture/restore of
+   a lane moves the member between batch slots bitwise-exactly. *)
+let capture_lane t b =
+  if b < 0 || b >= t.z then invalid_arg "Stacked.capture_lane: lane out of range";
+  let frames = Array.make (t.sp.(b) * t.row) 0. in
+  for d = 0 to t.sp.(b) - 1 do
+    Array.blit t.data (slot t d b) frames (d * t.row) t.row
+  done;
+  {
+    l_elem = Array.copy t.elem;
+    l_sp = t.sp.(b);
+    l_frames = frames;
+    l_top = Array.sub (Tensor.data t.top) (b * t.row) t.row;
+  }
+
+let restore_lane t b lane =
+  if b < 0 || b >= t.z then invalid_arg "Stacked.restore_lane: lane out of range";
+  if not (Shape.equal lane.l_elem t.elem) then
+    invalid_arg "Stacked.restore_lane: element shape mismatch";
+  while lane.l_sp > t.cap do
+    grow t
+  done;
+  t.sp.(b) <- lane.l_sp;
+  for d = 0 to lane.l_sp - 1 do
+    Array.blit lane.l_frames (d * t.row) t.data (slot t d b) t.row
+  done;
+  Array.blit lane.l_top 0 (Tensor.data t.top) (b * t.row) t.row
+
 type image = {
   i_z : int;
   i_elem : Shape.t;

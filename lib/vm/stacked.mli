@@ -45,6 +45,26 @@ val reset_lane : t -> int -> unit
 val max_depth : t -> int
 val capacity : t -> int
 
+(** One member's complete stack column — the saved frames below its
+    stack pointer (bottom first) plus its cached top row. This is all a
+    member's future pops can observe, so moving a lane between batch
+    slots (or pools) through capture/restore preserves its execution
+    bitwise. The lane-migration seam ({!Pc_vm.Lanes.export_lane}) is
+    built on this. *)
+type lane = {
+  l_elem : Shape.t;
+  l_sp : int;
+  l_frames : float array;  (** depths [0..sp-1], bottom first *)
+  l_top : float array;     (** the cached top row *)
+}
+
+val capture_lane : t -> int -> lane
+
+val restore_lane : t -> int -> lane -> unit
+(** Overwrite one member's column with a captured lane; capacity grows as
+    needed, other members are untouched. Raises [Invalid_argument] if the
+    lane index is out of range or the element shape disagrees. *)
+
 (** Plain-data checkpoint of a stack: only the live frames (member [b]'s
     saved rows below [sp b], member-major) plus the cached top. Transparent
     so a serialization layer ([lib/resil]) can encode it without reaching

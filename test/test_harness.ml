@@ -134,8 +134,11 @@ let test_ablation_masking_vs_gather () =
 
 let test_ablation_schedulers () =
   let tbl = Ablations.schedulers ~dim:10 ~batch:8 ~n_iter:2 () in
-  Alcotest.(check int) "three heuristics" (List.length Sched.all)
-    (List.length tbl.Ablations.rows)
+  Alcotest.(check int) "three legacy heuristics" 3 (List.length Sched_policy.legacy);
+  Alcotest.(check int) "one row per policy" 5 (List.length tbl.Ablations.rows);
+  Alcotest.(check (list string)) "rows cover Sched_policy.all in order"
+    (List.map Sched_policy.to_string Sched_policy.all)
+    (List.map List.hd tbl.Ablations.rows)
 
 let test_ablation_stack_opts () =
   let tbl = Ablations.stack_optimizations ~dim:10 ~batch:8 ~n_iter:2 () in

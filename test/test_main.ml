@@ -37,6 +37,7 @@ let () =
         Test_mcmc.suites;
         Test_nuts_equivalence.suites;
         Test_shard.suites;
+        Test_sched.suites;
         Test_obs.suites;
         Test_prof.suites;
         Test_harness.suites;

@@ -454,6 +454,53 @@ let prop_fused_vector_differential =
   QCheck.Test.make ~name:"vector programs: fused compile stays bitwise"
     ~count:80 arb_vector_program fused_runs_agree
 
+(* Migration differential (DESIGN.md §S20): every runtime under every
+   scheduling policy — plus the defragmenting Sched_vm under no-migration
+   and aggressive migration plans, and the server as width-1 requests —
+   must agree bitwise with the Earliest program-counter baseline.
+   Sched_sweep.bitwise_matrix is the same matrix the bench sched gate
+   scores. *)
+let migration_runs_agree prog =
+  let reg = Prim.standard () in
+  match Validate.check_program reg prog with
+  | Error msgs ->
+    QCheck.Test.fail_reportf "generator produced invalid program: %s"
+      (String.concat "; " msgs)
+  | Ok () ->
+    let compiled =
+      Autobatch.compile ~registry:reg ~input_shapes:[ Shape.scalar; Shape.scalar ]
+        prog
+    in
+    (* Same caveat as the fusion differential: a never-called function
+       leaves shapes uninferred and the JIT refuses to preallocate. *)
+    let include_jit =
+      match Autobatch.jit compiled ~batch:5 with
+      | exception Invalid_argument _ -> false
+      | _ -> true
+    in
+    let checks =
+      Sched_sweep.bitwise_matrix ~include_jit compiled ~batch:batch_inputs
+    in
+    (match Sched_sweep.failures checks with
+    | [] -> true
+    | bad ->
+      QCheck.Test.fail_reportf "migration matrix bitwise failures: %s\nprogram:\n%s"
+        (String.concat ", "
+           (List.map
+              (fun (c : Sched_sweep.check) ->
+                Printf.sprintf "%s/%s/%s" c.Sched_sweep.c_runtime c.c_policy
+                  c.c_plan)
+              bad))
+        (print_program prog))
+
+let prop_migration_differential =
+  QCheck.Test.make ~name:"random programs: migration matrix stays bitwise"
+    ~count:40 arb_program migration_runs_agree
+
+let prop_migration_vector_differential =
+  QCheck.Test.make ~name:"vector programs: migration matrix stays bitwise"
+    ~count:30 arb_vector_program migration_runs_agree
+
 let suites =
   [
     ( "random-programs",
@@ -462,5 +509,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_vector_differential;
         QCheck_alcotest.to_alcotest prop_fused_differential;
         QCheck_alcotest.to_alcotest prop_fused_vector_differential;
+        QCheck_alcotest.to_alcotest prop_migration_differential;
+        QCheck_alcotest.to_alcotest prop_migration_vector_differential;
       ] );
   ]
