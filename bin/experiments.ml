@@ -757,6 +757,88 @@ let serve_cmd =
           $ queue_depth $ closed_clients $ seed_arg () $ csv $ trace_arg ()
           $ trace_csv_arg () $ json_arg () $ policy_args ())
 
+let tenants_cmd =
+  let run requests tenants programs pattern load mesh lanes ckpt kill_round
+      cache seed no_baseline no_verify json =
+    let pattern =
+      match Tenant_load.pattern_of_string pattern with
+      | Some p -> p
+      | None ->
+        Printf.eprintf
+          "unknown pattern %S (uniform|bursty|diurnal|adversarial)\n" pattern;
+        exit 1
+    in
+    let r =
+      Tenant_load.run ?seed ~pattern ~n_requests:requests ~n_tenants:tenants
+        ~n_programs:programs ?cache_capacity:cache ~load ~mesh_size:mesh
+        ~lanes_per_shard:lanes ~checkpoint_interval:ckpt ~kill_round
+        ~baseline:(not no_baseline) ~verify:(not no_verify) ()
+    in
+    report ~name:"tenants" ~json
+      ~human:(fun () -> Tenant_load.print_table r)
+      [ ("stats", Tenant_load.to_json r) ];
+    if r.Tenant_load.mismatches > 0 then exit 1
+  in
+  let requests =
+    Arg.(value & opt int 2000 & info [ "requests" ] ~doc:"Requests in the trace.")
+  in
+  let tenants =
+    Arg.(value & opt int 24
+         & info [ "tenants" ] ~doc:"Tenants (Zipf-popular, mixed SLO classes).")
+  in
+  let programs =
+    Arg.(value & opt int 8
+         & info [ "programs" ] ~doc:"Distinct programs in the family.")
+  in
+  let pattern =
+    Arg.(value & opt string "bursty"
+         & info [ "pattern" ] ~docv:"P"
+             ~doc:"Arrival pattern: uniform, bursty, diurnal, adversarial.")
+  in
+  let load =
+    Arg.(value & opt float 0.35
+         & info [ "load" ]
+             ~doc:"Offered load as a fraction of full-pool capacity.")
+  in
+  let mesh =
+    Arg.(value & opt int 4 & info [ "mesh" ] ~doc:"Devices in the shard pool.")
+  in
+  let lanes =
+    Arg.(value & opt int 8 & info [ "lanes" ] ~doc:"VM lanes per shard.")
+  in
+  let ckpt =
+    Arg.(value & opt int 16
+         & info [ "checkpoint-interval" ] ~doc:"Rounds between checkpoints.")
+  in
+  let kill_round =
+    Arg.(value & opt int 40
+         & info [ "kill-round" ]
+             ~doc:"Inject one device kill at this round (negative: none).")
+  in
+  let cache =
+    Arg.(value & opt (some int) None
+         & info [ "cache" ] ~doc:"Program-cache capacity (default: programs).")
+  in
+  let no_baseline =
+    Arg.(value & flag
+         & info [ "no-baseline" ] ~doc:"Skip the FIFO no-admission arm.")
+  in
+  let no_verify =
+    Arg.(value & flag
+         & info [ "no-verify" ]
+             ~doc:"Skip the bitwise solo-equivalence check (and drop outputs), \
+                   for large sweeps.")
+  in
+  Cmd.v
+    (Cmd.info "tenants"
+       ~doc:"Multi-tenant serving: admission control, SLO-aware preemption, \
+             program cache, and an autoscaling shard pool under bursty Zipf \
+             traffic, paired against a no-admission FIFO baseline and \
+             verified bitwise against solo runs.")
+    Term.(const run $ requests $ tenants $ programs $ pattern $ load $ mesh
+          $ lanes $ ckpt $ kill_round $ cache $ seed_arg () $ no_baseline
+          $ no_verify $ json_arg ())
+
 let resilience_cmd =
   let run z intervals rates vms shards lanes requests bandwidth seed csv json =
     let intervals =
@@ -855,6 +937,6 @@ let () =
                    Control-Intensive Programs for Modern Accelerators'.")
           [
             figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
-            resilience_cmd; inspect_cmd; dot_cmd; fuse_cmd; run_file_cmd;
-            profile_cmd; sample_cmd;
+            tenants_cmd; resilience_cmd; inspect_cmd; dot_cmd; fuse_cmd;
+            run_file_cmd; profile_cmd; sample_cmd;
           ]))

@@ -60,6 +60,28 @@ dune exec bench/main.exe -- fuse
 step "bench sched gate"
 dune exec bench/main.exe -- sched
 
+# The multi-tenant stack must keep its SLOs without touching results:
+# the tenant stage replays the paired bursty-overload trace (fair arm vs
+# FIFO baseline, same injected device kill) plus the closed-form
+# preemption and drain-migration scenarios, and exits nonzero unless
+# every completion is bitwise identical to running the request alone,
+# the program cache runs >=90% hot, the latency-bound histogram p99 is
+# >=3x lower than the baseline's, and grow/shrink/preempt/resume/
+# checkpoint/restore/migrate all actually fired. The fast tier caps the
+# trace at 10k requests via AUTOBATCH_FAST; the full tier runs the 20k
+# trace that regenerates the committed BENCH_tenant.json. The serve
+# stage also diffs its deterministic sweep against the committed
+# BENCH_serve.json.
+step "bench tenant gate"
+if [ "$tier" = "@runtest-fast" ]; then
+  AUTOBATCH_FAST=1 dune exec bench/main.exe -- tenant
+else
+  dune exec bench/main.exe -- tenant
+fi
+
+step "bench serve baseline"
+dune exec bench/main.exe -- serve
+
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.
 if [ -f .ocamlformat ]; then

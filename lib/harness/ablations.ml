@@ -77,14 +77,14 @@ let schedulers ?(dim = 50) ?(batch = 32) ?(n_iter = 3) ?(seed = 0x5EEDL) () =
         in
         ignore (Autobatch.run_pc ~config compiled ~batch:batch_inputs);
         [
-          Sched.to_string sched;
+          Sched_policy.to_string sched;
           Printf.sprintf "%.4f" (Engine.elapsed engine);
           string_of_int (Instrument.blocks_executed instrument);
           Printf.sprintf "%.3f" (Instrument.overall_utilization instrument);
           Printf.sprintf "%.3f"
             (Option.value ~default:1. (Instrument.utilization instrument ~name:"grad"));
         ])
-      Sched.all
+      Sched_policy.all
   in
   {
     header = [ "scheduler"; "sim-seconds"; "blocks"; "overall-util"; "grad-util" ];

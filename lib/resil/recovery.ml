@@ -207,7 +207,7 @@ type sharded_result = {
   sh_stats : stats;
 }
 
-let run_sharded ?(sched = Sched.Earliest) ?(shards = 2) ?(interval = 0) ?(plan = [])
+let run_sharded ?(sched = Sched_policy.Earliest) ?(shards = 2) ?(interval = 0) ?(plan = [])
     reg program ~batch =
   check_interval interval;
   if shards <= 0 then invalid_arg "Recovery.run_sharded: need at least one shard";

@@ -51,7 +51,7 @@ val run_pc :
     {!Pc_vm.run} does. *)
 
 val run_jit :
-  ?sched:Sched.t ->
+  ?sched:Sched_policy.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
   ?sink:Obs_sink.t ->
@@ -73,7 +73,7 @@ type sharded_result = {
 }
 
 val run_sharded :
-  ?sched:Sched.t ->
+  ?sched:Sched_policy.t ->
   ?shards:int ->
   ?interval:int ->
   ?plan:Fault.event list ->

@@ -1,0 +1,56 @@
+type config = {
+  min_shards : int;
+  max_shards : int;
+  grow_backlog : float;
+  shrink_util : float;
+  cooldown : int;
+}
+
+let default =
+  {
+    min_shards = 1;
+    max_shards = max_int;
+    grow_backlog = 1.0;
+    shrink_util = 0.25;
+    cooldown = 8;
+  }
+
+type signals = {
+  backlog : int;
+  active : int;
+  draining : int;
+  lanes_per_shard : int;
+  live_lanes : int;
+}
+
+type action = Grow | Shrink | Hold
+
+let action_name = function Grow -> "grow" | Shrink -> "shrink" | Hold -> "hold"
+
+let decide config ~rounds_since_action s =
+  if rounds_since_action < config.cooldown then Hold
+  else begin
+    let active_lanes = s.active * s.lanes_per_shard in
+    let backlog_per_lane =
+      if active_lanes = 0 then
+        (* No capacity at all: any backlog is infinite pressure. *)
+        if s.backlog > 0 then infinity else 0.
+      else float_of_int s.backlog /. float_of_int active_lanes
+    in
+    let util =
+      if active_lanes = 0 then 0.
+      else float_of_int s.live_lanes /. float_of_int active_lanes
+    in
+    if backlog_per_lane > config.grow_backlog && s.active + s.draining < config.max_shards
+    then Grow
+    else if
+      s.active - 1 >= config.min_shards
+      && s.draining = 0
+      && util < config.shrink_util
+      && backlog_per_lane <= config.grow_backlog
+      (* Shrinking must not bounce: the survivors must absorb the live
+         work without re-triggering growth next round. *)
+      && (s.active - 1) * s.lanes_per_shard >= s.live_lanes + s.backlog
+    then Shrink
+    else Hold
+  end

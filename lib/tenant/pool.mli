@@ -1,0 +1,47 @@
+(** The pure autoscaling controller for the shard pool.
+
+    The tenant server runs up to [Mesh.size] shards; the controller
+    looks at backlog and utilization each planning round and decides
+    whether to activate an idle shard, drain one for shrink, or hold.
+    It is pure data-in/data-out — the server applies the decision,
+    paying the real costs (binding a pool, migrating lanes off a
+    draining shard through the {!Sched_plan} seam) — so scaling
+    behavior is unit-testable without a mesh.
+
+    Signals are taken *after* retirement and *before* refill, so
+    [backlog] counts work that genuinely could not start this round. *)
+
+type config = {
+  min_shards : int;   (** never drain below this many active shards *)
+  max_shards : int;   (** never activate more than this many *)
+  grow_backlog : float;
+      (** grow when queued-work-per-active-lane exceeds this *)
+  shrink_util : float;
+      (** shrink when live-lane utilization falls below this {e and}
+          the backlog would not immediately re-trigger growth *)
+  cooldown : int;
+      (** planning rounds between scaling actions — damping, so one
+          burst does not slam the pool fleet-wide *)
+}
+
+val default : config
+(** min 1, max unbounded (clamped to the mesh), grow at 1.0 queued per
+    active lane, shrink below 0.25 utilization, cooldown 8. *)
+
+type signals = {
+  backlog : int;       (** queued + parked work items *)
+  active : int;        (** bound, non-draining shards *)
+  draining : int;      (** shards still draining from a prior shrink *)
+  lanes_per_shard : int;
+  live_lanes : int;    (** occupied lanes across active shards *)
+}
+
+type action = Grow | Shrink | Hold
+
+val action_name : action -> string
+
+val decide : config -> rounds_since_action:int -> signals -> action
+(** Deterministic: [Grow] when under-provisioned and below [max_shards];
+    [Shrink] when utilization is low, backlog is clear, and more than
+    [min_shards] remain (counting shards already draining as gone);
+    [Hold] otherwise, and always during cooldown. *)

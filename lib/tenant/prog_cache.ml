@@ -1,0 +1,197 @@
+(* Structural hash-consing of Lang programs, in the style of Herbie's
+   progs->batch: a post-order walk interns each node — (constructor tag,
+   scalar/string payloads, child digests) — in a table, so every distinct
+   structure is assigned exactly one 64-bit digest and repeated subtrees
+   resolve through the table instead of being re-mixed. *)
+
+type node = {
+  tag : int;
+  nums : int64 list;
+  strs : string list;
+  kids : int64 list;
+}
+
+let hash_string s =
+  let h = ref (Int64.of_int (String.length s)) in
+  String.iter
+    (fun c -> h := Splitmix.hash2 !h (Int64.of_int (Char.code c)))
+    s;
+  !h
+
+let node_digest n =
+  Splitmix.hash_list
+    ((Int64.of_int n.tag :: n.nums)
+    @ List.map hash_string n.strs
+    @ n.kids)
+
+type interner = (node, int64) Hashtbl.t
+
+let intern (tbl : interner) n =
+  match Hashtbl.find_opt tbl n with
+  | Some d -> d
+  | None ->
+    let d = node_digest n in
+    Hashtbl.add tbl n d;
+    d
+
+let leaf tbl tag ?(nums = []) ?(strs = []) () =
+  intern tbl { tag; nums; strs; kids = [] }
+
+let rec munge_expr tbl (e : Lang.expr) =
+  match e with
+  | Lang.Var x -> leaf tbl 1 ~strs:[ x ] ()
+  | Lang.Const v -> leaf tbl 2 ~nums:[ Int64.bits_of_float v ] ()
+  | Lang.Vec a ->
+    let nums = Array.to_list (Array.map Int64.bits_of_float a) in
+    leaf tbl 3 ~nums ()
+  | Lang.Prim (name, args) ->
+    let kids = List.map (munge_expr tbl) args in
+    intern tbl { tag = 4; nums = []; strs = [ name ]; kids }
+
+let rec munge_stmt tbl (s : Lang.stmt) =
+  match s with
+  | Lang.Assign (x, e) ->
+    intern tbl { tag = 10; nums = []; strs = [ x ]; kids = [ munge_expr tbl e ] }
+  | Lang.Call_stmt (dsts, f, args) ->
+    intern tbl
+      { tag = 11; nums = []; strs = f :: dsts;
+        kids = List.map (munge_expr tbl) args }
+  | Lang.If (c, t, e) ->
+    intern tbl
+      { tag = 12; nums = []; strs = [];
+        kids = [ munge_expr tbl c; munge_body tbl t; munge_body tbl e ] }
+  | Lang.While (c, body) ->
+    intern tbl
+      { tag = 13; nums = []; strs = [];
+        kids = [ munge_expr tbl c; munge_body tbl body ] }
+  | Lang.Return es ->
+    intern tbl { tag = 14; nums = []; strs = []; kids = List.map (munge_expr tbl) es }
+
+and munge_body tbl stmts =
+  intern tbl { tag = 20; nums = []; strs = []; kids = List.map (munge_stmt tbl) stmts }
+
+let munge_func tbl (f : Lang.func) =
+  intern tbl
+    { tag = 30; nums = []; strs = f.Lang.fname :: f.Lang.params;
+      kids = [ munge_body tbl f.Lang.body ] }
+
+let digest_program (p : Lang.program) =
+  let tbl : interner = Hashtbl.create 64 in
+  intern tbl
+    { tag = 31; nums = []; strs = [ p.Lang.main ];
+      kids = List.map (munge_func tbl) p.Lang.funcs }
+
+let digest ?input_shapes p =
+  let base = digest_program p in
+  match input_shapes with
+  | None -> Splitmix.hash2 base 0x5eedL
+  | Some shapes ->
+    List.fold_left
+      (fun acc (s : Shape.t) ->
+        Array.fold_left
+          (fun acc d -> Splitmix.hash2 acc (Int64.of_int d))
+          (Splitmix.hash2 acc (Int64.of_int (Array.length s)))
+          s)
+      (Splitmix.hash2 base 0xcac4eL)
+      shapes
+
+(* ---------- the LRU of compiled programs ---------- *)
+
+type entry = { compiled : Autobatch.compiled; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  registry : Prim.registry;
+  entries : (int64, entry) Hashtbl.t;
+  mutable tick : int;  (* bumps on every access; LRU = smallest tick *)
+  c_hits : Obs_metrics.counter;
+  c_misses : Obs_metrics.counter;
+  c_evictions : Obs_metrics.counter;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ?metrics ?registry ~capacity () =
+  if capacity < 0 then invalid_arg "Prog_cache.create: negative capacity";
+  let m = match metrics with Some m -> m | None -> Obs_metrics.create ~enabled:false () in
+  {
+    capacity;
+    registry = (match registry with Some r -> r | None -> Prim.standard ());
+    entries = Hashtbl.create (Stdlib.max 16 capacity);
+    tick = 0;
+    c_hits = Obs_metrics.counter m "prog_cache_hits";
+    c_misses = Obs_metrics.counter m "prog_cache_misses";
+    c_evictions = Obs_metrics.counter m "prog_cache_evictions";
+    n_hits = 0; n_misses = 0; n_evictions = 0;
+  }
+
+let length t = Hashtbl.length t.entries
+let capacity t = t.capacity
+let hits t = t.n_hits
+let misses t = t.n_misses
+let evictions t = t.n_evictions
+
+let hit_rate t =
+  let total = t.n_hits + t.n_misses in
+  if total = 0 then nan else float_of_int t.n_hits /. float_of_int total
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let hit t e =
+  touch t e;
+  t.n_hits <- t.n_hits + 1;
+  Obs_metrics.incr t.c_hits
+
+let miss t =
+  t.n_misses <- t.n_misses + 1;
+  Obs_metrics.incr t.c_misses
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (key, e))
+      t.entries None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.entries key;
+    t.n_evictions <- t.n_evictions + 1;
+    Obs_metrics.incr t.c_evictions
+
+let insert t key compiled =
+  if t.capacity > 0 then begin
+    if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+    t.tick <- t.tick + 1;
+    Hashtbl.add t.entries key { compiled; last_use = t.tick }
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+    hit t e;
+    Some e.compiled
+  | None ->
+    miss t;
+    None
+
+let find_or_compile t ?optimize ?fuse ?input_shapes program =
+  let key = digest ?input_shapes program in
+  match Hashtbl.find_opt t.entries key with
+  | Some e ->
+    hit t e;
+    (e.compiled, `Hit)
+  | None ->
+    miss t;
+    let compiled =
+      Autobatch.compile ~registry:t.registry ?optimize ?fuse ?input_shapes
+        program
+    in
+    insert t key compiled;
+    (compiled, `Miss)

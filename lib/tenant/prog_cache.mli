@@ -1,0 +1,65 @@
+(** Hash-consed program identity and an LRU of compiled programs.
+
+    Serving traffic repeats programs: many tenants run the same model, and
+    one tenant runs the same model many times. Compiling through
+    {!Autobatch.compile} on every request would dominate serving cost, so
+    the cache keys compiled artifacts on a *structural* 64-bit digest of
+    the source {!Lang.program} (plus the input element shapes, which
+    change what [compile] preallocates).
+
+    The digest is hash-consed in the style of Herbie's [progs->batch]
+    node dedup (SNIPPETS.md): a post-order walk interns every distinct
+    expression/statement node — constructor tag, payloads, child digests
+    — in a table, so each unique structure is mixed exactly once and
+    repeated subtrees resolve through the table. Alpha-renamed programs
+    hash differently by design — identity is the source text's
+    structure, not semantics.
+
+    Physical sharing matters beyond speed: {!Server} (and the tenant
+    stack's shard pools) admit a request only if its compiled program is
+    physically the pool's program, so handing every same-digest request
+    the same [Autobatch.compiled] value is what makes multi-tenant
+    traffic servable at all. *)
+
+val digest_program : Lang.program -> int64
+(** Structural digest of the program alone (no shapes). *)
+
+val digest : ?input_shapes:Shape.t list -> Lang.program -> int64
+(** The cache key: {!digest_program} combined with the input element
+    shapes (their absence hashes differently from an empty list). *)
+
+type t
+
+val create :
+  ?metrics:Obs_metrics.t -> ?registry:Prim.registry -> capacity:int ->
+  unit -> t
+(** An empty cache holding at most [capacity] compiled programs
+    (capacity 0 disables caching: every lookup compiles and nothing is
+    retained). All compilations share [registry] (default
+    [Prim.standard ()]), so same-digest requests share RNG seeding and
+    primitive identity. Hit/miss/evict counters are registered in
+    [metrics] as ["prog_cache_hits"], ["prog_cache_misses"],
+    ["prog_cache_evictions"]. *)
+
+val find_or_compile :
+  t -> ?optimize:bool -> ?fuse:Fuse.options -> ?input_shapes:Shape.t list ->
+  Lang.program -> Autobatch.compiled * [ `Hit | `Miss ]
+(** Return the cached artifact for the program's digest, or compile,
+    insert (evicting the least-recently-used entry when full) and return
+    it. Every same-digest call returns the {e physically same}
+    [Autobatch.compiled]. The compile options are trusted to be
+    uniform per digest — callers with conflicting options must use
+    separate caches. *)
+
+val find : t -> int64 -> Autobatch.compiled option
+(** Peek by digest; counts and refreshes like a lookup, but never
+    compiles. *)
+
+val length : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [nan] before the first lookup. *)

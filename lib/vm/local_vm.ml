@@ -2,7 +2,7 @@ type exec_style = Masking | Gather_scatter | Adaptive of float
 
 type config = {
   style : exec_style;
-  sched : Sched.t;
+  sched : Sched_policy.t;
   engine : Engine.t option;
   instrument : Instrument.t option;
   max_steps : int;
@@ -13,7 +13,7 @@ type config = {
 let default_config =
   {
     style = Masking;
-    sched = Sched.Earliest;
+    sched = Sched_policy.Earliest;
     engine = None;
     instrument = None;
     max_steps = 100_000_000;
@@ -115,7 +115,7 @@ let run_active ?(config = default_config) reg (p : Cfg.program) ~batch ~active =
           incr live
         end
       done;
-      match Sched.pick ?tables:(tables_for f) config.sched ~last:!last ~counts with
+      match Sched_policy.pick ?tables:(tables_for f) config.sched ~last:!last ~counts with
       | None -> ()
       | Some i ->
         tick ();

@@ -25,7 +25,7 @@ type exec_style =
 
 type config = {
   style : exec_style;
-  sched : Sched.t;
+  sched : Sched_policy.t;
   engine : Engine.t option;        (** simulated-cost accounting *)
   instrument : Instrument.t option;
   max_steps : int;                 (** bound on VM scheduling steps *)

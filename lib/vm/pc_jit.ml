@@ -276,7 +276,7 @@ let load t ~batch =
 
 let steps t = t.steps
 
-let step ?(sched = Sched.Earliest) ?engine ?instrument ?sink
+let step ?(sched = Sched_policy.Earliest) ?engine ?instrument ?sink
     ?(max_steps = 100_000_000) t =
   let nb = Array.length t.blocks in
   Array.fill t.counts 0 nb 0;
@@ -287,7 +287,7 @@ let step ?(sched = Sched.Earliest) ?engine ?instrument ?sink
       incr live
     end
   done;
-  match Sched.pick ~tables:t.tables sched ~last:t.last ~counts:t.counts with
+  match Sched_policy.pick ~tables:t.tables sched ~last:t.last ~counts:t.counts with
   | None -> false
   | Some i ->
     t.steps <- t.steps + 1;

@@ -22,7 +22,7 @@ val compile : Prim.registry -> Stack_ir.program -> batch:int -> t
     variable (compile the program with [input_shapes]). *)
 
 val run :
-  ?sched:Sched.t ->
+  ?sched:Sched_policy.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
   ?sink:Obs_sink.t ->
@@ -39,7 +39,7 @@ val load : t -> batch:Tensor.t list -> unit
 (** Reset all storage and load a fresh batch, ready to {!step}. *)
 
 val step :
-  ?sched:Sched.t ->
+  ?sched:Sched_policy.t ->
   ?engine:Engine.t ->
   ?instrument:Instrument.t ->
   ?sink:Obs_sink.t ->

@@ -1,5 +1,5 @@
 type config = {
-  sched : Sched.t;
+  sched : Sched_policy.t;
   engine : Engine.t option;
   instrument : Instrument.t option;
   max_steps : int;
@@ -12,7 +12,7 @@ type config = {
 
 let default_config =
   {
-    sched = Sched.Earliest;
+    sched = Sched_policy.Earliest;
     engine = None;
     instrument = None;
     max_steps = 100_000_000;
@@ -547,7 +547,7 @@ module Lanes = struct
         incr live
       end
     done;
-    match Sched.pick ?tables:t.tables config.sched ~last:t.last ~counts:t.counts with
+    match Sched_policy.pick ?tables:t.tables config.sched ~last:t.last ~counts:t.counts with
     | None -> false
     | Some i ->
       t.steps <- t.steps + 1;

@@ -14,7 +14,7 @@
     discarded), matching the paper's static-shape target platforms. *)
 
 type config = {
-  sched : Sched.t;
+  sched : Sched_policy.t;
   engine : Engine.t option;
   instrument : Instrument.t option;
   max_steps : int;

@@ -14,7 +14,7 @@ type config = {
   mesh : Mesh.t;
   mode : Engine.mode option;
   collective : Collectives.algorithm;
-  sched : Sched.t;
+  sched : Sched_policy.t;
   max_steps : int;
   sink : Obs_sink.t option;
 }
@@ -24,7 +24,7 @@ let default_config =
     mesh = Mesh.gpu_pod ~n:1 ();
     mode = None;
     collective = Collectives.Ring;
-    sched = Sched.Earliest;
+    sched = Sched_policy.Earliest;
     max_steps = 100_000_000;
     sink = None;
   }

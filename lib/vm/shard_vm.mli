@@ -36,7 +36,7 @@ type config = {
       (** price each shard on its mesh device in this mode; [None] runs
           without cost accounting (wall-clock benchmarking) *)
   collective : Collectives.algorithm;
-  sched : Sched.t;
+  sched : Sched_policy.t;
   max_steps : int;
   sink : Obs_sink.t option;
       (** Observability seam threaded into each shard's VM: [Step] events

@@ -43,6 +43,7 @@ let () =
         Test_harness.suites;
         Test_serve.suites;
         Test_resil.suites;
+        Test_tenant.suites;
         (if fast then [] else Test_resil.fuzz_suites);
       ]
   in

@@ -67,10 +67,10 @@ let test_pc_schedulers () =
   List.iter
     (fun sched ->
       check_equivalence ~model:gaussian ~chains:4 ~n_iter:4
-        ("pc-" ^ Sched.to_string sched)
+        ("pc-" ^ Sched_policy.to_string sched)
         (fun compiled batch ->
           Autobatch.run_pc ~config:{ Pc_vm.default_config with sched } compiled ~batch))
-    Sched.all
+    Sched_policy.all
 
 let test_pc_without_optimizations () =
   check_equivalence

@@ -46,17 +46,17 @@ let differential ?(options = Lower_stack.default_options) name program batch =
               | Local_vm.Masking -> "mask"
               | Local_vm.Gather_scatter -> "gather"
               | Local_vm.Adaptive t -> Printf.sprintf "adaptive-%.2f" t)
-              (Sched.to_string sched)
+              (Sched_policy.to_string sched)
           in
           check_config label (Autobatch.run_local ~config compiled ~batch))
-        Sched.all)
+        Sched_policy.all)
     [ Local_vm.Masking; Local_vm.Gather_scatter; Local_vm.Adaptive 0.5 ];
   (* PC VM: all schedulers, with and without the simulated optimizations. *)
   List.iter
     (fun sched ->
       let config = { Pc_vm.default_config with sched } in
-      check_config ("pc/" ^ Sched.to_string sched) (Autobatch.run_pc ~config compiled ~batch))
-    Sched.all;
+      check_config ("pc/" ^ Sched_policy.to_string sched) (Autobatch.run_pc ~config compiled ~batch))
+    Sched_policy.all;
   let naive = { Pc_vm.default_config with naive_stack_writes = true; top_cache = false } in
   check_config "pc/naive" (Autobatch.run_pc ~config:naive compiled ~batch);
   (* Precompiled executor. *)

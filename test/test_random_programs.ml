@@ -222,11 +222,11 @@ let runs_agree prog =
     check_run "pc/earliest" (Autobatch.run_pc compiled ~batch:batch_inputs);
     check_run "pc/most-active"
       (Autobatch.run_pc
-         ~config:{ Pc_vm.default_config with sched = Sched.Most_active }
+         ~config:{ Pc_vm.default_config with sched = Sched_policy.Most_active }
          compiled ~batch:batch_inputs);
     check_run "pc/round-robin"
       (Autobatch.run_pc
-         ~config:{ Pc_vm.default_config with sched = Sched.Round_robin }
+         ~config:{ Pc_vm.default_config with sched = Sched_policy.Round_robin }
          compiled ~batch:batch_inputs);
     true
 

@@ -37,11 +37,7 @@ let test_policy_strings () =
     (Invalid_argument
        "Sched_policy.of_string_exn: unknown policy \"zippy\" \
         (earliest|most-active|round-robin|cost-lookahead|critical-path)")
-    (fun () -> ignore (Sched_policy.of_string_exn "zippy"));
-  (* The deprecated Vm alias and the subsystem share the one policy type. *)
-  Alcotest.(check bool) "Sched is Sched_policy" true
-    (Sched.Earliest = Sched_policy.Earliest
-    && List.length Sched.all = List.length Sched_policy.all)
+    (fun () -> ignore (Sched_policy.of_string_exn "zippy"))
 
 let test_policy_picks () =
   let counts = [| 0; 2; 3; 3; 1 |] in

@@ -8,38 +8,38 @@ let t = Alcotest.test_case
 
 let test_sched_earliest () =
   Alcotest.(check (option int)) "first nonzero" (Some 1)
-    (Sched.pick Sched.Earliest ~last:5 ~counts:[| 0; 3; 1 |]);
+    (Sched_policy.pick Sched_policy.Earliest ~last:5 ~counts:[| 0; 3; 1 |]);
   Alcotest.(check (option int)) "none" None
-    (Sched.pick Sched.Earliest ~last:0 ~counts:[| 0; 0 |])
+    (Sched_policy.pick Sched_policy.Earliest ~last:0 ~counts:[| 0; 0 |])
 
 let test_sched_most_active () =
   Alcotest.(check (option int)) "argmax" (Some 1)
-    (Sched.pick Sched.Most_active ~last:0 ~counts:[| 2; 5; 3 |]);
+    (Sched_policy.pick Sched_policy.Most_active ~last:0 ~counts:[| 2; 5; 3 |]);
   Alcotest.(check (option int)) "tie -> earliest" (Some 0)
-    (Sched.pick Sched.Most_active ~last:0 ~counts:[| 5; 5; 3 |]);
+    (Sched_policy.pick Sched_policy.Most_active ~last:0 ~counts:[| 5; 5; 3 |]);
   Alcotest.(check (option int)) "none" None
-    (Sched.pick Sched.Most_active ~last:0 ~counts:[| 0; 0; 0 |])
+    (Sched_policy.pick Sched_policy.Most_active ~last:0 ~counts:[| 0; 0; 0 |])
 
 let test_sched_round_robin () =
   let counts = [| 1; 1; 0; 1 |] in
   Alcotest.(check (option int)) "after 0 -> 1" (Some 1)
-    (Sched.pick Sched.Round_robin ~last:0 ~counts);
+    (Sched_policy.pick Sched_policy.Round_robin ~last:0 ~counts);
   Alcotest.(check (option int)) "after 1 skips 2 -> 3" (Some 3)
-    (Sched.pick Sched.Round_robin ~last:1 ~counts);
+    (Sched_policy.pick Sched_policy.Round_robin ~last:1 ~counts);
   Alcotest.(check (option int)) "wraps" (Some 0)
-    (Sched.pick Sched.Round_robin ~last:3 ~counts);
+    (Sched_policy.pick Sched_policy.Round_robin ~last:3 ~counts);
   Alcotest.(check (option int)) "initial -1" (Some 0)
-    (Sched.pick Sched.Round_robin ~last:(-1) ~counts)
+    (Sched_policy.pick Sched_policy.Round_robin ~last:(-1) ~counts)
 
 let prop_sched_picks_nonzero =
   QCheck.Test.make ~name:"sched picks only runnable blocks" ~count:300
     (QCheck.triple
-       (QCheck.oneofl Sched.all)
+       (QCheck.oneofl Sched_policy.all)
        (QCheck.int_range (-1) 10)
        (QCheck.list_of_size (QCheck.Gen.int_range 1 8) (QCheck.int_bound 5)))
     (fun (policy, last, counts) ->
       let counts = Array.of_list counts in
-      match Sched.pick policy ~last ~counts with
+      match Sched_policy.pick policy ~last ~counts with
       | Some i -> counts.(i) > 0
       | None -> Array.for_all (fun c -> c = 0) counts)
 
