@@ -45,8 +45,7 @@ let fib_batch =
 
 let nuts_fixture =
   lazy
-    (let gaussian = Gaussian_model.create ~dim:20 () in
-     let model = gaussian.Gaussian_model.model in
+    (let model = Gaussian_model.model ~dim:20 () in
      let reg, _ = Nuts_dsl.setup ~model () in
      let q0 = Tensor.zeros [| 20 |] in
      let eps = Nuts.find_reasonable_eps ~model ~q0 () in
@@ -414,7 +413,7 @@ let run_fuse ?seed () =
      hosts. *)
   print_endline "== Superblock fusion A/B (plain vs fused compile) ==";
   let eight_schools_fixture =
-    let model = (Eight_schools.create ()).Eight_schools.model in
+    let model = Eight_schools.model () in
     let reg, _ = Nuts_dsl.setup ?seed ~model () in
     let q0 = Tensor.zeros [| model.Model.dim |] in
     let eps = Nuts.find_reasonable_eps ~model ~q0 () in
@@ -554,7 +553,7 @@ let run_sched ?seed () =
      simulated-clock-deterministic. *)
   print_endline "== Scheduling policies + lane defragmentation gate ==";
   let eight_schools_fixture =
-    let model = (Eight_schools.create ()).Eight_schools.model in
+    let model = Eight_schools.model () in
     let reg, _ = Nuts_dsl.setup ?seed ~model () in
     let q0 = Tensor.zeros [| model.Model.dim |] in
     let eps = Nuts.find_reasonable_eps ~model ~q0 () in
@@ -665,6 +664,203 @@ let run_sched ?seed () =
     prerr_endline
       "sched stage failed: a policy or migration schedule perturbed outputs \
        or the defrag arm missed the utilization bar";
+    exit 1
+  end
+
+let run_eff ?seed () =
+  (* Handler-DSL frontend gate (DESIGN.md S22), four parts.
+
+     Elaboration: each migrated model's spec elaborates to a log-density
+     program whose outputs are bitwise identical across pc/jit/local/
+     shard; the gaussian spec's density is additionally bitwise equal to
+     the hand closure, and eight_schools' NUTS pipeline (which uses the
+     unchanged hand closures as prims) still matches the single-chain
+     reference bitwise — the old-vs-new migration proof.
+
+     Workloads: the SMC filter must land within tolerance of the Kalman
+     closed-form log marginal with resampling actually migrating lanes;
+     parallel tempering must recover the mixture's closed-form moments
+     with accepted exchanges and a mode-balanced cold chain; the
+     decision tree must be bitwise right on every runtime.
+
+     Regenerates the committed BENCH_eff.json (full runs only — the
+     AUTOBATCH_FAST arm shrinks the workloads and must not churn the
+     committed baseline). *)
+  print_endline "== Handler-DSL frontend gate (elaboration + workloads) ==";
+  let fast = Sys.getenv_opt "AUTOBATCH_FAST" <> None in
+  let seed_v = Option.value seed ~default:0x5EEDL in
+  let failed = ref false in
+  let check name detail ok =
+    if not ok then failed := true;
+    Printf.printf "  %-34s %-40s %s\n" name detail
+      (if ok then "pass" else "FAIL")
+  in
+  (* 1. Elaboration bitwise matrix over the model zoo. *)
+  let model_points =
+    List.map
+      (fun name ->
+        let m = Zoo.resolve ~dim:8 name in
+        let el = Model.log_density m in
+        let compiled =
+          Autobatch.compile ~registry:el.Eff.el_registry
+            ~input_shapes:(Eff.input_shapes el) el.Eff.el_program
+        in
+        let stream = Splitmix.Stream.create (Int64.add seed_v 17L) in
+        let z = 8 in
+        let batch =
+          List.map
+            (fun shape ->
+              Tensor.init
+                (Array.append [| z |] shape)
+                (fun _ -> 0.5 *. Splitmix.Stream.normal stream))
+            (Eff.input_shapes el)
+        in
+        let pc = Autobatch.run_pc compiled ~batch in
+        let same outs = List.for_all2 Tensor.equal pc outs in
+        let ok =
+          same (Pc_jit.run (Autobatch.jit compiled ~batch:z) ~batch)
+          && same (Autobatch.run_local compiled ~batch)
+          && same
+               (Autobatch.run_sharded
+                  ~config:
+                    {
+                      Shard_vm.default_config with
+                      mesh = Mesh.gpu_pod ~n:2 ();
+                    }
+                  compiled ~batch)
+                 .Shard_vm.outputs
+        in
+        check (Printf.sprintf "elaborate %s" name)
+          "pc = jit = local = shard" ok;
+        (name, ok))
+      Zoo.known
+  in
+  (* Gaussian: elaborated density is the hand density, bitwise. *)
+  let gauss_exact =
+    let m = Zoo.resolve ~dim:8 "gaussian" in
+    let el = Model.log_density m in
+    let compiled =
+      Autobatch.compile ~registry:el.Eff.el_registry
+        ~input_shapes:(Eff.input_shapes el) el.Eff.el_program
+    in
+    let stream = Splitmix.Stream.create (Int64.add seed_v 23L) in
+    let z = 8 in
+    let qs = Tensor.init [| z; 8 |] (fun _ -> Splitmix.Stream.normal stream) in
+    let lp =
+      List.nth (Autobatch.run_pc compiled ~batch:[ qs ]) el.Eff.el_lp_index
+    in
+    let ok = ref true in
+    for b = 0 to z - 1 do
+      if (Tensor.data lp).(b) <> m.Model.logp (Tensor.slice_row qs b) then
+        ok := false
+    done;
+    check "gaussian spec = hand density" "bitwise over 8 points" !ok;
+    !ok
+  in
+  (* Old-vs-new: the migrated eight_schools still drives the NUTS
+     pipeline to the single-chain reference bitwise. *)
+  let schools_ok =
+    let model = Eight_schools.model () in
+    let reg, key = Nuts_dsl.setup ?seed ~model () in
+    let q0 = Tensor.zeros [| model.Model.dim |] in
+    let cfg = Nuts.default_config ~eps:0.3 () in
+    let prog = Nuts_dsl.program ~params:(Nuts_dsl.params_of_config cfg) () in
+    let compiled =
+      Autobatch.compile ~registry:reg
+        ~input_shapes:(Nuts_dsl.input_shapes ~model) prog
+    in
+    let z = 4 and n_iter = if fast then 3 else 5 in
+    let batch = Nuts_dsl.inputs ~q0 ~eps:0.3 ~n_iter ~n_burn:0 ~batch:z () in
+    let pc = Autobatch.run_pc compiled ~batch in
+    let ok = ref true in
+    for member = 0 to z - 1 do
+      let r = Nuts.sample_chain cfg ~model ~key ~member ~q0 ~n_iter in
+      if not (Tensor.equal r.Nuts.final_q (Tensor.slice_row (List.hd pc) member))
+      then ok := false
+    done;
+    check "eight_schools NUTS migration" "batched = reference, bitwise" !ok;
+    !ok
+  in
+  (* 2. SMC vs the Kalman closed form. *)
+  let smc =
+    Smc.run ~seed:seed_v
+      ~n_particles:(if fast then 128 else 512)
+      ~steps:(if fast then 15 else 40)
+      ()
+  in
+  let smc_ok = Smc.passes ~tol:1.0 smc in
+  check "smc log-marginal vs Kalman"
+    (Printf.sprintf "|%.3f - %.3f| = %.3f, %d migrations" smc.Smc.log_z
+       smc.Smc.log_z_exact (Smc.log_z_error smc) smc.Smc.migrations)
+    smc_ok;
+  (* 3. Tempering vs the mixture closed form. *)
+  let temper =
+    Tempering.run ~seed:seed_v
+      ~c:
+        {
+          Tempering.default_config with
+          rounds = (if fast then 200 else 400);
+        }
+      ()
+  in
+  let temper_ok = Tempering.passes temper in
+  check "tempering moments + exchanges"
+    (Printf.sprintf "E[x^2] %.2f (exact %.2f), %d swaps"
+       temper.Tempering.cold_second_moment
+       (Tempering.second_moment temper.Tempering.config)
+       temper.Tempering.swaps_accepted)
+    temper_ok;
+  (* 4. Decision tree, pure control flow. *)
+  let tree =
+    Treebench.run ~seed:seed_v
+      ~depth:(if fast then 5 else 7)
+      ~z:(if fast then 32 else 64)
+      ()
+  in
+  let tree_ok = Treebench.passes tree in
+  check "decision tree bitwise"
+    (Printf.sprintf "%d leaves, %d supersteps" tree.Treebench.distinct_leaves
+       tree.Treebench.supersteps)
+    tree_ok;
+  if not fast then
+    Obs_report.write ~path:"BENCH_eff.json"
+      (Obs_json.Obj
+         [
+           ("bench", Obs_json.Str "eff");
+           ("source", Obs_json.Str "bench/main.exe eff");
+           ( "workload",
+             Obs_json.Str
+               "handler-DSL elaboration matrix over the model zoo (bitwise \
+                across pc/jit/local/shard, gaussian spec bitwise vs hand \
+                density, eight_schools NUTS vs single-chain reference), \
+                plus the three DSL workloads: SMC bootstrap filter (512 \
+                particles x 40 steps, resampling through the S20 \
+                lane-migration seam, gated vs the Kalman log marginal), \
+                parallel tempering (8 chains x 400 rounds, exchanges \
+                priced as collectives, gated on closed-form mixture \
+                moments), and decision-tree inference (depth 7, gated \
+                bitwise vs host evaluation)" );
+           ( "note",
+             Obs_json.Str
+               "the stage (and CI) fails unless every arm above passes; \
+                the AUTOBATCH_FAST arm shrinks the workloads and does not \
+                rewrite this file" );
+           ( "elaboration",
+             Obs_json.Obj
+               (("gaussian_exact", Obs_json.Bool gauss_exact)
+               :: ("eight_schools_nuts", Obs_json.Bool schools_ok)
+               :: List.map
+                    (fun (name, ok) -> (name, Obs_json.Bool ok))
+                    model_points) );
+           ("smc", Smc.to_json smc);
+           ("temper", Tempering.to_json temper);
+           ("tree", Treebench.to_json tree);
+         ]);
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "eff stage failed: an elaboration arm lost bitwise equivalence or a \
+       DSL workload missed its closed-form gate";
     exit 1
   end
 
@@ -944,8 +1140,7 @@ let run_shard ?seed () =
      domain per shard (Shard_vm). Best of 3 runs per point. Speedup over
      the host's core count is physically impossible, so the recommended
      domain count is printed alongside the table. *)
-  let gaussian = Gaussian_model.create ~dim:20 () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:20 () in
   let reg, _ = Nuts_dsl.setup ?seed ~model () in
   let q0 = Tensor.zeros [| 20 |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in
@@ -1002,7 +1197,7 @@ let () =
     match stages with
     | [] ->
       [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs";
-        "prof"; "fuse"; "sched"; "tenant" ]
+        "prof"; "fuse"; "sched"; "tenant"; "eff" ]
     | picked -> picked
   in
   List.iter
@@ -1020,10 +1215,11 @@ let () =
       | "fuse" -> run_fuse ?seed ()
       | "sched" -> run_sched ?seed ()
       | "tenant" -> run_tenant ?seed ()
+      | "eff" -> run_eff ?seed ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched|tenant)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched|tenant|eff)\n"
           other;
         exit 1)
     stages

@@ -48,7 +48,6 @@ let collatz =
   (p, Prim.standard (), [ Shape.scalar ])
 
 let nuts_gaussian () =
-  let gaussian = Gaussian_model.create ~dim:10 () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:10 () in
   let reg, _key = Nuts_dsl.setup ~model () in
   (Nuts_dsl.program (), reg, Nuts_dsl.input_shapes ~model)

@@ -602,13 +602,11 @@ let sample_cmd =
   let run model_name dim chains n_iter n_burn variant_name collect_name no_adapt
       devices seed =
     let model =
-      match model_name with
-      | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
-      | "funnel" -> (Funnel_model.create ~dim ()).Funnel_model.model
-      | "logistic" ->
-        (Logistic_model.create ~n:(dim * 40) ~dim ()).Logistic_model.model
-      | other ->
-        Printf.eprintf "unknown model %S (gaussian|funnel|logistic)\n" other;
+      match Zoo.resolve ~dim model_name with
+      | m -> m
+      | exception Invalid_argument _ ->
+        Printf.eprintf "unknown model %S (%s)\n" model_name
+          (String.concat "|" Zoo.known);
         exit 1
     in
     let variant =
@@ -927,6 +925,104 @@ let resilience_cmd =
     Term.(const run $ z $ intervals $ rates $ vms $ shards $ lanes $ requests
           $ bandwidth $ seed_arg () $ csv $ json_arg ())
 
+
+(* ---------- handler-DSL workloads (DESIGN.md S22) ---------- *)
+
+(* Workload constructors reject bad sizes with [Invalid_argument]; the
+   CLI turns that into the usual one-line message + exit 1. *)
+let or_usage f =
+  match f () with
+  | r -> r
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
+let smc_cmd =
+  let run particles steps tol seed json =
+    let r = or_usage (fun () -> Smc.run ?seed ~n_particles:particles ~steps ()) in
+    report ~name:"smc" ~json
+      ~human:(fun () -> Smc.print r)
+      [ ("smc", Smc.to_json r) ];
+    if not (Smc.passes ~tol r) then begin
+      Printf.eprintf "smc: gate failed\n";
+      exit 1
+    end
+  in
+  let particles =
+    Arg.(value & opt int 256 & info [ "particles" ] ~doc:"Particle count.")
+  in
+  let steps =
+    Arg.(value & opt int 25 & info [ "steps" ] ~doc:"Filter time steps.")
+  in
+  let tol =
+    Arg.(value & opt float 1.0
+         & info [ "tol" ] ~doc:"Allowed |log Z - Kalman| gap.")
+  in
+  Cmd.v
+    (Cmd.info "smc"
+       ~doc:"Bootstrap particle filter from the handler DSL: multinomial \
+             resampling through the lane-migration seam, gated against the \
+             Kalman filter's exact log marginal likelihood.")
+    Term.(const run $ particles $ steps $ tol $ seed_arg () $ json_arg ())
+
+let temper_cmd =
+  let run chains rounds sweep_steps mu0 seed json =
+    let c =
+      { Tempering.default_config with chains; rounds; sweep_steps; mu0 }
+    in
+    let r = or_usage (fun () -> Tempering.run ?seed ~c ()) in
+    report ~name:"temper" ~json
+      ~human:(fun () -> Tempering.print r)
+      [ ("temper", Tempering.to_json r) ];
+    if not (Tempering.passes r) then begin
+      Printf.eprintf "temper: gate failed\n";
+      exit 1
+    end
+  in
+  let chains =
+    Arg.(value & opt int 8 & info [ "chains" ] ~doc:"Temperature ladder size.")
+  in
+  let rounds =
+    Arg.(value & opt int 400 & info [ "rounds" ] ~doc:"Sweep/exchange rounds.")
+  in
+  let sweep_steps =
+    Arg.(value & opt int 10 & info [ "sweep-steps" ] ~doc:"RWM steps per sweep.")
+  in
+  let mu0 =
+    Arg.(value & opt float 3. & info [ "mu0" ] ~doc:"Mixture mode offset.")
+  in
+  Cmd.v
+    (Cmd.info "temper"
+       ~doc:"Parallel tempering from the handler DSL: chains as batch \
+             members, host replica exchanges priced as collectives, gated on \
+             the mixture's closed-form moments.")
+    Term.(const run $ chains $ rounds $ sweep_steps $ mu0 $ seed_arg ()
+          $ json_arg ())
+
+let tree_cmd =
+  let run depth features z seed json =
+    let r = or_usage (fun () -> Treebench.run ?seed ~depth ~n_features:features ~z ()) in
+    report ~name:"tree" ~json
+      ~human:(fun () -> Treebench.print r)
+      [ ("tree", Treebench.to_json r) ];
+    if not (Treebench.passes r) then begin
+      Printf.eprintf "tree: gate failed\n";
+      exit 1
+    end
+  in
+  let depth =
+    Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Tree depth.")
+  in
+  let features =
+    Arg.(value & opt int 8 & info [ "features" ] ~doc:"Feature vector size.")
+  in
+  let z = Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Batch size.") in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:"Decision-tree inference: pure control flow elaborated through \
+             Eff.branch, every runtime gated bitwise against host evaluation.")
+    Term.(const run $ depth $ features $ z $ seed_arg () $ json_arg ())
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -938,5 +1034,5 @@ let () =
           [
             figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
             tenants_cmd; resilience_cmd; inspect_cmd; dot_cmd; fuse_cmd;
-            run_file_cmd; profile_cmd; sample_cmd;
+            run_file_cmd; profile_cmd; sample_cmd; smc_cmd; temper_cmd; tree_cmd;
           ]))

@@ -82,6 +82,24 @@ fi
 step "bench serve baseline"
 dune exec bench/main.exe -- serve
 
+# The handler-DSL frontend must elaborate to exactly the programs the
+# hand-written models used to be: the eff stage exits nonzero unless
+# every zoo model's elaborated density is bitwise identical across
+# pc/jit/local/shard, the gaussian spec matches its hand-rolled density
+# bitwise, eight_schools NUTS matches the single-chain reference, and
+# the three DSL workloads clear their gates (SMC vs the Kalman log
+# marginal with real S20 lane migrations, tempering vs closed-form
+# mixture moments with accepted exchanges, decision tree bitwise vs
+# host evaluation). The fast tier shrinks particle counts, rounds, and
+# tree depth via AUTOBATCH_FAST; the full tier regenerates the
+# committed BENCH_eff.json (deterministic).
+step "bench eff gate"
+if [ "$tier" = "@runtest-fast" ]; then
+  AUTOBATCH_FAST=1 dune exec bench/main.exe -- eff
+else
+  dune exec bench/main.exe -- eff
+fi
+
 # Format check only where a profile exists: the repo ships without an
 # .ocamlformat, and an unpinned default would reformat the world.
 if [ -f .ocamlformat ]; then

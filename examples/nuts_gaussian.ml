@@ -11,8 +11,7 @@ let () =
   let chains = 64 in
   let n_iter = 60 in
   let n_burn = 20 in
-  let gaussian = Gaussian_model.create ~rho:0.7 ~dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.7 ~dim () in
 
   (* One registry serves both the sampler program and its RNG key. *)
   let reg, key = Nuts_dsl.setup ~model () in

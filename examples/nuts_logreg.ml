@@ -12,8 +12,8 @@ let () =
   let n_data = 400 and dim = 12 in
   let chains = 32 in
   let n_iter = 40 and n_burn = 15 in
-  let logistic = Logistic_model.create ~n:n_data ~dim () in
-  let model = logistic.Logistic_model.model in
+  let data = Logistic_model.synth ~n:n_data ~dim () in
+  let model = Logistic_model.model_of_data data in
   let reg, _key = Nuts_dsl.setup ~model () in
   let q0 = Tensor.zeros [| dim |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in
@@ -32,7 +32,7 @@ let () =
   in
   (* Compare the posterior mean with the coefficients that generated the
      data (they should correlate strongly at this data size). *)
-  let beta = logistic.Logistic_model.beta_true in
+  let beta = data.Logistic_model.beta_true in
   let corr =
     let center t =
       Tensor.sub t (Tensor.mean t)

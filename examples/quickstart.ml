@@ -1,63 +1,86 @@
-(* Quickstart: write a recursive program once, batch it automatically.
+(* Quickstart: define a model once with the effect-handler DSL, then
+   elaborate it into an IR program and batch it automatically.
 
-   This is the paper's Figure 1/3 example: recursive Fibonacci, run on a
-   batch of different inputs in lockstep by both autobatching strategies.
+   The model below is an ordinary OCaml function that *performs*
+   probabilistic effects (Eff.sample / Eff.observe) with symbolic
+   values. Running it under a handler stack does not execute it — it
+   elaborates it into a Lang program for the Autobatch pipeline:
+
+   - under [Eff.log_density] (the trace handler) the latent site [mu]
+     becomes a program parameter and every site is scored: the program
+     maps mu -> log p(mu, y);
+   - under [Eff.simulate] (the seed handler) [mu] is drawn through the
+     counter-based RNG primitives and only the observation is scored:
+     the program is a forward simulator.
 
      dune exec examples/quickstart.exe *)
 
-let fib_program =
+let y = [| 0.2; 1.1; -0.3; 0.8 |]
+
+let model () =
   let open Lang in
-  let open Lang.Infix in
-  program ~main:"fib"
-    [
-      func "fib" ~params:[ "n" ]
-        [
-          if_
-            (var "n" <= flt 1.)
-            [ return_ [ flt 1. ] ]
-            [
-              call [ "left" ] "fib" [ var "n" - flt 2. ];
-              call [ "right" ] "fib" [ var "n" - flt 1. ];
-              return_ [ var "left" + var "right" ];
-            ];
-        ];
-    ]
+  let mu = Eff.sample "mu" (Dist.Normal (flt 0., flt 3.)) in
+  Eff.observe ~shape:[| 4 |] "y" (Dist.Normal (mu, flt 1.)) (vec y);
+  [ mu ]
 
 let () =
+  (* Trace interpretation: latents become parameters. *)
+  let el = Eff.log_density model in
+  Format.printf "parameters: %s@."
+    (String.concat ", " (List.map fst el.Eff.el_params));
+
   (* Compile once: validation, lowering to the Figure-2 CFG, then to the
-     Figure-4 stack program. Passing input element shapes enables static
-     shape inference, as an XLA-like backend would require. *)
-  let compiled = Autobatch.compile ~input_shapes:[ Shape.scalar ] fib_program in
-
-  (* A batch of independent inputs: the paper's snapshot uses 3, 7, 4, 5. *)
-  let inputs = Tensor.of_list [ 3.; 7.; 4.; 5.; 10.; 0.; 20. ] in
-
-  (* Strategy 1: local static autobatching (Algorithm 1) — recursion runs
-     on the host stack, masked lanes wait at divergent branches. *)
-  let local = Autobatch.run_local compiled ~batch:[ inputs ] in
-
-  (* Strategy 2: program-counter autobatching (Algorithm 2) — recursion is
-     materialized into per-variable stacks; no host recursion at all. *)
-  let pc = Autobatch.run_pc compiled ~batch:[ inputs ] in
-
-  Format.printf "inputs:      %a@." Tensor.pp inputs;
-  Format.printf "local VM:    %a@." Tensor.pp (List.hd local);
-  Format.printf "pc VM:       %a@." Tensor.pp (List.hd pc);
-
-  (* The compiled stack program shows what the batching compiler did:
-     which variables got stacks, which only masked tops, which vanished. *)
-  let temps, masked, stacked = Stack_ir.stats compiled.Autobatch.stack in
-  Format.printf
-    "stack program: %d blocks; variables: %d temporaries, %d masked, %d stacked@."
-    (Array.length compiled.Autobatch.stack.Stack_ir.blocks)
-    temps masked stacked;
-
-  (* Everything agrees with running each example alone. *)
-  let reference =
-    List.init (Tensor.numel inputs) (fun b ->
-        Tensor.item
-          (List.hd
-             (Autobatch.run_single compiled ~member:b
-                ~args:[ Tensor.scalar (Tensor.data inputs).(b) ])))
+     Figure-4 stack program — exactly as for a hand-written program. *)
+  let compiled =
+    Autobatch.compile ~registry:el.Eff.el_registry
+      ~input_shapes:(Eff.input_shapes el) el.Eff.el_program
   in
-  Format.printf "reference:   %a@." Tensor.pp (Tensor.of_list reference)
+
+  (* A batch of independent values for mu, evaluated in lockstep by the
+     program-counter runtime. *)
+  let mus = Tensor.of_list [ -1.; 0.; 0.45; 2. ] in
+  let out = Autobatch.run_pc compiled ~batch:[ mus ] in
+  let lp = List.nth out el.Eff.el_lp_index in
+  Format.printf "mu:        %a@." Tensor.pp mus;
+  Format.printf "log p:     %a@." Tensor.pp lp;
+
+  (* The same program on the steppable lane pool (Pc_vm.Lanes): load one
+     request per lane, step the pool to quiescence, retire the outputs.
+     This is the seam the serving stack schedules against. *)
+  let lanes =
+    Pc_vm.Lanes.create el.Eff.el_registry compiled.Autobatch.stack ~z:4
+  in
+  Array.iteri
+    (fun lane mu ->
+      Pc_vm.Lanes.load lanes ~lane ~member:lane
+        ~inputs:[ Tensor.scalar mu ])
+    (Tensor.data mus);
+  while Pc_vm.Lanes.step lanes do
+    ()
+  done;
+  let lane_lp =
+    List.map
+      (fun lane ->
+        Tensor.item
+          (List.nth (Pc_vm.Lanes.retire lanes ~lane) el.Eff.el_lp_index))
+      (Pc_vm.Lanes.finished_lanes lanes)
+  in
+  Format.printf "lane pool: %a  (bitwise = batched)@." Tensor.pp
+    (Tensor.of_list lane_lp);
+  assert (Tensor.equal (Tensor.of_list lane_lp) lp);
+
+  (* Seed interpretation of the *same definition*: mu is drawn from its
+     prior through the counter-based RNG, so simulation is bitwise
+     deterministic across every runtime. The counter input starts at 0. *)
+  let sim = Eff.simulate model in
+  let sim_c =
+    Autobatch.compile ~registry:sim.Eff.el_registry
+      ~input_shapes:(Eff.input_shapes sim) sim.Eff.el_program
+  in
+  let z = 6 in
+  let draws =
+    Autobatch.run_pc sim_c ~batch:[ Tensor.zeros [| z |] ]
+  in
+  Format.printf "simulated mu: %a@." Tensor.pp (List.hd draws);
+  Format.printf "log weight:   %a@." Tensor.pp
+    (List.nth draws sim.Eff.el_lp_index)

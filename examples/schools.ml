@@ -9,8 +9,7 @@
      dune exec examples/schools.exe *)
 
 let () =
-  let es = Eight_schools.create () in
-  let model = es.Eight_schools.model in
+  let model = Eight_schools.model () in
   let s =
     Batched_sampler.run ~variant:Nuts.Multinomial ~model ~chains:48 ~n_iter:400
       ~n_burn:100 ~collect:`Samples ()
@@ -49,7 +48,7 @@ let () =
   Array.iteri
     (fun j eff ->
       Format.printf "   %d       %+6.1f      %4.1f        %+6.2f@." (j + 1)
-        es.Eight_schools.y.(j) es.Eight_schools.sigma.(j) eff)
+        Eight_schools.y.(j) Eight_schools.sigma.(j) eff)
     effects;
   (match s.Batched_sampler.split_rhat with
   | Some r ->

@@ -16,8 +16,7 @@
 let () =
   let scales = [| 0.2; 1.; 5.; 0.5; 2.; 0.3 |] in
   let dim = Array.length scales in
-  let gaussian = Gaussian_model.create ~rho:0.4 ~scales ~dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.4 ~scales ~dim () in
   let q0 = Tensor.zeros [| dim |] in
 
   (* 1. Warmup on the host. *)

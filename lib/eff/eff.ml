@@ -1,0 +1,482 @@
+type value = Lang.expr
+
+type site_kind = Latent | Observed | Factored
+
+type record = {
+  r_site : string;
+  r_shape : Shape.t;
+  r_var : string;
+  r_dist : Dist.t option;
+  r_kind : site_kind;
+  r_scored : bool;
+}
+
+type elaborated = {
+  el_program : Lang.program;
+  el_registry : Prim.registry;
+  el_key : Counter_rng.key;
+  el_params : (string * Shape.t) list;
+  el_trace : record list;
+  el_lp_index : int;
+  el_cnt_index : int option;
+}
+
+let input_shapes el = List.map snd el.el_params
+
+let latent_sites el =
+  let latents =
+    List.filter_map
+      (fun r ->
+        if r.r_kind = Latent then Some (r.r_var, r.r_shape) else None)
+      el.el_trace
+  in
+  List.filter (fun (p, _) -> List.mem_assoc p latents) el.el_params
+  |> List.map (fun (p, s) -> (p, s))
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration context                                                 *)
+
+type ctx = {
+  mutable buf : Lang.stmt list;  (* current statement buffer, reversed *)
+  mutable saved : Lang.stmt list list;  (* enclosing buffers (branch) *)
+  mutable params : (string * Shape.t) list;  (* reversed *)
+  mutable trace : record list;  (* reversed *)
+  mutable prefix : string list;  (* innermost plate scope first *)
+  mutable fresh : int;
+  mutable uses_cnt : bool;
+  used : (string, unit) Hashtbl.t;  (* program variable names taken *)
+  sites : (string, unit) Hashtbl.t;  (* full site names declared *)
+  data_prims : (string, Tensor.t) Hashtbl.t;
+  registry : Prim.registry;
+  mode : [ `Bind | `Draw ];
+  score : [ `All | `Observed | `None ];
+}
+
+let current : ctx option ref = ref None
+
+let ctx name =
+  match !current with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Eff.%s: no model is being elaborated (call from within a body \
+          passed to Eff.run / log_density / simulate)"
+         name)
+
+let emit c s = c.buf <- s :: c.buf
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    let ch = Bytes.get b i in
+    if
+      not
+        ((ch >= 'a' && ch <= 'z')
+        || (ch >= 'A' && ch <= 'Z')
+        || (ch >= '0' && ch <= '9')
+        || ch = '_')
+    then Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "site"
+  else if s.[0] >= '0' && s.[0] <= '9' then "v" ^ s
+  else s
+
+let declare_var c base =
+  let base = sanitize base in
+  let name =
+    if not (Hashtbl.mem c.used base) then base
+    else begin
+      let i = ref 2 in
+      while Hashtbl.mem c.used (Printf.sprintf "%s_%d" base !i) do incr i done;
+      Printf.sprintf "%s_%d" base !i
+    end
+  in
+  Hashtbl.replace c.used name ();
+  name
+
+let fresh_var c base =
+  c.fresh <- c.fresh + 1;
+  declare_var c (Printf.sprintf "%s_%d" base c.fresh)
+
+let full_name c site =
+  match c.prefix with
+  | [] -> site
+  | ps -> String.concat "." (List.rev ps) ^ "." ^ site
+
+let cnt_e = Lang.var "__cnt"
+
+let tick c =
+  c.uses_cnt <- true;
+  let open Lang in
+  let open Lang.Infix in
+  emit c (assign "__cnt" (cnt_e + flt 1.))
+
+let proto_of_shape shape =
+  if Shape.rank shape = 0 then Lang.flt 0.
+  else if Shape.rank shape = 1 then Lang.vec (Array.make shape.(0) 0.)
+  else
+    invalid_arg
+      (Printf.sprintf "Eff.sample: site rank must be 0 or 1, got %s"
+         (Shape.to_string shape))
+
+let scalar_only site d shape =
+  if Shape.rank shape <> 0 then
+    invalid_arg
+      (Printf.sprintf "Eff.sample %S: cannot draw a vector site from %s" site
+         (Dist.to_string d))
+
+(* Emit the RNG draw for [dist] into variable [v]; one counter tick per
+   logical draw, consumed *before* the tick, mirroring the DSL sampler
+   programs (and the pure-OCaml reference mirrors). *)
+let emit_draw c ~site ~shape ~v dist =
+  let open Lang in
+  let open Lang.Infix in
+  let half_pi = Float.pi /. 2. in
+  (match dist with
+  | Dist.Normal (loc, scale) ->
+    let z = fresh_var c (v ^ "_z") in
+    emit c (assign z (prim "normal_like" [ proto_of_shape shape; cnt_e ]));
+    tick c;
+    emit c (assign v (loc + (scale * var z)))
+  | Dist.Uniform ->
+    scalar_only site dist shape;
+    emit c (assign v (prim "uniform" [ cnt_e ]));
+    tick c
+  | Dist.Exponential rate ->
+    scalar_only site dist shape;
+    let e = fresh_var c (v ^ "_e") in
+    emit c (assign e (prim "exponential" [ cnt_e ]));
+    tick c;
+    emit c (assign v (var e / rate))
+  | Dist.Half_cauchy scale ->
+    scalar_only site dist shape;
+    let u = fresh_var c (v ^ "_u") in
+    emit c (assign u (prim "uniform" [ cnt_e ]));
+    tick c;
+    emit c (assign v (scale * prim "tan" [ var u * flt half_pi ]))
+  | Dist.Log_half_cauchy scale ->
+    scalar_only site dist shape;
+    let u = fresh_var c (v ^ "_u") in
+    emit c (assign u (prim "uniform" [ cnt_e ]));
+    tick c;
+    emit c (assign v (prim "log" [ scale * prim "tan" [ var u * flt half_pi ] ]))
+  | Dist.Bernoulli_logit logit ->
+    scalar_only site dist shape;
+    let u = fresh_var c (v ^ "_u") in
+    emit c (assign u (prim "uniform" [ cnt_e ]));
+    tick c;
+    emit c
+      (assign v
+         (prim "select"
+            [ prim "lt" [ var u; prim "sigmoid" [ logit ] ]; flt 1.; flt 0. ]))
+  | Dist.Flat ->
+    invalid_arg
+      (Printf.sprintf "Eff.sample %S: cannot draw from a flat density" site))
+
+let emit_score c dist shape v =
+  let scalar_site = Int.equal (Shape.rank shape) 0 in
+  let open Lang in
+  let open Lang.Infix in
+  let elem = Dist.log_prob dist v in
+  let s = if scalar_site then elem else prim "sum" [ elem ] in
+  emit c (assign "__lp" (var "__lp" + s))
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                             *)
+
+type msg = {
+  m_site : string;
+  m_dist : Dist.t;
+  m_shape : Shape.t;
+  m_value : value option;
+  m_observed : bool;
+}
+
+type _ Effect.t +=
+  | Sample_eff : msg -> value Effect.t
+  | Factor_eff : string * value -> unit Effect.t
+
+let sample ?(shape = Shape.scalar) name dist =
+  let c = ctx "sample" in
+  Effect.perform
+    (Sample_eff
+       {
+         m_site = full_name c name;
+         m_dist = dist;
+         m_shape = shape;
+         m_value = None;
+         m_observed = false;
+       })
+
+let sample_vec name ~dim dist = sample ~shape:[| dim |] name dist
+
+let observe ?(shape = Shape.scalar) name dist v =
+  let c = ctx "observe" in
+  ignore
+    (Effect.perform
+       (Sample_eff
+          {
+            m_site = full_name c name;
+            m_dist = dist;
+            m_shape = shape;
+            m_value = Some v;
+            m_observed = true;
+          }))
+
+let factor name v =
+  let c = ctx "factor" in
+  Effect.perform (Factor_eff (full_name c name, v))
+
+let param ?(shape = Shape.scalar) name =
+  let c = ctx "param" in
+  let v = declare_var c name in
+  c.params <- (v, shape) :: c.params;
+  Lang.var v
+
+let det name e =
+  let c = ctx "det" in
+  let v = declare_var c name in
+  emit c (Lang.assign v e);
+  Lang.var v
+
+let plate name n f =
+  let c = ctx "plate" in
+  List.init n (fun i ->
+      c.prefix <- Printf.sprintf "%s.%d" name i :: c.prefix;
+      Fun.protect
+        ~finally:(fun () -> c.prefix <- List.tl c.prefix)
+        (fun () -> f i))
+
+let branch cond then_ else_ =
+  let c = ctx "branch" in
+  let out = fresh_var c "br" in
+  let arm f =
+    c.saved <- c.buf :: c.saved;
+    c.buf <- [];
+    let v = f () in
+    emit c (Lang.assign out v);
+    let stmts = List.rev c.buf in
+    (match c.saved with
+    | b :: rest ->
+      c.buf <- b;
+      c.saved <- rest
+    | [] -> assert false);
+    stmts
+  in
+  let ts = arm then_ in
+  let es = arm else_ in
+  emit c (Lang.if_ cond ts es);
+  Lang.var out
+
+let data_matvec name m v =
+  let c = ctx "data_matvec" in
+  let ms = Tensor.shape m in
+  if Shape.rank ms <> 2 then
+    invalid_arg "Eff.data_matvec: matrix must have rank 2";
+  (match Hashtbl.find_opt c.data_prims name with
+  | Some prev ->
+    if not (Tensor.equal prev m) then
+      invalid_arg
+        (Printf.sprintf
+           "Eff.data_matvec: prim %S already registered with different data"
+           name)
+  | None ->
+    Hashtbl.replace c.data_prims name m;
+    let n = ms.(0) and d = ms.(1) in
+    let mt = Tensor.transpose m in
+    Prim.register c.registry
+      {
+        Prim.name;
+        arity = 1;
+        deterministic = true;
+        shape =
+          (fun ss ->
+            match ss with
+            | [ s ] when Shape.equal s [| d |] -> [| n |]
+            | [ s ] ->
+              raise
+                (Prim.Shape_error
+                   (Printf.sprintf "%s: argument must have shape [%d], got %s"
+                      name d (Shape.to_string s)))
+            | ss ->
+              raise
+                (Prim.Shape_error
+                   (Printf.sprintf "%s: expected 1 argument, got %d" name
+                      (List.length ss))));
+        flops = (fun _ -> 2. *. float_of_int n *. float_of_int d);
+        batched =
+          (fun ~members:_ args ->
+            match args with
+            | [ x ] -> Tensor.matmul x mt
+            | _ -> invalid_arg (name ^ ": arity"));
+        single =
+          (fun ~member:_ args ->
+            match args with
+            | [ x ] -> Tensor.matvec m x
+            | _ -> invalid_arg (name ^ ": arity"));
+      });
+  Lang.prim name [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* Middle handlers                                                     *)
+
+let reperform subst observed f =
+  Effect.Deep.try_with f ()
+    {
+      Effect.Deep.effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Sample_eff m when m.m_value = None && List.mem_assoc m.m_site subst
+            ->
+            Some
+              (fun (k : (b, _) Effect.Deep.continuation) ->
+                let v =
+                  Effect.perform
+                    (Sample_eff
+                       {
+                         m with
+                         m_value = Some (List.assoc m.m_site subst);
+                         m_observed = m.m_observed || observed;
+                       })
+                in
+                Effect.Deep.continue k v)
+          | _ -> None);
+    }
+
+let substitute subst f = reperform subst false f
+let condition subst f = reperform subst true f
+
+(* ------------------------------------------------------------------ *)
+(* Terminal handler                                                    *)
+
+let handle_sample c m =
+  if Hashtbl.mem c.sites m.m_site then
+    invalid_arg (Printf.sprintf "Eff: duplicate site %S" m.m_site);
+  Hashtbl.replace c.sites m.m_site ();
+  let v = declare_var c m.m_site in
+  let kind = if m.m_observed then Observed else Latent in
+  (match m.m_value with
+  | Some e -> emit c (Lang.assign v e)
+  | None ->
+    if m.m_observed then
+      invalid_arg
+        (Printf.sprintf "Eff.observe %S: observation has no value" m.m_site)
+    else (
+      match c.mode with
+      | `Bind -> c.params <- (v, m.m_shape) :: c.params
+      | `Draw -> emit_draw c ~site:m.m_site ~shape:m.m_shape ~v m.m_dist));
+  let scored =
+    match c.score with
+    | `All -> true
+    | `Observed -> m.m_observed
+    | `None -> false
+  in
+  if scored then emit_score c m.m_dist m.m_shape (Lang.var v);
+  c.trace <-
+    {
+      r_site = m.m_site;
+      r_shape = m.m_shape;
+      r_var = v;
+      r_dist = Some m.m_dist;
+      r_kind = kind;
+      r_scored = scored;
+    }
+    :: c.trace;
+  Lang.var v
+
+let handle_factor c site e =
+  if Hashtbl.mem c.sites site then
+    invalid_arg (Printf.sprintf "Eff: duplicate site %S" site);
+  Hashtbl.replace c.sites site ();
+  let scored = c.score <> `None in
+  let open Lang in
+  let open Lang.Infix in
+  if scored then emit c (assign "__lp" (var "__lp" + e));
+  c.trace <-
+    {
+      r_site = site;
+      r_shape = Shape.scalar;
+      r_var = "__lp";
+      r_dist = None;
+      r_kind = Factored;
+      r_scored = scored;
+    }
+    :: c.trace
+
+let run ?registry ?(seed = 0x5EEDL) ?(fn_name = "model") ~mode ~score body =
+  let registry =
+    match registry with Some r -> r | None -> Prim.standard ~seed ()
+  in
+  let c =
+    {
+      buf = [];
+      saved = [];
+      params = [];
+      trace = [];
+      prefix = [];
+      fresh = 0;
+      uses_cnt = false;
+      used = Hashtbl.create 16;
+      sites = Hashtbl.create 16;
+      data_prims = Hashtbl.create 4;
+      registry;
+      mode;
+      score;
+    }
+  in
+  List.iter (fun r -> Hashtbl.replace c.used r ()) [ "__lp"; "__cnt"; "__cnt0" ];
+  let prev = !current in
+  current := Some c;
+  let rets =
+    Fun.protect
+      ~finally:(fun () -> current := prev)
+      (fun () ->
+        Effect.Deep.match_with body ()
+          {
+            Effect.Deep.retc = (fun r -> r);
+            exnc = raise;
+            effc =
+              (fun (type b) (eff : b Effect.t) ->
+                match eff with
+                | Sample_eff m ->
+                  Some
+                    (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Effect.Deep.continue k (handle_sample c m))
+                | Factor_eff (site, e) ->
+                  Some
+                    (fun (k : (b, _) Effect.Deep.continuation) ->
+                      Effect.Deep.continue k (handle_factor c site e))
+                | _ -> None);
+          })
+  in
+  if c.saved <> [] then invalid_arg "Eff.run: unbalanced branch elaboration";
+  let open Lang in
+  let prologue =
+    assign "__lp" (flt 0.)
+    :: (if c.uses_cnt then [ assign "__cnt" (var "__cnt0") ] else [])
+  in
+  let cnt_rets = if c.uses_cnt then [ cnt_e ] else [] in
+  let body_stmts =
+    prologue @ List.rev c.buf @ [ return_ (rets @ [ var "__lp" ] @ cnt_rets) ]
+  in
+  let params =
+    List.rev c.params @ (if c.uses_cnt then [ ("__cnt0", Shape.scalar) ] else [])
+  in
+  let f = func fn_name ~params:(List.map fst params) body_stmts in
+  {
+    el_program = program ~main:fn_name [ f ];
+    el_registry = registry;
+    el_key = Counter_rng.key seed;
+    el_params = params;
+    el_trace = List.rev c.trace;
+    el_lp_index = List.length rets;
+    el_cnt_index = (if c.uses_cnt then Some (List.length rets + 1) else None);
+  }
+
+let log_density ?registry ?seed ?fn_name body =
+  run ?registry ?seed ?fn_name ~mode:`Bind ~score:`All body
+
+let simulate ?registry ?seed ?fn_name body =
+  run ?registry ?seed ?fn_name ~mode:`Draw ~score:`Observed body

@@ -1,0 +1,149 @@
+(** An effect-handler model frontend over the {!Lang} IR.
+
+    A model is an ordinary OCaml function that *performs* probabilistic
+    effects — {!sample}, {!observe}, {!factor} — with symbolic
+    ({!Lang.expr}) values. Running it under a handler stack does not
+    execute the model: it {e elaborates} it into an IR program for the
+    {!Autobatch} pipeline, in the style of NumPyro's composable effect
+    handlers. The same definition yields different programs under
+    different terminal handlers:
+
+    - {!log_density} binds each latent site to a program {e parameter}
+      and scores every site — the joint log density as a function of the
+      latents;
+    - {!simulate} (the [seed] handler) draws each latent site from the
+      counter-based RNG primitives and scores only observations — a
+      forward simulator whose [lp] output is the observation log weight.
+
+    Middle handlers compose between the model and the terminal handler:
+    {!substitute} pins latent sites to given value expressions,
+    {!condition} turns latent sites into observations. {!plate} scopes
+    site names, {!branch} elaborates data-dependent control flow into IR
+    [If] statements, and {!param}/{!det} introduce deterministic inputs
+    and intermediates.
+
+    Elaboration is deterministic: the same model under the same handlers
+    produces structurally identical programs, and all randomness in
+    [Draw]-mode programs flows through {!Counter_rng}, so simulator
+    outputs are bitwise identical across every runtime. *)
+
+type value = Lang.expr
+
+type site_kind = Latent | Observed | Factored
+
+type record = {
+  r_site : string;  (** full (plate-prefixed) site name *)
+  r_shape : Shape.t;  (** element shape of the site value *)
+  r_var : string;  (** program variable holding the site value *)
+  r_dist : Dist.t option;  (** [None] for {!factor} sites *)
+  r_kind : site_kind;
+  r_scored : bool;  (** whether this site contributed to [__lp] *)
+}
+(** One trace entry per site, in program order. *)
+
+type elaborated = {
+  el_program : Lang.program;
+  el_registry : Prim.registry;
+      (** standard registry (+ any {!data_matvec} prims) — pass to
+          [Autobatch.compile ~registry]. *)
+  el_key : Counter_rng.key;  (** RNG key backing the registry's draws *)
+  el_params : (string * Shape.t) list;
+      (** entry-function parameters, in order (latent sites and
+          {!param} declarations by first encounter; the draw counter
+          [__cnt0] last when present). *)
+  el_trace : record list;  (** sites in program order *)
+  el_lp_index : int;  (** index of [__lp] in the program's outputs *)
+  el_cnt_index : int option;
+      (** index of the final draw counter in the outputs, when the
+          program draws. *)
+}
+
+val input_shapes : elaborated -> Shape.t list
+(** Element shapes of [el_params], for [Autobatch.compile ~input_shapes]. *)
+
+val latent_sites : elaborated -> (string * Shape.t) list
+(** The latent-site subset of [el_params], in parameter order. *)
+
+(** {1 Model-body vocabulary}
+
+    These may only be called from within a model body running under
+    {!run}, {!log_density} or {!simulate}; elsewhere they raise
+    [Invalid_argument]. *)
+
+val sample : ?shape:Shape.t -> string -> Dist.t -> value
+(** Declare a latent site (default shape: scalar). Returns the site's
+    value: a parameter ([`Bind] mode), an RNG draw ([`Draw] mode), or
+    whatever an enclosing {!substitute} provides. *)
+
+val sample_vec : string -> dim:int -> Dist.t -> value
+(** [sample ~shape:[|dim|]]. *)
+
+val observe : ?shape:Shape.t -> string -> Dist.t -> value -> unit
+(** Declare an observed site with the given value (typically a data
+    constant); scored in both modes. *)
+
+val factor : string -> value -> unit
+(** Add an arbitrary scalar term to the log density. *)
+
+val param : ?shape:Shape.t -> string -> value
+(** Declare a non-random program input (data, tuned constants, the
+    previous state in a kernel program); always becomes a parameter. *)
+
+val det : string -> value -> value
+(** Name an intermediate: emits an assignment, returns the variable. *)
+
+val plate : string -> int -> (int -> 'a) -> 'a list
+(** [plate name n f] runs [f i] for [i < n] with site names inside
+    prefixed by ["name.i."] — an unrolled plate. *)
+
+val branch : value -> (unit -> value) -> (unit -> value) -> value
+(** [branch cond then_ else_] elaborates both arms into an IR [If]
+    whose branches assign a shared fresh variable; sites declared
+    inside an arm are declared unconditionally but executed (drawn /
+    scored) only on that arm's path. *)
+
+val data_matvec : string -> Tensor.t -> value -> value
+(** [data_matvec name m v] applies the constant matrix [m] ([[n; d]]) to
+    a [[d]]-shaped value as a primitive [name] registered in the
+    elaborating registry ([[d] -> [n]]; batched execution is one dense
+    matmul against the precomputed transpose). Registering the same
+    name twice with different data raises [Invalid_argument]. *)
+
+(** {1 Middle handlers} *)
+
+val substitute : (string * value) list -> (unit -> 'a) -> 'a
+(** Pin latent sites (by full site name) to value expressions; pinned
+    sites stay latent for scoring purposes but are no longer parameters
+    or draws. Unmatched names are ignored. *)
+
+val condition : (string * value) list -> (unit -> 'a) -> 'a
+(** Like {!substitute}, but the pinned sites become observations. *)
+
+(** {1 Terminal handlers (elaboration)} *)
+
+val run :
+  ?registry:Prim.registry ->
+  ?seed:int64 ->
+  ?fn_name:string ->
+  mode:[ `Bind | `Draw ] ->
+  score:[ `All | `Observed | `None ] ->
+  (unit -> value list) ->
+  elaborated
+(** Elaborate a model body. The body's returned values come first in
+    the program's outputs, followed by [__lp] (the sum of scored sites;
+    always present) and, for programs that draw, the final counter.
+    [registry] defaults to [Prim.standard ~seed ()]; [seed] (default
+    [0x5EEDL]) also keys the RNG draws. *)
+
+val log_density :
+  ?registry:Prim.registry -> ?seed:int64 -> ?fn_name:string ->
+  (unit -> value list) -> elaborated
+(** [run ~mode:`Bind ~score:`All] — the trace interpretation: latents
+    become parameters, every site is scored. *)
+
+val simulate :
+  ?registry:Prim.registry -> ?seed:int64 -> ?fn_name:string ->
+  (unit -> value list) -> elaborated
+(** [run ~mode:`Draw ~score:`Observed] — the seed interpretation:
+    latents are drawn through the RNG primitives, observations are
+    scored ([__lp] is the observation log weight). *)

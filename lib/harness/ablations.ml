@@ -1,8 +1,7 @@
 type table = { header : string list; rows : string list list }
 
 let nuts_setup ~dim ~seed =
-  let gaussian = Gaussian_model.create ~dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~dim () in
   let reg, _key = Nuts_dsl.setup ~seed ~model () in
   let q0 = Tensor.zeros [| dim |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in

@@ -57,8 +57,9 @@ let mk_point ~policy strategy batch useful sim =
 
 let run ?(scale = default_scale) ?trace ?fuse ?(policy = Sched_policy.Earliest) () =
   let policy_name = Sched_policy.to_string policy in
-  let logistic = Logistic_model.create ~seed:scale.seed ~n:scale.n_data ~dim:scale.dim () in
-  let model = logistic.Logistic_model.model in
+  let model =
+    Logistic_model.model ~seed:scale.seed ~n:scale.n_data ~dim:scale.dim ()
+  in
   let reg, _key = Nuts_dsl.setup ~seed:scale.seed ~model () in
   let q0 = Tensor.zeros [| scale.dim |] in
   (* Warm, tuned step size (dual averaging toward 0.8 acceptance), as the

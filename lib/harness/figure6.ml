@@ -11,8 +11,7 @@ type stats = {
 
 let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ])
     ?(n_iter = 10) ?(seed = 0x5EEDL) ?fuse ?(policy = Sched_policy.Earliest) () =
-  let gaussian = Gaussian_model.create ~rho ~dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~rho ~dim () in
   let reg, key = Nuts_dsl.setup ~seed ~model () in
   let q0 = Tensor.zeros [| dim |] in
   (* A warm, tuned sampler as in the paper: dual-averaged step size
@@ -76,16 +75,7 @@ let run ?(dim = 100) ?(rho = 0.7) ?(batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128;
   for member = 0 to n_chains - 1 do
     let q = ref q0 and cnt = ref 0 in
     for _ = 1 to n_iter do
-      let grads = ref 0 in
-      let counting =
-        {
-          model with
-          Model.grad =
-            (fun x ->
-              incr grads;
-              model.Model.grad x);
-        }
-      in
+      let counting, grads = Model.with_grad_counter model in
       let q', cnt', _depth =
         Nuts.trajectory cfg ~model:counting ~key ~member ~q:!q ~counter:!cnt
       in

@@ -16,18 +16,8 @@ type result = {
   prof : Obs_prof.t;
 }
 
-let known_models = [ "eight_schools"; "gaussian"; "funnel"; "logistic" ]
-
-let resolve_model ~dim ~seed = function
-  | "eight_schools" -> (Eight_schools.create ()).Eight_schools.model
-  | "gaussian" -> (Gaussian_model.create ~dim ()).Gaussian_model.model
-  | "funnel" -> (Funnel_model.create ~dim ()).Funnel_model.model
-  | "logistic" ->
-    (Logistic_model.create ~seed ~n:(dim * 40) ~dim ()).Logistic_model.model
-  | other ->
-    invalid_arg
-      (Printf.sprintf "Profile.run: unknown model %S (%s)" other
-         (String.concat "|" known_models))
+let known_models = Zoo.known
+let resolve_model ~dim ~seed name = Zoo.resolve ~dim ~seed name
 
 (* Canonical call stack per merged block, root-first, for the flamegraph.
    The stack program only remembers each block's source function

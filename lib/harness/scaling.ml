@@ -39,8 +39,7 @@ type point = {
 let series_name = function `Weak -> "weak" | `Strong -> "strong"
 
 let run ?(scale = default_scale) () =
-  let gaussian = Gaussian_model.create ~dim:scale.dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:scale.dim () in
   let reg, _key = Nuts_dsl.setup ~seed:scale.seed ~model () in
   let q0 = Tensor.zeros [| scale.dim |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in

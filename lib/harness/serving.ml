@@ -69,8 +69,7 @@ let run ?(dim = 10) ?(rho = 0.7) ?(lanes = 8) ?(n_requests = 48)
     ?(queue_depth = 1024) ?(closed_clients = -1) ?(seed = 0x5EEDL) ?trace
     ?(sched = Sched_policy.Earliest) () =
   let closed_clients = if closed_clients < 0 then lanes else closed_clients in
-  let gaussian = Gaussian_model.create ~rho ~dim () in
-  let model = gaussian.Gaussian_model.model in
+  let model = Gaussian_model.model ~rho ~dim () in
   let reg, _key = Nuts_dsl.setup ~seed ~model () in
   let q0 = Tensor.zeros [| dim |] in
   let eps = Nuts.find_reasonable_eps ~model ~q0 () in

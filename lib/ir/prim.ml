@@ -419,6 +419,7 @@ let standard ?(seed = 0x5EEDL) () =
       elementwise "sigmoid" ~flops_per_elem:5. Tensor.sigmoid_f;
       elementwise "log_sigmoid" ~flops_per_elem:6. Tensor.log_sigmoid_f;
       elementwise "tanh" ~flops_per_elem:5. Stdlib.tanh;
+      elementwise "tan" ~flops_per_elem:5. Stdlib.tan;
       elementwise "log1p" ~flops_per_elem:4. Stdlib.log1p;
       elementwise "floor" Float.floor;
       elementwise "ceil" Float.ceil;

@@ -56,7 +56,7 @@ val standard : ?seed:int64 -> unit -> registry
 
     Elementwise (element shapes broadcast):
     [add sub mul div pow min max logaddexp neg abs sign exp log sqrt square
-    sigmoid log_sigmoid tanh log1p floor ceil round], comparisons
+    sigmoid log_sigmoid tanh tan log1p floor ceil round], comparisons
     [eq ne lt le gt ge] (0/1 result), logic [and or not], ternary
     [select].
 

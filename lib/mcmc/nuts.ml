@@ -268,16 +268,7 @@ let trajectory cfg ~model ~key ~member ~q ~counter =
   | Multinomial -> trajectory_multinomial cfg ~model ~key ~member ~q ~counter
 
 let sample_chain cfg ~model ~key ~member ~q0 ~n_iter =
-  let grads = ref 0 in
-  let counting_model =
-    {
-      model with
-      Model.grad =
-        (fun q ->
-          incr grads;
-          model.Model.grad q);
-    }
-  in
+  let counting_model, grads = Model.with_grad_counter model in
   let samples = Array.make n_iter q0 in
   let depths = Array.make n_iter 0 in
   let q = ref q0 and cnt = ref 0 in

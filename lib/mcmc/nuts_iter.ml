@@ -116,16 +116,7 @@ let trajectory cfg ~model ~stream ~q =
   !proposal
 
 let sample_chain cfg ~model ~stream ~q0 ~n_iter =
-  let grads = ref 0 in
-  let counting =
-    {
-      model with
-      Model.grad =
-        (fun x ->
-          incr grads;
-          model.Model.grad x);
-    }
-  in
+  let counting, grads = Model.with_grad_counter model in
   let samples = Array.make n_iter q0 in
   let q = ref q0 in
   for i = 0 to n_iter - 1 do

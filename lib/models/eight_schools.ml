@@ -1,13 +1,26 @@
-type t = { model : Model.t; y : float array; sigma : float array }
-
 let dim = 10
 let n_schools = 8
 let mu_sd = 25.
 let tau_scale = 5.
+let y = [| 28.; 8.; -3.; 7.; -1.; 1.; 18.; 12. |]
+let sigma = [| 15.; 10.; 16.; 11.; 9.; 11.; 10.; 18. |]
 
-let create () =
-  let y = [| 28.; 8.; -3.; 7.; -1.; 1.; 18.; 12. |] in
-  let sigma = [| 15.; 10.; 16.; 11.; 9.; 11.; 10.; 18. |] in
+(* The handler-DSL definition. Under [Eff.log_density] the latent sites
+   become the program parameters (mu, log_tau, t); under [Eff.simulate]
+   they are drawn and the observation term becomes the log weight. *)
+let spec () =
+  let open Lang in
+  let open Lang.Infix in
+  let mu = Eff.sample "mu" (Dist.Normal (flt 0., flt mu_sd)) in
+  let log_tau = Eff.sample "log_tau" (Dist.Log_half_cauchy (flt tau_scale)) in
+  let t = Eff.sample_vec "t" ~dim:n_schools (Dist.Normal (flt 0., flt 1.)) in
+  let tau = Eff.det "tau" (prim "exp" [ log_tau ]) in
+  Eff.observe ~shape:[| n_schools |] "y"
+    (Dist.Normal (mu + (tau * t), vec sigma))
+    (vec y);
+  [ mu; log_tau; t ]
+
+let model () =
   let logp q =
     let d = Tensor.data q in
     let mu = d.(0) and log_tau = d.(1) in
@@ -53,19 +66,8 @@ let create () =
     let z = Tensor.nrows qs in
     Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row qs b)))
   in
-  let model =
-    {
-      Model.name = "eight-schools";
-      dim;
-      logp;
-      grad;
-      logp_batch;
-      grad_batch;
-      logp_flops = 90.;
-      grad_flops = 130.;
-    }
-  in
-  { model; y; sigma }
+  Model.make ~name:"eight-schools" ~dim ~spec ~logp ~grad ~logp_batch
+    ~grad_batch ~logp_flops:90. ~grad_flops:130. ()
 
 let school_effects q =
   let d = Tensor.data q in

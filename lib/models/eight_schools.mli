@@ -12,15 +12,16 @@
     Position vector (10 coordinates): [[mu; log_tau; t_1; …; t_8]], with
     the Jacobian of the [log_tau] transform included in the density. *)
 
-type t = {
-  model : Model.t;
-  y : float array;       (** observed treatment effects *)
-  sigma : float array;   (** their standard errors *)
-}
+val model : unit -> Model.t
+(** The model on the classic data: y = 28, 8, -3, 7, -1, 1, 18, 12 and
+    sigma = 15, 10, 16, 11, 9, 11, 10, 18. Carries a handler-DSL [spec]
+    with latent sites [mu], [log_tau] and [t] (8-vector). *)
 
-val create : unit -> t
-(** The classic data: y = 28, 8, -3, 7, -1, 1, 18, 12 and
-    sigma = 15, 10, 16, 11, 9, 11, 10, 18. *)
+val y : float array
+(** Observed treatment effects. *)
+
+val sigma : float array
+(** Their standard errors. *)
 
 val dim : int
 (** 10. *)

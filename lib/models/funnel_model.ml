@@ -1,10 +1,8 @@
-type t = { model : Model.t; dim : int }
-
 let log_2pi = Stdlib.log (2. *. Float.pi)
 let v_variance = 9.
 
-let create ~dim () =
-  if dim < 2 then invalid_arg "Funnel_model.create: dim must be at least 2";
+let model ~dim () =
+  if dim < 2 then invalid_arg "Funnel_model: dim must be at least 2";
   let k = float_of_int (dim - 1) in
   let logp q =
     let d = Tensor.data q in
@@ -41,23 +39,25 @@ let create ~dim () =
     let z = Tensor.nrows qs in
     Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row qs b)))
   in
-  let df = float_of_int dim in
-  let model =
-    {
-      Model.name = Printf.sprintf "funnel-%d" dim;
-      dim;
-      logp;
-      grad;
-      logp_batch;
-      grad_batch;
-      logp_flops = (6. *. df) +. 10.;
-      grad_flops = (8. *. df) +. 10.;
-    }
+  let xdim = dim - 1 in
+  let spec () =
+    let open Lang in
+    let open Lang.Infix in
+    let v = Eff.sample "v" (Dist.Normal (flt 0., flt 3.)) in
+    let sd = Eff.det "sd" (prim "exp" [ v / flt 2. ]) in
+    let x = Eff.sample_vec "x" ~dim:xdim (Dist.Normal (flt 0., sd)) in
+    [ v; x ]
   in
-  { model; dim }
+  let df = float_of_int dim in
+  Model.make
+    ~name:(Printf.sprintf "funnel-%d" dim)
+    ~dim ~spec ~logp ~grad ~logp_batch ~grad_batch
+    ~logp_flops:((6. *. df) +. 10.)
+    ~grad_flops:((8. *. df) +. 10.)
+    ()
 
-let sample t stream =
+let sample ~dim stream =
   let v = 3. *. Splitmix.Stream.normal stream in
   let sd = Stdlib.exp (v /. 2.) in
-  Tensor.init [| t.dim |] (fun idx ->
+  Tensor.init [| dim |] (fun idx ->
       if idx.(0) = 0 then v else sd *. Splitmix.Stream.normal stream)

@@ -11,12 +11,12 @@
     exactly N(0, 9), which gives the statistical tests an analytic
     anchor; {!sample} draws exact points from the joint. *)
 
-type t = { model : Model.t; dim : int }
+val model : dim:int -> unit -> Model.t
+(** [dim] counts all coordinates ([v] plus [dim-1] [x]s); [dim >= 2].
+    The handler-DSL [spec] has latent sites [v] (scalar) and [x]
+    ([dim-1]-vector), and can be simulated as well as traced. *)
 
-val create : dim:int -> unit -> t
-(** [dim] counts all coordinates ([v] plus [dim-1] [x]s); [dim >= 2]. *)
-
-val sample : t -> Splitmix.Stream.t -> Tensor.t
+val sample : dim:int -> Splitmix.Stream.t -> Tensor.t
 (** One exact draw from the funnel. *)
 
 val v_variance : float

@@ -1,5 +1,4 @@
-type t = {
-  model : Model.t;
+type ground_truth = {
   rho : float;
   covariance : Tensor.t;
   precision : Tensor.t;
@@ -9,17 +8,17 @@ type t = {
 
 let log_2pi = Stdlib.log (2. *. Float.pi)
 
-let create ?(rho = 0.7) ?scales ~dim () =
-  if dim <= 0 then invalid_arg "Gaussian_model.create: dim must be positive";
-  if Float.abs rho >= 1. then invalid_arg "Gaussian_model.create: |rho| must be < 1";
+let build ?(rho = 0.7) ?scales ~dim () =
+  if dim <= 0 then invalid_arg "Gaussian_model: dim must be positive";
+  if Float.abs rho >= 1. then invalid_arg "Gaussian_model: |rho| must be < 1";
   let scale =
     match scales with
     | None -> fun _ -> 1.
     | Some s ->
       if Array.length s <> dim then
-        invalid_arg "Gaussian_model.create: scales length must equal dim";
+        invalid_arg "Gaussian_model: scales length must equal dim";
       Array.iter
-        (fun v -> if v <= 0. then invalid_arg "Gaussian_model.create: scales must be positive")
+        (fun v -> if v <= 0. then invalid_arg "Gaussian_model: scales must be positive")
         s;
       fun i -> s.(i)
   in
@@ -37,8 +36,15 @@ let create ?(rho = 0.7) ?scales ~dim () =
     Tensor.mul_scalar (Tensor.add p (Tensor.transpose p)) 0.5
   in
   let log_det = Cholesky.log_det_from_factor chol_factor in
+  { rho; covariance; precision; chol_factor; log_det }
+
+let ground_truth ?rho ?scales ~dim () = build ?rho ?scales ~dim ()
+
+let model ?rho ?scales ~dim () =
+  let gt = build ?rho ?scales ~dim () in
+  let precision = gt.precision in
   let d = float_of_int dim in
-  let const_term = -0.5 *. (log_det +. (d *. log_2pi)) in
+  let const_term = -0.5 *. (gt.log_det +. (d *. log_2pi)) in
   let logp q =
     let lq = Tensor.matvec precision q in
     (-0.5 *. Tensor.item (Tensor.dot q lq)) +. const_term
@@ -52,24 +58,26 @@ let create ?(rho = 0.7) ?scales ~dim () =
       const_term
   in
   let grad_batch q = Tensor.neg (Tensor.matmul q precision) in
-  let dd = float_of_int dim in
-  let model =
-    {
-      Model.name = Printf.sprintf "gaussian-%d" dim;
-      dim;
-      logp;
-      grad;
-      logp_batch;
-      grad_batch;
-      logp_flops = (2. *. dd *. dd) +. (3. *. dd);
-      grad_flops = 2. *. dd *. dd;
-    }
+  (* The spec scores the exact same expression the reference closures
+     compute — the elaborated density is bitwise the hand one. *)
+  let spec () =
+    let open Lang in
+    let open Lang.Infix in
+    let q = Eff.sample_vec "q" ~dim Dist.Flat in
+    let lq = Eff.data_matvec "precision_mv" precision q in
+    Eff.factor "gaussian" ((flt (-0.5) * prim "dot" [ q; lq ]) + flt const_term);
+    [ q ]
   in
-  { model; rho; covariance; precision; chol_factor; log_det }
+  Model.make
+    ~name:(Printf.sprintf "gaussian-%d" dim)
+    ~dim ~spec ~logp ~grad ~logp_batch ~grad_batch
+    ~logp_flops:((2. *. d *. d) +. (3. *. d))
+    ~grad_flops:(2. *. d *. d)
+    ()
 
-let sample t stream =
-  let dim = t.model.Model.dim in
+let sample gt stream =
+  let dim = (Tensor.shape gt.covariance).(0) in
   let z = Tensor.init [| dim |] (fun _ -> Splitmix.Stream.normal stream) in
-  Tensor.matvec t.chol_factor z
+  Tensor.matvec gt.chol_factor z
 
-let marginal_variance t i = Tensor.get t.covariance [| i; i |]
+let marginal_variance gt i = Tensor.get gt.covariance [| i; i |]

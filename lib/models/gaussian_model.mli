@@ -1,27 +1,38 @@
 (** The paper's first test problem: a correlated multivariate Gaussian.
 
-    Covariance [Σ_ij = rho^|i-j|] (an AR(1)-style correlation band), mean
-    zero. The density and gradient use the precision matrix computed by
-    Cholesky factorization; {!sample} draws exact samples through the
-    Cholesky factor, giving the statistical tests a ground truth. *)
+    Covariance [Σ_ij = scale_i scale_j rho^|i-j|] (an AR(1)-style
+    correlation band), mean zero. The density and gradient use the
+    precision matrix computed by Cholesky factorization; {!sample} draws
+    exact samples through the Cholesky factor, giving the statistical
+    tests a ground truth. *)
 
-type t = {
-  model : Model.t;
+val model : ?rho:float -> ?scales:float array -> dim:int -> unit -> Model.t
+(** Default [rho = 0.7]; the paper's experiment uses [dim = 100].
+    [scales] gives per-coordinate standard deviations
+    ([Σ = D R D] with [D = diag scales]) — an anisotropic target for
+    exercising mass-matrix adaptation. Default: all ones.
+
+    The handler-DSL [spec] declares the position as a flat site [q] and
+    scores the quadratic form through an {!Eff.factor} term (one
+    precision matvec data primitive), so its elaborated log density is
+    {e bitwise} the reference [logp] — the model is normalized. The spec
+    cannot be simulated (flat sites have no sampler); use {!sample}. *)
+
+type ground_truth = {
   rho : float;
   covariance : Tensor.t;      (** [dim; dim] *)
-  precision : Tensor.t;       (** Σ⁻¹ *)
+  precision : Tensor.t;       (** Σ⁻¹, exactly symmetrized *)
   chol_factor : Tensor.t;     (** lower L with L Lᵀ = Σ *)
   log_det : float;            (** log det Σ *)
 }
 
-val create : ?rho:float -> ?scales:float array -> dim:int -> unit -> t
-(** Default [rho = 0.7]; the paper's experiment uses [dim = 100].
-    [scales] gives per-coordinate standard deviations
-    ([Σ = D R D] with [D = diag scales]) — an anisotropic target for
-    exercising mass-matrix adaptation. Default: all ones. *)
+val ground_truth :
+  ?rho:float -> ?scales:float array -> dim:int -> unit -> ground_truth
+(** The matrices behind the same model — kept separate from {!Model.t}
+    so samplers depend only on densities. *)
 
-val sample : t -> Splitmix.Stream.t -> Tensor.t
+val sample : ground_truth -> Splitmix.Stream.t -> Tensor.t
 (** One exact draw from the target, shape [[dim]]. *)
 
-val marginal_variance : t -> int -> float
+val marginal_variance : ground_truth -> int -> float
 (** Σ_ii (= 1 for the correlation structure used). *)

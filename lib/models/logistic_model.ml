@@ -1,7 +1,7 @@
-type t = { model : Model.t; x : Tensor.t; y : Tensor.t; beta_true : Tensor.t }
+type data = { x : Tensor.t; y : Tensor.t; beta_true : Tensor.t }
 
-let create ?(seed = 0xDA7AL) ~n ~dim () =
-  if n <= 0 || dim <= 0 then invalid_arg "Logistic_model.create: sizes must be positive";
+let synth ?(seed = 0xDA7AL) ~n ~dim () =
+  if n <= 0 || dim <= 0 then invalid_arg "Logistic_model: sizes must be positive";
   let stream = Splitmix.Stream.create seed in
   let beta_true = Tensor.init [| dim |] (fun _ -> Splitmix.Stream.normal stream) in
   let scale = 1. /. Stdlib.sqrt (float_of_int dim) in
@@ -13,6 +13,10 @@ let create ?(seed = 0xDA7AL) ~n ~dim () =
         then 1.
         else 0.)
   in
+  { x; y; beta_true }
+
+let model_of_data { x; y; beta_true = _ } =
+  let n = (Tensor.shape x).(0) and dim = (Tensor.shape x).(1) in
   let xt = Tensor.transpose x in
   (* logp(β) = Σ [y log σ(z) + (1-y) log σ(-z)] − βᵀβ/2
              = Σ [log σ(-z) + y z] − βᵀβ/2   (algebraic merge) *)
@@ -44,19 +48,21 @@ let create ?(seed = 0xDA7AL) ~n ~dim () =
     let resid = Tensor.sub (Tensor.broadcast_rows y (Tensor.nrows betas)) (Tensor.sigmoid z) in
     Tensor.sub (Tensor.matmul resid x) betas
   in
-  let nf = float_of_int n and df = float_of_int dim in
-  let model =
-    {
-      Model.name = Printf.sprintf "logistic-%dx%d" n dim;
-      dim;
-      logp;
-      grad;
-      logp_batch;
-      grad_batch;
-      logp_flops = (2. *. nf *. df) +. (8. *. nf) +. (2. *. df);
-      grad_flops = (4. *. nf *. df) +. (6. *. nf) +. df;
-    }
+  let y_data = Array.copy (Tensor.data y) in
+  let spec () =
+    let open Lang in
+    let beta = Eff.sample_vec "beta" ~dim (Dist.Normal (flt 0., flt 1.)) in
+    let z = Eff.data_matvec "design_mv" x beta in
+    Eff.observe ~shape:[| n |] "y" (Dist.Bernoulli_logit z) (vec y_data);
+    [ beta ]
   in
-  { model; x; y; beta_true }
+  let nf = float_of_int n and df = float_of_int dim in
+  Model.make
+    ~name:(Printf.sprintf "logistic-%dx%d" n dim)
+    ~dim ~spec ~logp ~grad ~logp_batch ~grad_batch
+    ~logp_flops:((2. *. nf *. df) +. (8. *. nf) +. (2. *. df))
+    ~grad_flops:((4. *. nf *. df) +. (6. *. nf) +. df)
+    ()
 
-let n_data t = (Tensor.shape t.x).(0)
+let model ?seed ~n ~dim () = model_of_data (synth ?seed ~n ~dim ())
+let n_data d = (Tensor.shape d.x).(0)

@@ -8,15 +8,23 @@
     The batched forms are two dense matmuls per evaluation, which is what
     gives the GPU its linear batch scaling in Figure 5. *)
 
-type t = {
-  model : Model.t;
+type data = {
   x : Tensor.t;         (** design matrix [n; dim] *)
   y : Tensor.t;         (** labels [n], entries 0/1 *)
   beta_true : Tensor.t; (** generating coefficients [dim] *)
 }
 
-val create : ?seed:int64 -> n:int -> dim:int -> unit -> t
+val synth : ?seed:int64 -> n:int -> dim:int -> unit -> data
 (** Synthesize a dataset: true β ~ N(0,1), x ~ N(0,1)/√dim (unit-scale
-    logits), y ~ Bernoulli(σ(x·β)). *)
+    logits), y ~ Bernoulli(σ(x·β)). Deterministic in [seed]. *)
 
-val n_data : t -> int
+val model_of_data : data -> Model.t
+(** The posterior for a dataset. The handler-DSL [spec] declares the
+    latent site [beta], applies the design matrix through a
+    {!Eff.data_matvec} primitive, and observes [y] under
+    [Dist.Bernoulli_logit]. *)
+
+val model : ?seed:int64 -> n:int -> dim:int -> unit -> Model.t
+(** [model_of_data (synth ?seed ~n ~dim ())]. *)
+
+val n_data : data -> int

@@ -1,6 +1,7 @@
 type t = {
   name : string;
   dim : int;
+  spec : (unit -> Lang.expr list) option;
   logp : Tensor.t -> float;
   grad : Tensor.t -> Tensor.t;
   logp_batch : Tensor.t -> Tensor.t;
@@ -8,6 +9,31 @@ type t = {
   logp_flops : float;
   grad_flops : float;
 }
+
+let make ~name ~dim ?spec ~logp ~grad ~logp_batch ~grad_batch ~logp_flops
+    ~grad_flops () =
+  { name; dim; spec; logp; grad; logp_batch; grad_batch; logp_flops; grad_flops }
+
+let spec_exn m =
+  match m.spec with
+  | Some body -> body
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Model.%s: model has no handler-DSL spec" m.name)
+
+let log_density ?seed m = Eff.log_density ?seed ~fn_name:m.name (spec_exn m)
+let simulate ?seed m = Eff.simulate ?seed ~fn_name:m.name (spec_exn m)
+
+let with_grad_counter m =
+  let n = ref 0 in
+  ( {
+      m with
+      grad =
+        (fun q ->
+          incr n;
+          m.grad q);
+    },
+    n )
 
 let check_dim m name s =
   match s with
@@ -88,7 +114,7 @@ let check_shapes m =
     done
   done
 
-let of_single ~name ~dim ~logp ~grad ~logp_flops ~grad_flops =
+let of_single ~name ~dim ?spec ~logp ~grad ~logp_flops ~grad_flops () =
   let logp_batch q =
     let z = (Tensor.shape q).(0) in
     Tensor.init [| z |] (fun idx -> logp (Tensor.slice_row q idx.(0)))
@@ -97,4 +123,4 @@ let of_single ~name ~dim ~logp ~grad ~logp_flops ~grad_flops =
     let z = (Tensor.shape q).(0) in
     Tensor.stack_rows (List.init z (fun b -> grad (Tensor.slice_row q b)))
   in
-  { name; dim; logp; grad; logp_batch; grad_batch; logp_flops; grad_flops }
+  { name; dim; spec; logp; grad; logp_batch; grad_batch; logp_flops; grad_flops }

@@ -1,0 +1,11 @@
+let known = [ "eight_schools"; "gaussian"; "funnel"; "logistic" ]
+
+let resolve ?(dim = 10) ?(seed = 0xDA7AL) = function
+  | "eight_schools" -> Eight_schools.model ()
+  | "gaussian" -> Gaussian_model.model ~dim ()
+  | "funnel" -> Funnel_model.model ~dim ()
+  | "logistic" -> Logistic_model.model ~seed ~n:(dim * 40) ~dim ()
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Zoo.resolve: unknown model %S (%s)" other
+         (String.concat "|" known))

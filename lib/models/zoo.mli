@@ -1,0 +1,12 @@
+(** Name-based resolution of the built-in models — the one place the
+    CLI, the harnesses and the benches turn a model name into a
+    {!Model.t}. *)
+
+val known : string list
+(** ["eight_schools"; "gaussian"; "funnel"; "logistic"]. *)
+
+val resolve : ?dim:int -> ?seed:int64 -> string -> Model.t
+(** [dim] (default 10) parameterizes [gaussian], [funnel] and
+    [logistic] (which synthesizes [40*dim] data points from [seed],
+    default [0xDA7AL]); [eight_schools] ignores it. Raises
+    [Invalid_argument] on unknown names. *)

@@ -136,9 +136,9 @@ let test_grad_errors () =
 let test_model_gradients_vs_ad () =
   (* The logistic-regression hand gradient equals the AD gradient of the
      hand logp. *)
-  let logistic = Logistic_model.create ~n:50 ~dim:7 () in
-  let m = logistic.Logistic_model.model in
-  let x = logistic.Logistic_model.x and y = logistic.Logistic_model.y in
+  let data = Logistic_model.synth ~n:50 ~dim:7 () in
+  let m = Logistic_model.model_of_data data in
+  let x = data.Logistic_model.x and y = data.Logistic_model.y in
   let beta = Tensor.init [| 7 |] (fun i -> 0.1 *. float_of_int (i.(0) - 3)) in
   let ad_grad =
     Ad.grad1
@@ -153,13 +153,13 @@ let test_model_gradients_vs_ad () =
   in
   grad_close ~tol:1e-8 "logistic grad = AD grad" (m.Model.grad beta) ad_grad;
   (* And the Gaussian. *)
-  let gaussian = Gaussian_model.create ~dim:6 () in
-  let gm = gaussian.Gaussian_model.model in
+  let gt = Gaussian_model.ground_truth ~dim:6 () in
+  let gm = Gaussian_model.model ~dim:6 () in
   let q = Tensor.init [| 6 |] (fun i -> Stdlib.sin (float_of_int i.(0))) in
   let ad_g =
     Ad.grad1
       (fun tape v ->
-        let prec = Ad.const tape gaussian.Gaussian_model.precision in
+        let prec = Ad.const tape gt.Gaussian_model.precision in
         Ad.mul_scalar (Ad.dot v (Ad.matvec prec v)) (-0.5))
       q
   in

@@ -169,7 +169,7 @@ let suites =
 (* ---------- Batched_sampler ---------- *)
 
 let test_sampler_moments_mode () =
-  let model = (Gaussian_model.create ~rho:0.4 ~dim:4 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.4 ~dim:4 () in
   let s =
     Batched_sampler.run ~model ~chains:32 ~n_iter:60 ~n_burn:20 ()
   in
@@ -189,7 +189,7 @@ let test_sampler_moments_mode () =
   done
 
 let test_sampler_samples_mode () =
-  let model = (Gaussian_model.create ~rho:0.4 ~dim:3 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.4 ~dim:3 () in
   let s =
     Batched_sampler.run ~collect:`Samples ~model ~chains:6 ~n_iter:80 ~n_burn:20 ()
   in
@@ -215,7 +215,7 @@ let test_sampler_samples_mode () =
 let test_sampler_modes_agree_bitwise () =
   (* The same chain visits the same positions in both collection modes:
      trajectory-at-a-time driving only changes scheduling, not values. *)
-  let model = (Gaussian_model.create ~rho:0.4 ~dim:3 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.4 ~dim:3 () in
   let m =
     Batched_sampler.run ~adapt:false ~model ~chains:3 ~n_iter:6 ~n_burn:1 ()
   in
@@ -246,7 +246,7 @@ let test_sampler_modes_agree_bitwise () =
     done
 
 let test_sampler_validation () =
-  let model = (Gaussian_model.create ~dim:2 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:2 () in
   Alcotest.check_raises "bad burn"
     (Invalid_argument "Batched_sampler.run: bad chain/iteration counts") (fun () ->
       ignore (Batched_sampler.run ~model ~chains:2 ~n_iter:5 ~n_burn:5 ()))

@@ -33,6 +33,7 @@ let () =
         Test_pipeline.suites;
         (if fast then [] else Test_random_programs.suites);
         Test_ad.suites;
+        Test_eff.suites;
         Test_models.suites;
         Test_mcmc.suites;
         Test_nuts_equivalence.suites;

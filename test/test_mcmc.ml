@@ -4,7 +4,7 @@
 
 let t = Alcotest.test_case
 
-let gaussian dim = (Gaussian_model.create ~rho:0.5 ~dim ()).Gaussian_model.model
+let gaussian dim = Gaussian_model.model ~rho:0.5 ~dim ()
 
 (* ---------- leapfrog ---------- *)
 

@@ -3,7 +3,7 @@
 let t = Alcotest.test_case
 
 let test_gaussian_construction () =
-  let g = Gaussian_model.create ~rho:0.5 ~dim:4 () in
+  let g = Gaussian_model.ground_truth ~rho:0.5 ~dim:4 () in
   Alcotest.(check (float 1e-12)) "sigma diag" 1.
     (Tensor.get g.Gaussian_model.covariance [| 2; 2 |]);
   Alcotest.(check (float 1e-12)) "sigma band" 0.25
@@ -26,27 +26,26 @@ let test_gaussian_construction () =
 
 let test_gaussian_logp_value () =
   (* For the identity limit rho=0, logp is the standard normal density. *)
-  let g = Gaussian_model.create ~rho:0. ~dim:3 () in
+  let m = Gaussian_model.model ~rho:0. ~dim:3 () in
   let q = Tensor.of_list [ 1.; -1.; 2. ] in
   let expected =
     (-0.5 *. (1. +. 1. +. 4.)) -. (1.5 *. Stdlib.log (2. *. Float.pi))
   in
   Alcotest.(check (float 1e-10)) "standard normal logp" expected
-    (g.Gaussian_model.model.Model.logp q)
+    (m.Model.logp q)
 
 let test_gaussian_grad_finite_diff () =
-  let g = Gaussian_model.create ~rho:0.7 ~dim:5 () in
-  let m = g.Gaussian_model.model in
+  let m = Gaussian_model.model ~rho:0.7 ~dim:5 () in
   let q = Tensor.init [| 5 |] (fun i -> 0.3 *. float_of_int (i.(0) - 2)) in
   let fd = Ad.finite_diff (fun q -> m.Model.logp q) q in
   Alcotest.(check bool) "grad vs finite diff" true
     (Tensor.allclose ~rtol:1e-5 ~atol:1e-6 (m.Model.grad q) fd)
 
 let test_gaussian_single_batch_agree () =
-  Model.check_shapes (Gaussian_model.create ~dim:7 ()).Gaussian_model.model
+  Model.check_shapes (Gaussian_model.model ~dim:7 ())
 
 let test_gaussian_sampling_moments () =
-  let g = Gaussian_model.create ~rho:0.6 ~dim:3 () in
+  let g = Gaussian_model.ground_truth ~rho:0.6 ~dim:3 () in
   let stream = Splitmix.Stream.create 21L in
   let n = 20_000 in
   let acc = Tensor.zeros [| 3 |] in
@@ -68,14 +67,14 @@ let test_gaussian_sampling_moments () =
 
 let test_gaussian_errors () =
   Alcotest.check_raises "dim 0"
-    (Invalid_argument "Gaussian_model.create: dim must be positive") (fun () ->
-      ignore (Gaussian_model.create ~dim:0 ()));
+    (Invalid_argument "Gaussian_model: dim must be positive") (fun () ->
+      ignore (Gaussian_model.model ~dim:0 ()));
   Alcotest.check_raises "|rho| >= 1"
-    (Invalid_argument "Gaussian_model.create: |rho| must be < 1") (fun () ->
-      ignore (Gaussian_model.create ~rho:1. ~dim:2 ()))
+    (Invalid_argument "Gaussian_model: |rho| must be < 1") (fun () ->
+      ignore (Gaussian_model.model ~rho:1. ~dim:2 ()))
 
 let test_logistic_construction () =
-  let l = Logistic_model.create ~n:200 ~dim:5 () in
+  let l = Logistic_model.synth ~n:200 ~dim:5 () in
   Alcotest.(check int) "n_data" 200 (Logistic_model.n_data l);
   Alcotest.(check (array int)) "x shape" [| 200; 5 |] (Tensor.shape l.Logistic_model.x);
   Alcotest.(check (array int)) "y shape" [| 200 |] (Tensor.shape l.Logistic_model.y);
@@ -87,38 +86,37 @@ let test_logistic_construction () =
   Alcotest.(check bool) "labels mixed" true (ones > 20. && ones < 180.)
 
 let test_logistic_grad_finite_diff () =
-  let l = Logistic_model.create ~n:80 ~dim:6 () in
-  let m = l.Logistic_model.model in
+  let m = Logistic_model.model ~n:80 ~dim:6 () in
   let beta = Tensor.init [| 6 |] (fun i -> 0.2 *. float_of_int (i.(0) - 3)) in
   let fd = Ad.finite_diff (fun b -> m.Model.logp b) beta in
   Alcotest.(check bool) "grad vs finite diff" true
     (Tensor.allclose ~rtol:1e-4 ~atol:1e-5 (m.Model.grad beta) fd)
 
 let test_logistic_single_batch_agree () =
-  Model.check_shapes (Logistic_model.create ~n:60 ~dim:4 ()).Logistic_model.model
+  Model.check_shapes (Logistic_model.model ~n:60 ~dim:4 ())
 
 let test_logistic_logp_decreases_away_from_truth () =
   (* The log-posterior at the generating coefficients should beat a far
      away point. *)
-  let l = Logistic_model.create ~n:500 ~dim:8 () in
-  let m = l.Logistic_model.model in
+  let l = Logistic_model.synth ~n:500 ~dim:8 () in
+  let m = Logistic_model.model_of_data l in
   let far = Tensor.full [| 8 |] 10. in
   Alcotest.(check bool) "logp(beta_true) > logp(far)" true
     (m.Model.logp l.Logistic_model.beta_true > m.Model.logp far)
 
 let test_logistic_deterministic_by_seed () =
-  let a = Logistic_model.create ~seed:5L ~n:30 ~dim:3 () in
-  let b = Logistic_model.create ~seed:5L ~n:30 ~dim:3 () in
-  let c = Logistic_model.create ~seed:6L ~n:30 ~dim:3 () in
+  let a = Logistic_model.synth ~seed:5L ~n:30 ~dim:3 () in
+  let b = Logistic_model.synth ~seed:5L ~n:30 ~dim:3 () in
+  let c = Logistic_model.synth ~seed:6L ~n:30 ~dim:3 () in
   Alcotest.(check bool) "same seed same data" true
     (Tensor.equal a.Logistic_model.x b.Logistic_model.x);
   Alcotest.(check bool) "different seed different data" false
     (Tensor.equal a.Logistic_model.x c.Logistic_model.x)
 
 let test_register_prims () =
-  let g = Gaussian_model.create ~dim:3 () in
+  let gm = Gaussian_model.model ~dim:3 () in
   let reg = Prim.standard () in
-  Model.register_prims reg g.Gaussian_model.model;
+  Model.register_prims reg gm;
   let logp = Prim.find_exn reg "logp" in
   Alcotest.(check (array int)) "logp shape" [||] (logp.Prim.shape [ [| 3 |] ]);
   (match logp.Prim.shape [ [| 4 |] ] with
@@ -129,7 +127,7 @@ let test_register_prims () =
   (* Values route to the model. *)
   let q = Tensor.of_list [ 0.5; -0.5; 1. ] in
   Alcotest.(check (float 0.)) "logp value routed"
-    (g.Gaussian_model.model.Model.logp q)
+    (gm.Model.logp q)
     (Tensor.item (logp.Prim.single ~member:0 [ q ]))
 
 let test_of_single () =
@@ -137,7 +135,7 @@ let test_of_single () =
     Model.of_single ~name:"quad" ~dim:2
       ~logp:(fun q -> -.Tensor.item (Tensor.dot q q))
       ~grad:(fun q -> Tensor.mul_scalar q (-2.))
-      ~logp_flops:4. ~grad_flops:2.
+      ~logp_flops:4. ~grad_flops:2. ()
   in
   Model.check_shapes m;
   let qs = Tensor.create [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
@@ -168,9 +166,8 @@ let suites =
 (* ---------- Neal's funnel ---------- *)
 
 let test_funnel_grad_and_shapes () =
-  let f = Funnel_model.create ~dim:5 () in
-  Model.check_shapes f.Funnel_model.model;
-  let m = f.Funnel_model.model in
+  let m = Funnel_model.model ~dim:5 () in
+  Model.check_shapes m;
   let q = Tensor.of_list [ 0.8; 0.3; -1.2; 0.5; 2.0 ] in
   let fd = Ad.finite_diff (fun q -> m.Model.logp q) q in
   Alcotest.(check bool) "funnel grad vs finite diff" true
@@ -196,12 +193,11 @@ let test_funnel_grad_and_shapes () =
     (Tensor.allclose ~rtol:1e-8 ~atol:1e-9 (m.Model.grad q) ad_g)
 
 let test_funnel_exact_sampling () =
-  let f = Funnel_model.create ~dim:3 () in
   let stream = Splitmix.Stream.create 41L in
   let n = 20_000 in
   let acc_v = ref 0. and acc_v2 = ref 0. in
   for _ = 1 to n do
-    let s = Funnel_model.sample f stream in
+    let s = Funnel_model.sample ~dim:3 stream in
     let v = (Tensor.data s).(0) in
     acc_v := !acc_v +. v;
     acc_v2 := !acc_v2 +. (v *. v)
@@ -216,8 +212,7 @@ let test_funnel_exact_sampling () =
 
 let test_funnel_nuts_bitwise () =
   (* The funnel's data-dependent tree depths batch correctly too. *)
-  let f = Funnel_model.create ~dim:4 () in
-  let model = f.Funnel_model.model in
+  let model = Funnel_model.model ~dim:4 () in
   let reg, key = Nuts_dsl.setup ~model () in
   let q0 = Tensor.zeros [| 4 |] in
   let cfg = Nuts.default_config ~eps:0.2 () in
@@ -237,8 +232,8 @@ let test_funnel_nuts_bitwise () =
 
 let test_funnel_dim_validation () =
   Alcotest.check_raises "dim 1"
-    (Invalid_argument "Funnel_model.create: dim must be at least 2") (fun () ->
-      ignore (Funnel_model.create ~dim:1 ()))
+    (Invalid_argument "Funnel_model: dim must be at least 2") (fun () ->
+      ignore (Funnel_model.model ~dim:1 ()))
 
 let funnel_suite =
   ( "funnel",
@@ -254,8 +249,7 @@ let suites = suites @ [ funnel_suite ]
 (* ---------- eight schools ---------- *)
 
 let test_schools_grad () =
-  let es = Eight_schools.create () in
-  let m = es.Eight_schools.model in
+  let m = Eight_schools.model () in
   Model.check_shapes m;
   let q =
     Tensor.of_list [ 5.; 0.7; 0.3; -0.2; 0.9; -0.5; 0.1; 0.4; -0.8; 0.6 ]
@@ -265,9 +259,8 @@ let test_schools_grad () =
     (Tensor.allclose ~rtol:1e-5 ~atol:1e-6 (m.Model.grad q) fd)
 
 let test_schools_inference () =
-  let es = Eight_schools.create () in
   let s =
-    Batched_sampler.run ~model:es.Eight_schools.model ~chains:32 ~n_iter:150
+    Batched_sampler.run ~model:(Eight_schools.model ()) ~chains:32 ~n_iter:150
       ~n_burn:50 ()
   in
   let mu = (Tensor.data s.Batched_sampler.mean).(0) in
@@ -289,7 +282,7 @@ let test_schools_effects_ordering () =
   Alcotest.(check (float 1e-12)) "zero tilde = mu" 8. (Tensor.get e [| 1 |])
 
 let test_schools_bitwise () =
-  let model = (Eight_schools.create ()).Eight_schools.model in
+  let model = Eight_schools.model () in
   let reg, key = Nuts_dsl.setup ~model () in
   let q0 = Tensor.zeros [| 10 |] in
   let cfg = Nuts.default_config ~eps:0.3 () in

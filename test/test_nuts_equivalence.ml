@@ -37,8 +37,8 @@ let check_equivalence ?(options = Lower_stack.default_options) ~model ~chains ~n
       (Tensor.data cnt_out).(member)
   done
 
-let gaussian = (Gaussian_model.create ~rho:0.7 ~dim:8 ()).Gaussian_model.model
-let logistic = (Logistic_model.create ~n:100 ~dim:6 ()).Logistic_model.model
+let gaussian = Gaussian_model.model ~rho:0.7 ~dim:8 ()
+let logistic = Logistic_model.model ~n:100 ~dim:6 ()
 
 let test_pc_gaussian () =
   check_equivalence ~model:gaussian ~chains:6 ~n_iter:8 "pc/gaussian"
@@ -184,7 +184,7 @@ let test_multinomial_differs_from_slice () =
 
 let test_multinomial_posterior_moments () =
   (* The multinomial sampler targets the same posterior. *)
-  let model = (Gaussian_model.create ~rho:0.5 ~dim:3 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.5 ~dim:3 () in
   let key = Counter_rng.key 91L in
   let q0 = Tensor.zeros [| 3 |] in
   (* Half the Algorithm-4 step: at the stability-limit step size both
@@ -229,8 +229,7 @@ let suites = suites @ [ multinomial_suite ]
 (* ---------- mass matrix ---------- *)
 
 let aniso_model =
-  (Gaussian_model.create ~rho:0.3 ~scales:[| 0.2; 1.; 5.; 0.5; 2. |] ~dim:5 ())
-    .Gaussian_model.model
+  Gaussian_model.model ~rho:0.3 ~scales:[| 0.2; 1.; 5.; 0.5; 2. |] ~dim:5 ()
 
 let test_mass_matrix_equivalence () =
   (* Bitwise reference/VM equivalence with a non-trivial inverse mass. *)
@@ -380,7 +379,7 @@ let test_hmc_dsl_bitwise () =
     ]
 
 let test_hmc_dsl_posterior () =
-  let model = (Gaussian_model.create ~rho:0.4 ~dim:3 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~rho:0.4 ~dim:3 () in
   let reg, _ = Nuts_dsl.setup ~model () in
   let compiled =
     Autobatch.compile ~registry:reg ~input_shapes:(Hmc_dsl.input_shapes ~model)

@@ -100,7 +100,7 @@ let test_rng_never_folded () =
     ((Tensor.data out).(0) <> (Tensor.data out).(1))
 
 let test_optimizer_preserves_nuts_bitwise () =
-  let model = (Gaussian_model.create ~dim:5 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:5 () in
   let reg, key = Nuts_dsl.setup ~model () in
   let q0 = Tensor.zeros [| 5 |] in
   let cfg = Nuts.default_config ~eps:0.3 () in

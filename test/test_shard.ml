@@ -147,8 +147,7 @@ let test_engine_merge () =
 let nuts_fixture =
   lazy
     (let dim = 5 in
-     let gaussian = Gaussian_model.create ~dim () in
-     let model = gaussian.Gaussian_model.model in
+     let model = Gaussian_model.model ~dim () in
      let reg, _ = Nuts_dsl.setup ~seed:0xD15EA5EL ~model () in
      let q0 = Tensor.zeros [| dim |] in
      let eps = Nuts.find_reasonable_eps ~seed:0xD15EA5EL ~model ~q0 () in

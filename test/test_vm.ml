@@ -303,7 +303,7 @@ let test_jit_matches_pc_fib () =
     expected2 got2
 
 let test_jit_matches_pc_nuts () =
-  let model = (Gaussian_model.create ~dim:6 ()).Gaussian_model.model in
+  let model = Gaussian_model.model ~dim:6 () in
   let reg, _ = Nuts_dsl.setup ~model () in
   let prog = Nuts_dsl.program () in
   let compiled =
