@@ -10,9 +10,10 @@
       1/2/4/8 real OCaml domains (Shard_vm), best-of-3 timings.
 
    Pass a subset of
-   [micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched|tenant]
+   [micro|figure5|figure6|ablations|shard|serve|resil|obs|obs2|prof|fuse|sched|tenant|eff|regress]
    as argv to run only those stages (default: all, with bench-sized
-   parameters).
+   parameters). Every stage prints a closing host-cost line
+   (wall/CPU/alloc/GC, from Obs_wall).
    [--seed N] anywhere in argv reseeds every stochastic stage. *)
 
 open Bechamel
@@ -1134,6 +1135,324 @@ let run_tenant ?seed () =
     exit 1
   end
 
+(* ---------- regression probes (obs2 / regress) ---------- *)
+
+(* Fixed-seed, tier-independent probes of simulated cost. `bench obs2`
+   embeds them in the committed BENCH_obs2.json; `bench regress` re-runs
+   them and diffs. Both deliberately ignore --seed — the baseline has to
+   mean the same thing on every host and under AUTOBATCH_FAST. *)
+let regress_probes () =
+  let pc name compiled batch =
+    let engine = Engine.create ~device:Device.gpu ~mode:Engine.Fused () in
+    let prof = Obs_prof.create () in
+    let sink = Obs_prof.sink prof in
+    Engine.set_sink engine sink;
+    let config =
+      { Pc_vm.default_config with engine = Some engine; sink = Some sink }
+    in
+    ignore (Autobatch.run_pc ~config compiled ~batch);
+    ( name,
+      Engine.elapsed engine,
+      Obs_prof.supersteps prof,
+      (Engine.snapshot engine).Engine.at.Engine.Counters.blocks )
+  in
+  let nuts_compiled, nuts_batch = Lazy.force nuts_fixture in
+  let tenant =
+    let r = Tenant_load.run ~n_requests:1000 ~verify:false ~baseline:false () in
+    let s = r.Tenant_load.fair.Tenant_load.stats in
+    ( "tenant-1k",
+      s.Tenant_server.makespan,
+      s.Tenant_server.rounds,
+      List.length s.Tenant_server.completions )
+  in
+  [
+    pc "fib-pc-z32" fib_compiled fib_batch;
+    pc "nuts-pc-z16" nuts_compiled nuts_batch;
+    tenant;
+  ]
+
+let probe_to_json (name, sim, supersteps, work) =
+  Obs_json.Obj
+    [
+      ("name", Obs_json.Str name);
+      ("sim_seconds", Obs_json.Float sim);
+      ("supersteps", Obs_json.Int supersteps);
+      ("work", Obs_json.Int work);
+    ]
+
+let run_obs2 ?seed () =
+  (* The request-scoped tracing gate, four parts.
+
+     Zero overhead: the macro tenant trace (default injected device kill
+     included) runs once bare and once with a span recorder and an SLO
+     monitor attached. The simulated clock, round count, and every
+     completion (ids, times, output tensors) must be bitwise identical —
+     observability is reporting only.
+
+     Span shape: on the observed run every completed request must appear
+     as exactly one well-formed span tree (single root, no orphans,
+     children nested inside parents), and the lifecycle spans the macro
+     trace is engineered to exercise — preemption parks, drain
+     migrations, the kill's restore, cache hits and compiles — must
+     actually be present. The Perfetto export must re-parse as
+     well-formed JSON.
+
+     Burn rate: the same SLO monitor must fire on the adversarial
+     pattern (best-effort flood, shed storm) and stay silent on the
+     uniform pattern.
+
+     Probes: re-measures the fixed-seed simulated-cost probes and (full
+     runs only — the AUTOBATCH_FAST arm caps the trace at 10k requests)
+     rewrites the committed BENCH_obs2.json that `bench regress` diffs
+     against. *)
+  print_endline
+    "== Request-scoped tracing (spans / burn rate / zero overhead) ==";
+  let fast = Sys.getenv_opt "AUTOBATCH_FAST" <> None in
+  let n_requests = if fast then 10_000 else 20_000 in
+  let failed = ref false in
+  let rows = ref [] in
+  let check name value bar ok =
+    if not ok then failed := true;
+    rows := [ name; value; bar; (if ok then "ok" else "FAIL") ] :: !rows
+  in
+  (* Sheds and ladder rejections are the only "bad" events under an
+     infinite latency threshold, which makes the fire/silent contrast a
+     pure admission-pressure readout. Burn threshold 6: the adversarial
+     flood rejects >half its traffic (burn ~12 on a 5% budget) while the
+     uniform trace's cold-start rejections stay near burn ~3. *)
+  let slo_classes () =
+    List.map
+      (fun cls ->
+        Obs_slo.class_config ~cls ~threshold:infinity ~burn_threshold:6. ())
+      [ "latency"; "throughput"; "best-effort" ]
+  in
+  let digest (r : Tenant_load.result) =
+    List.map
+      (fun c ->
+        ( c.Tenant_server.c_item.Admission.request.Request.id,
+          c.Tenant_server.c_started,
+          c.Tenant_server.c_finished,
+          match c.Tenant_server.c_outputs with
+          | None -> []
+          | Some ts -> List.map Tensor.data ts ))
+      r.Tenant_load.fair.Tenant_load.stats.Tenant_server.completions
+  in
+  let r_off =
+    Tenant_load.run ?seed ~n_requests ~verify:false ~keep_outputs:true
+      ~baseline:false ()
+  in
+  let recorder = Obs_span.create () in
+  let r_on, wall =
+    Obs_wall.time (fun () ->
+        Tenant_load.run ?seed ~n_requests ~verify:false ~keep_outputs:true
+          ~baseline:false
+          ~sink:(Obs_span.sink recorder)
+          ~slo:(Obs_slo.create ~classes:(slo_classes ()) ())
+          ())
+  in
+  let s_off = r_off.Tenant_load.fair.Tenant_load.stats in
+  let s_on = r_on.Tenant_load.fair.Tenant_load.stats in
+  check "sim cost: bare vs observed"
+    (Printf.sprintf "%ss / %ss, %d / %d rounds"
+       (Table.si s_off.Tenant_server.makespan)
+       (Table.si s_on.Tenant_server.makespan)
+       s_off.Tenant_server.rounds s_on.Tenant_server.rounds)
+    "identical"
+    (s_off.Tenant_server.makespan = s_on.Tenant_server.makespan
+    && s_off.Tenant_server.rounds = s_on.Tenant_server.rounds);
+  check "outputs: bare vs observed"
+    (Printf.sprintf "%d completions" (List.length (digest r_on)))
+    "bitwise identical"
+    (digest r_on <> [] && digest r_off = digest r_on);
+  let n_done = List.length s_on.Tenant_server.completions in
+  let tree = Obs_span.validate recorder in
+  check "span trees"
+    (Printf.sprintf "%d traces, %d well-formed" tree.Obs_span.traces
+       tree.Obs_span.well_formed)
+    "one per completion, all well-formed"
+    (Obs_span.all_well_formed recorder
+    && tree.Obs_span.traces = n_done
+    && Obs_span.count_named recorder "request" = n_done
+    && Obs_span.dropped recorder = 0);
+  let named = Obs_span.count_named recorder in
+  check "lifecycle spans"
+    (Printf.sprintf "%d preempted, %d migrate, %d restore, %d hit, %d compile"
+       (named "preempted") (named "migrate") (named "restore")
+       (named "cache-hit") (named "compile"))
+    "all >=1"
+    (named "preempted" >= 1
+    && named "migrate" >= 1
+    && named "restore" >= 1
+    && named "cache-hit" >= 1
+    && named "compile" >= 1);
+  let tmp = Filename.temp_file "autobatch-obs2" ".trace.json" in
+  Obs_span.write recorder ~path:tmp;
+  let parse_ok =
+    let contents = In_channel.with_open_text tmp In_channel.input_all in
+    match Obs_json.of_string contents with
+    | Ok doc -> Obs_json.member "traceEvents" doc <> None
+    | Error _ -> false
+  in
+  Sys.remove tmp;
+  check "perfetto export"
+    (Printf.sprintf "%d spans" (Obs_span.length recorder))
+    "re-parses" parse_ok;
+  check "host wall (observed run)" (Obs_wall.summary wall) "nonzero"
+    (wall.Obs_wall.wall_s > 0.);
+  (* ---- burn rate ---- *)
+  let slo_run pattern =
+    let slo = Obs_slo.create ~classes:(slo_classes ()) () in
+    ignore
+      (Tenant_load.run ?seed ~pattern ~n_requests:2000 ~verify:false
+         ~baseline:false ~slo ());
+    Obs_slo.fired_total slo
+  in
+  let adv = slo_run Tenant_load.Adversarial in
+  let uni = slo_run Tenant_load.Uniform in
+  check "burn rate: adversarial"
+    (Printf.sprintf "%d alerts" adv)
+    ">=1" (adv >= 1);
+  check "burn rate: uniform" (Printf.sprintf "%d alerts" uni) "0" (uni = 0);
+  Table.print_stdout
+    ~header:[ "check"; "value"; "bar"; "status" ]
+    ~rows:(List.rev !rows);
+  let probes = regress_probes () in
+  if not fast then
+    Obs_report.write ~path:"BENCH_obs2.json"
+      (Obs_json.Obj
+         [
+           ("bench", Obs_json.Str "obs2");
+           ("source", Obs_json.Str "bench/main.exe obs2");
+           ( "workload",
+             Obs_json.Str
+               "20k-request bursty Zipf trace (fair arm only, one injected \
+                device kill) run bare and with a span recorder + SLO monitor \
+                attached; adversarial and uniform 2k traces for the burn-rate \
+                monitor; fixed-seed simulated-cost probes for `bench regress`"
+           );
+           ( "note",
+             Obs_json.Str
+               "the stage fails unless the observed run is bitwise identical \
+                to the bare run (simulated clock included), every completion \
+                has a well-formed span tree, preempt/migrate/restore spans \
+                are present, the Perfetto export re-parses, and the burn-rate \
+                monitor fires on the adversarial trace and stays silent on \
+                uniform; the probes section is the `bench regress` baseline — \
+                deterministic, fixed-seed, independent of AUTOBATCH_FAST \
+                (which runs 10k requests and does not rewrite this file)" );
+           ("requests", Obs_json.Int n_requests);
+           ("completions", Obs_json.Int n_done);
+           ("spans", Obs_json.Int (Obs_span.length recorder));
+           ("span_trees", Obs_span.stats_to_json tree);
+           ( "lifecycle",
+             Obs_json.Obj
+               [
+                 ("preempted", Obs_json.Int (named "preempted"));
+                 ("migrate", Obs_json.Int (named "migrate"));
+                 ("restore", Obs_json.Int (named "restore"));
+                 ("cache_hit", Obs_json.Int (named "cache-hit"));
+                 ("compile", Obs_json.Int (named "compile"));
+               ] );
+           ("slo_alerts_adversarial", Obs_json.Int adv);
+           ("slo_alerts_uniform", Obs_json.Int uni);
+           ("probes", Obs_json.List (List.map probe_to_json probes));
+         ]);
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "obs2 stage failed: observability perturbed the run, a span tree was \
+       malformed, or the burn-rate monitor misbehaved";
+    exit 1
+  end
+
+let run_regress () =
+  (* Regression diff: re-run the fixed-seed probes and compare simulated
+     cost and superstep counts against the committed BENCH_obs2.json.
+     Both sides are deterministic, so any drift is a real behavioural
+     change: cost or superstep increases fail the stage; improvements
+     pass with a reminder to re-baseline via `bench obs2`. *)
+  print_endline "== Simulated-cost regression vs committed BENCH_obs2.json ==";
+  let path = "BENCH_obs2.json" in
+  if not (Sys.file_exists path) then begin
+    prerr_endline
+      ("regress stage failed: " ^ path
+     ^ " missing — run `bench obs2` (full tier) to create the baseline");
+    exit 1
+  end;
+  let doc =
+    match
+      Obs_json.of_string (In_channel.with_open_text path In_channel.input_all)
+    with
+    | Ok doc -> doc
+    | Error e ->
+      Printf.eprintf "regress stage failed: %s unparseable: %s\n" path e;
+      exit 1
+  in
+  let baseline =
+    match Obs_json.member "probes" doc with
+    | Some (Obs_json.List ps) ->
+      List.filter_map
+        (fun p ->
+          let str k =
+            match Obs_json.member k p with
+            | Some (Obs_json.Str s) -> Some s
+            | _ -> None
+          in
+          let num k =
+            match Obs_json.member k p with
+            | Some (Obs_json.Float f) -> Some f
+            | Some (Obs_json.Int n) -> Some (float_of_int n)
+            | _ -> None
+          in
+          match (str "name", num "sim_seconds", num "supersteps") with
+          | Some n, Some s, Some st -> Some (n, s, st)
+          | _ -> None)
+        ps
+    | _ -> []
+  in
+  if baseline = [] then begin
+    Printf.eprintf "regress stage failed: no probes section in %s\n" path;
+    exit 1
+  end;
+  let fresh = regress_probes () in
+  let failed = ref false in
+  let improved = ref false in
+  let rows =
+    List.map
+      (fun (name, sim0, steps0) ->
+        match List.find_opt (fun (n, _, _, _) -> n = name) fresh with
+        | None ->
+          failed := true;
+          [ name; "-"; "-"; "-"; "MISSING" ]
+        | Some (_, sim, steps, _) ->
+          let steps = float_of_int steps in
+          let worse = sim > sim0 *. (1. +. 1e-9) || steps > steps0 in
+          let better = sim < sim0 *. (1. -. 1e-9) || steps < steps0 in
+          if worse then failed := true else if better then improved := true;
+          [
+            name;
+            Printf.sprintf "%ss / %ss" (Table.si sim0) (Table.si sim);
+            Printf.sprintf "%+.4f%%" ((sim -. sim0) /. sim0 *. 100.);
+            Printf.sprintf "%.0f / %.0f" steps0 steps;
+            (if worse then "REGRESSED" else if better then "improved" else "ok");
+          ])
+      baseline
+  in
+  Table.print_stdout
+    ~header:[ "probe"; "sim base/now"; "delta"; "steps base/now"; "status" ]
+    ~rows;
+  if !improved then
+    print_endline
+      "note: simulated cost improved — re-baseline with `bench obs2` when \
+       intentional";
+  print_newline ();
+  if !failed then begin
+    prerr_endline
+      "regress stage failed: simulated cost or supersteps regressed vs \
+       BENCH_obs2.json";
+    exit 1
+  end
+
 let run_shard ?seed () =
   (* Real wall-clock scaling of the domain-parallel sharded runtime: the
      same batched-NUTS program split across 1/2/4/8 shards, one OCaml
@@ -1197,12 +1516,16 @@ let () =
     match stages with
     | [] ->
       [ "micro"; "figure5"; "figure6"; "ablations"; "shard"; "serve"; "resil"; "obs";
-        "prof"; "fuse"; "sched"; "tenant"; "eff" ]
+        "obs2"; "prof"; "fuse"; "sched"; "tenant"; "eff"; "regress" ]
     | picked -> picked
   in
   List.iter
     (fun stage ->
-      match stage with
+      (* Every stage gets the same host-cost trailer: wall/CPU/alloc/GC
+         from an Obs_wall probe around the whole stage. *)
+      let probe = Obs_wall.probe () in
+      Obs_wall.start probe;
+      (match stage with
       | "micro" -> run_micro ()
       | "figure5" -> run_figure5 ?seed ()
       | "figure6" -> run_figure6 ?seed ()
@@ -1211,15 +1534,18 @@ let () =
       | "serve" -> run_serve ?seed ()
       | "resil" -> run_resil ?seed ()
       | "obs" -> run_obs ?seed ()
+      | "obs2" -> run_obs2 ?seed ()
       | "prof" -> run_prof ?seed ()
       | "fuse" -> run_fuse ?seed ()
       | "sched" -> run_sched ?seed ()
       | "tenant" -> run_tenant ?seed ()
       | "eff" -> run_eff ?seed ()
+      | "regress" -> run_regress ()
       | other ->
         Printf.eprintf
           "unknown stage %S (expected \
-           micro|figure5|figure6|ablations|shard|serve|resil|obs|prof|fuse|sched|tenant|eff)\n"
+           micro|figure5|figure6|ablations|shard|serve|resil|obs|obs2|prof|fuse|sched|tenant|eff|regress)\n"
           other;
-        exit 1)
+        exit 1);
+      Printf.printf "[%s] %s\n\n%!" stage (Obs_wall.summary (Obs_wall.stop probe)))
     stages

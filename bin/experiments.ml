@@ -755,26 +755,58 @@ let serve_cmd =
           $ queue_depth $ closed_clients $ seed_arg () $ csv $ trace_arg ()
           $ trace_csv_arg () $ json_arg () $ policy_args ())
 
+let parse_pattern pattern =
+  match Tenant_load.pattern_of_string pattern with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown pattern %S (uniform|bursty|diurnal|adversarial)\n"
+      pattern;
+    exit 1
+
 let tenants_cmd =
   let run requests tenants programs pattern load mesh lanes ckpt kill_round
-      cache seed no_baseline no_verify json =
-    let pattern =
-      match Tenant_load.pattern_of_string pattern with
-      | Some p -> p
-      | None ->
-        Printf.eprintf
-          "unknown pattern %S (uniform|bursty|diurnal|adversarial)\n" pattern;
-        exit 1
-    in
+      cache seed no_baseline no_verify trace json =
+    let pattern = parse_pattern pattern in
+    (* --trace records the fair arm's span stream (request trees plus
+       the operational instants) and writes a Perfetto document. *)
+    let recorder = Option.map (fun _ -> Obs_span.create ()) trace in
     let r =
       Tenant_load.run ?seed ~pattern ~n_requests:requests ~n_tenants:tenants
         ~n_programs:programs ?cache_capacity:cache ~load ~mesh_size:mesh
         ~lanes_per_shard:lanes ~checkpoint_interval:ckpt ~kill_round
-        ~baseline:(not no_baseline) ~verify:(not no_verify) ()
+        ~baseline:(not no_baseline) ~verify:(not no_verify)
+        ?sink:(Option.map Obs_span.sink recorder)
+        ()
+    in
+    let span_fields =
+      match (trace, recorder) with
+      | Some path, Some rec_ ->
+        Obs_span.write rec_ ~path;
+        [
+          ( "spans",
+            Obs_json.Obj
+              [
+                ("path", Obs_json.Str path);
+                ("recorded", Obs_json.Int (Obs_span.length rec_));
+                ("dropped", Obs_json.Int (Obs_span.dropped rec_));
+                ("trees", Obs_span.stats_to_json (Obs_span.validate rec_));
+              ] );
+        ]
+      | _ -> []
     in
     report ~name:"tenants" ~json
-      ~human:(fun () -> Tenant_load.print_table r)
-      [ ("stats", Tenant_load.to_json r) ];
+      ~human:(fun () ->
+        Tenant_load.print_table r;
+        match (trace, recorder) with
+        | Some path, Some rec_ ->
+          Printf.printf "trace: %d spans, %d request trees (%s) -> %s\n"
+            (Obs_span.length rec_)
+            (Obs_span.count_named rec_ "request")
+            (if Obs_span.all_well_formed rec_ then "all well-formed"
+             else "MALFORMED")
+            path
+        | _ -> ())
+      (("stats", Tenant_load.to_json r) :: span_fields);
     if r.Tenant_load.mismatches > 0 then exit 1
   in
   let requests =
@@ -832,10 +864,174 @@ let tenants_cmd =
        ~doc:"Multi-tenant serving: admission control, SLO-aware preemption, \
              program cache, and an autoscaling shard pool under bursty Zipf \
              traffic, paired against a no-admission FIFO baseline and \
-             verified bitwise against solo runs.")
+             verified bitwise against solo runs. --trace FILE additionally \
+             records every request's span tree (queue/service children, \
+             preemption and migration marks) plus the operational instants \
+             as a Perfetto track-per-tenant document.")
     Term.(const run $ requests $ tenants $ programs $ pattern $ load $ mesh
           $ lanes $ ckpt $ kill_round $ cache $ seed_arg () $ no_baseline
-          $ no_verify $ json_arg ())
+          $ no_verify $ trace_arg () $ json_arg ())
+
+let slo_cmd =
+  let run requests pattern load threshold budget fast_window slow_window
+      burn_threshold drive seed json =
+    let pattern = parse_pattern pattern in
+    let classes =
+      List.map
+        (fun cls ->
+          Obs_slo.class_config ~budget ~fast_window ~slow_window
+            ~burn_threshold ~cls ~threshold ())
+        [ "latency"; "throughput"; "best-effort" ]
+    in
+    let slo = Obs_slo.create ~classes () in
+    (* Alert edges and ladder transitions arrive as ordinary sink
+       events; collecting them here is exactly what a production
+       alerting pipe would do. *)
+    let alerts = ref [] and ladder = ref [] in
+    let sink = function
+      | Obs_sink.Slo_alert { slo; fired; burn_fast; burn_slow; at } ->
+        alerts := (slo, fired, burn_fast, burn_slow, at) :: !alerts
+      | Obs_sink.Ladder { level; occupancy; cause; at } ->
+        ladder := (level, occupancy, cause, at) :: !ladder
+      | _ -> ()
+    in
+    let r =
+      Tenant_load.run ?seed ~pattern ~n_requests:requests ~load ~verify:false
+        ~baseline:false ~sink ~slo ~slo_drive:drive ()
+    in
+    let makespan =
+      r.Tenant_load.fair.Tenant_load.stats.Tenant_server.makespan
+    in
+    let alerts = List.rev !alerts and ladder = List.rev !ladder in
+    report ~name:"slo" ~json
+      ~human:(fun () ->
+        Printf.printf
+          "slo monitor: %s x %d requests, load %.2f; threshold %gs, budget \
+           %g, windows %g/%gs, burn threshold %g%s\n"
+          (Tenant_load.pattern_name r.Tenant_load.pattern)
+          r.Tenant_load.n_requests r.Tenant_load.load threshold budget
+          fast_window slow_window burn_threshold
+          (if drive then " (driving the admission ladder)" else "");
+        Printf.printf
+          "completed %d  shed %d  rejected %d  makespan %.4fs  alerts %d\n\n"
+          (List.length
+             r.Tenant_load.fair.Tenant_load.stats.Tenant_server.completions)
+          r.Tenant_load.fair.Tenant_load.shed r.Tenant_load.fair.Tenant_load.rejected
+          makespan (Obs_slo.fired_total slo);
+        if alerts <> [] then
+          Table.print_stdout
+            ~header:[ "at"; "class"; "edge"; "burn fast"; "burn slow" ]
+            ~rows:
+              (List.map
+                 (fun (cls, fired, bf, bs, at) ->
+                   [
+                     Printf.sprintf "%.4f" at;
+                     cls;
+                     (if fired then "FIRED" else "resolved");
+                     Printf.sprintf "%.2f" bf;
+                     Printf.sprintf "%.2f" bs;
+                   ])
+                 alerts)
+        else print_endline "no alert edges";
+        if ladder <> [] then begin
+          print_newline ();
+          Table.print_stdout
+            ~header:[ "at"; "ladder level"; "occupancy"; "cause" ]
+            ~rows:
+              (List.map
+                 (fun (level, occ, cause, at) ->
+                   [
+                     Printf.sprintf "%.4f" at;
+                     level;
+                     Printf.sprintf "%.3f" occ;
+                     cause;
+                   ])
+                 ladder)
+        end)
+      [
+        ( "alerts",
+          Obs_json.List
+            (List.map
+               (fun (cls, fired, bf, bs, at) ->
+                 Obs_json.Obj
+                   [
+                     ("class", Obs_json.Str cls);
+                     ("fired", Obs_json.Bool fired);
+                     ("burn_fast", Obs_json.Float bf);
+                     ("burn_slow", Obs_json.Float bs);
+                     ("at", Obs_json.Float at);
+                   ])
+               alerts) );
+        ( "ladder",
+          Obs_json.List
+            (List.map
+               (fun (level, occ, cause, at) ->
+                 Obs_json.Obj
+                   [
+                     ("level", Obs_json.Str level);
+                     ("occupancy", Obs_json.Float occ);
+                     ("cause", Obs_json.Str cause);
+                     ("at", Obs_json.Float at);
+                   ])
+               ladder) );
+        ("monitor", Obs_slo.to_json slo ~now:makespan);
+        ("stats", Tenant_load.to_json r);
+      ]
+  in
+  let requests =
+    Arg.(value & opt int 2000 & info [ "requests" ] ~doc:"Requests in the trace.")
+  in
+  let pattern =
+    Arg.(value & opt string "adversarial"
+         & info [ "pattern" ] ~docv:"P"
+             ~doc:"Arrival pattern: uniform, bursty, diurnal, adversarial.")
+  in
+  let load =
+    Arg.(value & opt float 0.35
+         & info [ "load" ]
+             ~doc:"Offered load as a fraction of full-pool capacity.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.25
+         & info [ "threshold" ]
+             ~doc:"Latency threshold (simulated seconds) defining a bad \
+                   request; sheds and ladder rejections are always bad.")
+  in
+  let budget =
+    Arg.(value & opt float 0.05
+         & info [ "budget" ] ~doc:"Error budget: allowed bad fraction.")
+  in
+  let fast_window =
+    Arg.(value & opt float 60.
+         & info [ "fast-window" ]
+             ~doc:"Fast (detection) window, simulated seconds.")
+  in
+  let slow_window =
+    Arg.(value & opt float 360.
+         & info [ "slow-window" ]
+             ~doc:"Slow (confirmation) window, simulated seconds.")
+  in
+  let burn_threshold =
+    Arg.(value & opt float 6.
+         & info [ "burn-threshold" ]
+             ~doc:"Fire when both window burn rates reach this multiple of \
+                   the sustainable budget pace.")
+  in
+  let drive =
+    Arg.(value & flag
+         & info [ "drive" ]
+             ~doc:"Let a firing alert pin the admission ladder at \
+                   shed-best-effort until it resolves (the resulting rung \
+                   moves show up in the ladder table with cause slo-floor).")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"SLO burn-rate monitoring: replay a tenant trace under the \
+             multi-window monitor, print every alert edge and admission \
+             ladder transition, and optionally let alerts drive the ladder.")
+    Term.(const run $ requests $ pattern $ load $ threshold $ budget
+          $ fast_window $ slow_window $ burn_threshold $ drive $ seed_arg ()
+          $ json_arg ())
 
 let resilience_cmd =
   let run z intervals rates vms shards lanes requests bandwidth seed csv json =
@@ -1033,6 +1229,7 @@ let () =
                    Control-Intensive Programs for Modern Accelerators'.")
           [
             figure5_cmd; figure6_cmd; ablations_cmd; scaling_cmd; serve_cmd;
-            tenants_cmd; resilience_cmd; inspect_cmd; dot_cmd; fuse_cmd;
-            run_file_cmd; profile_cmd; sample_cmd; smc_cmd; temper_cmd; tree_cmd;
+            tenants_cmd; slo_cmd; resilience_cmd; inspect_cmd; dot_cmd;
+            fuse_cmd; run_file_cmd; profile_cmd; sample_cmd; smc_cmd;
+            temper_cmd; tree_cmd;
           ]))

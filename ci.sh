@@ -82,6 +82,29 @@ fi
 step "bench serve baseline"
 dune exec bench/main.exe -- serve
 
+# Request-scoped tracing must also be free: the obs2 stage replays the
+# tenant trace bare and with a span recorder + SLO burn-rate monitor
+# attached, and exits nonzero unless the observed run is bitwise
+# identical (simulated clock included), every completion has a
+# well-formed span tree, preempt/migrate/restore spans are present, the
+# Perfetto export re-parses, and the monitor fires on the adversarial
+# trace while staying silent on uniform. The fast tier caps the trace at
+# 10k requests via AUTOBATCH_FAST; the full tier regenerates the
+# committed BENCH_obs2.json.
+step "bench obs2 gate"
+if [ "$tier" = "@runtest-fast" ]; then
+  AUTOBATCH_FAST=1 dune exec bench/main.exe -- obs2
+else
+  dune exec bench/main.exe -- obs2
+fi
+
+# Simulated cost is a contract: the regress stage re-runs the
+# fixed-seed probes (fib/NUTS under the pc VM, a 1k-request tenant
+# trace) and exits nonzero if simulated cost or superstep counts
+# regressed against the committed BENCH_obs2.json baseline.
+step "bench regress"
+dune exec bench/main.exe -- regress
+
 # The handler-DSL frontend must elaborate to exactly the programs the
 # hand-written models used to be: the eff stage exits nonzero unless
 # every zoo model's elaborated density is bitwise identical across

@@ -9,6 +9,7 @@ type result = {
   n_iter : int;
   policy : Sched_policy.t;
   sim_seconds : float;
+  wall : Obs_wall.sample;
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
   cfg : Cfg.program;
@@ -95,15 +96,19 @@ let run ?(dim = 10) ?(batch = 64) ?(n_iter = 2) ?(seed = 0x5EEDL) ?trace ?fuse
       sink = Some sink;
     }
   in
+  let probe = Obs_wall.probe () in
+  Obs_wall.start probe;
   ignore
     (Autobatch.run_pc ~config compiled
        ~batch:(Nuts_dsl.inputs ~q0 ~eps ~n_iter ~n_burn:0 ~batch ()));
+  let wall = Obs_wall.stop probe in
   {
     model_name;
     batch;
     n_iter;
     policy;
     sim_seconds = Engine.elapsed engine;
+    wall;
     snapshot = Engine.snapshot engine;
     stack = compiled.Autobatch.stack;
     cfg = compiled.Autobatch.cfg;
@@ -133,6 +138,7 @@ let print ?(top = 12) r =
      %.2e)\n"
     r.sim_seconds attributed
     (Float.abs (r.sim_seconds -. attributed));
+  Printf.printf "host cost: %s\n" (Obs_wall.summary r.wall);
   Printf.printf
     "lane utilization %.3f (time-weighted %.3f): divergence waste %.3f, \
      drain waste %.3f over %d supersteps\n\n"
@@ -218,6 +224,7 @@ let to_json r =
        ("n_iter", Obs_json.Int r.n_iter);
        ("policy", Obs_json.Str (Sched_policy.to_string r.policy));
        ("sim_seconds", Obs_json.Float r.sim_seconds);
+       ("wall", Obs_wall.to_json r.wall);
        ("engine", Engine.Counters.to_json r.snapshot.Engine.at);
        ( "op_counts",
          Obs_json.Obj
@@ -245,6 +252,9 @@ type view = {
   v_label : string;
   v_policy : string;
   v_sim_seconds : float;
+  v_wall_s : float;
+      (* host wall-clock; nondeterministic, so it stays out of
+         [view_to_json] (committed bench baselines diff that output) *)
   v_utilization : float;
   v_effective : float;
   v_divergence_waste : float;
@@ -255,11 +265,12 @@ type view = {
   v_migration_bytes : float;
 }
 
-let view_of_prof ?(label = "") ~policy ~sim_seconds prof =
+let view_of_prof ?(label = "") ?(wall_s = 0.) ~policy ~sim_seconds prof =
   {
     v_label = label;
     v_policy = policy;
     v_sim_seconds = sim_seconds;
+    v_wall_s = wall_s;
     v_utilization = Obs_prof.utilization prof;
     v_effective = Obs_prof.effective_utilization prof;
     v_divergence_waste = Obs_prof.divergence_waste prof;
@@ -271,7 +282,7 @@ let view_of_prof ?(label = "") ~policy ~sim_seconds prof =
   }
 
 let view ?(label = "") r =
-  view_of_prof ~label
+  view_of_prof ~label ~wall_s:r.wall.Obs_wall.wall_s
     ~policy:(Sched_policy.to_string r.policy)
     ~sim_seconds:r.sim_seconds r.prof
 
@@ -285,7 +296,7 @@ let print_compare views =
       ~header:
         [
           "run"; "policy"; "sim-s"; "speedup"; "util"; "eff-util"; "eff x";
-          "div-waste"; "idle"; "migr"; "steals";
+          "div-waste"; "idle"; "migr"; "steals"; "wall";
         ]
       ~rows:
         (List.map
@@ -302,6 +313,7 @@ let print_compare views =
                Printf.sprintf "%.3f" v.v_idle_waste;
                string_of_int v.v_migrations;
                string_of_int v.v_steals;
+               Obs_wall.span_of_seconds v.v_wall_s;
              ])
            views)
 

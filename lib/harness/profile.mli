@@ -12,6 +12,10 @@ type result = {
   n_iter : int;
   policy : Sched_policy.t;  (** the scheduling policy the run used *)
   sim_seconds : float;  (** the engine's total simulated time *)
+  wall : Obs_wall.sample;
+      (** host wall-clock/GC cost of the run itself ({!Obs_wall.probe}
+          around the VM execution) — reporting only, never part of the
+          simulated cost *)
   snapshot : Engine.snapshot;
   stack : Stack_ir.program;
   cfg : Cfg.program;
@@ -70,6 +74,10 @@ type view = {
   v_label : string;
   v_policy : string;
   v_sim_seconds : float;
+  v_wall_s : float;
+      (** host wall seconds; shown in {!print_compare} but deliberately
+          absent from {!compare_to_json} — that output is diffed against
+          committed bench baselines, and wall time is nondeterministic *)
   v_utilization : float;
   v_effective : float;  (** {!Obs_prof.effective_utilization} *)
   v_divergence_waste : float;
@@ -83,7 +91,12 @@ type view = {
 val view : ?label:string -> result -> view
 
 val view_of_prof :
-  ?label:string -> policy:string -> sim_seconds:float -> Obs_prof.t -> view
+  ?label:string ->
+  ?wall_s:float ->
+  policy:string ->
+  sim_seconds:float ->
+  Obs_prof.t ->
+  view
 (** For runs not driven by {!run} (e.g. the [Sched_sweep] defrag arms):
     build a row straight from a profiler and a simulated clock. *)
 

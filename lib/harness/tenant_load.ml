@@ -154,7 +154,7 @@ let sample_cdf stream cdf =
    trace from their own source (their caches differ only in physical
    identity, never in digests). *)
 let make_source ~seed ~pattern ~rate ~n_requests ~tenants ~n_programs ~cache
-    ~max_width ~burst_every ~burst_len ~period =
+    ~max_width ~burst_every ~burst_len ~period ?(clock = ref 0.) () =
   let stream = Splitmix.Stream.create seed in
   let n_tenants = Array.length tenants in
   let cdf = zipf_cdf ~n:n_tenants ~s:1.1 in
@@ -168,7 +168,6 @@ let make_source ~seed ~pattern ~rate ~n_requests ~tenants ~n_programs ~cache
   let compiled_of prog =
     fst (Prog_cache.find_or_compile cache ~input_shapes:element_shapes prog)
   in
-  let clock = ref 0. in
   let next_id = ref 0 in
   let next () =
     if !next_id >= n_requests then None
@@ -283,7 +282,8 @@ let latencies ?slo (s : Tenant_server.stats) =
 let run ?(seed = 0x7E47L) ?(pattern = Bursty) ?(n_requests = 2000)
     ?(n_tenants = 24) ?(n_programs = 8) ?cache_capacity ?(load = 0.35)
     ?(mesh_size = 4) ?(lanes_per_shard = 8) ?(checkpoint_interval = 16)
-    ?(kill_round = 40) ?(baseline = true) ?(verify = true) () =
+    ?(kill_round = 40) ?(baseline = true) ?(verify = true) ?keep_outputs
+    ?sink ?slo ?(slo_drive = false) () =
   let cache_capacity =
     match cache_capacity with Some c -> c | None -> n_programs
   in
@@ -332,12 +332,23 @@ let run ?(seed = 0x7E47L) ?(pattern = Bursty) ?(n_requests = 2000)
     if kill_round < 0 then []
     else [ { Fault.superstep = kill_round; device = 0; kind = Fault.Device_kill } ]
   in
-  let run_arm ~arm_name ~admission ~preempt ~faults =
+  let keep_outputs = Option.value ~default:verify keep_outputs in
+  let run_arm ~arm_name ~admission ~preempt ~faults ~observed =
     let tenants = make_tenants ~n:n_tenants ~rate_scale in
-    let cache = Prog_cache.create ~capacity:cache_capacity () in
+    (* Observability rides on the fair arm only: the baseline stays a
+       clean pair, and the cache's hit/miss/compile instants are stamped
+       with the trace clock at generation time. *)
+    let arm_sink = if observed then sink else None in
+    let trace_clock = ref 0. in
+    let cache =
+      Prog_cache.create ?sink:arm_sink
+        ~clock:(fun () -> !trace_clock)
+        ~capacity:cache_capacity ()
+    in
     let source =
       make_source ~seed ~pattern ~rate ~n_requests ~tenants ~n_programs ~cache
         ~max_width:(min 4 lanes_per_shard) ~burst_every ~burst_len ~period
+        ~clock:trace_clock ()
     in
     let metrics = Obs_metrics.create () in
     let config =
@@ -348,8 +359,11 @@ let run ?(seed = 0x7E47L) ?(pattern = Bursty) ?(n_requests = 2000)
         preempt;
         checkpoint_interval;
         faults;
-        keep_outputs = verify;
+        keep_outputs;
         metrics = Some metrics;
+        sink = arm_sink;
+        slo = (if observed then slo else None);
+        slo_drive;
       }
     in
     let stats = Tenant_server.run ~config source in
@@ -381,6 +395,7 @@ let run ?(seed = 0x7E47L) ?(pattern = Bursty) ?(n_requests = 2000)
   in
   let fair, fair_cache =
     run_arm ~arm_name:"fair" ~admission:Admission.default ~preempt:true ~faults
+      ~observed:true
   in
   let baseline =
     if not baseline then None
@@ -390,7 +405,7 @@ let run ?(seed = 0x7E47L) ?(pattern = Bursty) ?(n_requests = 2000)
       Some
         (fst
            (run_arm ~arm_name:"fifo" ~admission:(Admission.fifo ()) ~preempt:false
-              ~faults))
+              ~faults ~observed:false))
   in
   let verified, mismatches =
     if not verify then (0, 0)

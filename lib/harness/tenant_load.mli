@@ -92,6 +92,10 @@ val run :
   ?kill_round:int ->
   ?baseline:bool ->
   ?verify:bool ->
+  ?keep_outputs:bool ->
+  ?sink:Obs_sink.t ->
+  ?slo:Obs_slo.t ->
+  ?slo_drive:bool ->
   unit ->
   result
 (** Defaults: seed [0x7E47L], [Bursty], 2000 requests, 24 tenants, an
@@ -104,7 +108,18 @@ val run :
     baseline arm on, bitwise verification on (against
     {!Autobatch.run_pc} solo; turn off for million-request sweeps, which
     should also turn off [keep_outputs] — {!run} does this
-    automatically when [verify] is false). *)
+    automatically when [verify] is false; pass [keep_outputs] explicitly
+    to override, e.g. [~verify:false ~keep_outputs:true] for bitwise
+    sink-on/off comparisons without the solo re-runs).
+
+    [sink], [slo], and [slo_drive] attach to the {e fair arm only} (the
+    baseline stays a clean pair): [sink] receives the fair server's full
+    event stream — spans included — plus the program cache's
+    hit/miss/compile instants stamped with the trace clock; [slo] is a
+    caller-owned {!Obs_slo} monitor wired into the fair server;
+    [slo_drive] (default off) lets it steer the admission ladder.
+    Attaching [sink] or [slo] without [slo_drive] leaves outputs and the
+    simulated clock bitwise unchanged. *)
 
 val to_json : result -> Obs_json.t
 val print_table : result -> unit

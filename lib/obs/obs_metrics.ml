@@ -103,23 +103,35 @@ let bucket_value i =
     Float.exp2
       ((float_of_int (i - mid) +. 0.5) /. float_of_int buckets_per_octave)
 
+(* Quantiles interpolate buckets only where the buckets actually carry
+   information. The edge cases are exact, not bucket artifacts: an empty
+   histogram reads nan, a single observation reads itself at every q,
+   and the extreme ranks read the exact tracked min/max (rank 1 is the
+   minimum, rank n the maximum — both known precisely). Interior ranks
+   read the geometric midpoint of the rank's bucket, clamped to the
+   observed [lo, hi]. *)
 let quantile h q =
   if h.n = 0 then Float.nan
+  else if h.n = 1 then h.lo
   else begin
     let q = Float.max 0. (Float.min 1. q) in
     let target = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
-    let result = ref h.hi in
-    let cum = ref 0 in
-    (try
-       for i = 0 to n_buckets - 1 do
-         cum := !cum + h.buckets.(i);
-         if !cum >= target then begin
-           result := bucket_value i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    Float.min h.hi (Float.max h.lo !result)
+    if target <= 1 then h.lo
+    else if target >= h.n then h.hi
+    else begin
+      let result = ref h.hi in
+      let cum = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           cum := !cum + h.buckets.(i);
+           if !cum >= target then begin
+             result := bucket_value i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.min h.hi (Float.max h.lo !result)
+    end
   end
 
 (* Lower/upper bucket boundaries, for the raw-bucket export. Bucket 0 is

@@ -51,7 +51,25 @@ val hist_max : histogram -> float
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0, 1] (clamped); [nan] when empty. The
     estimate is the geometric midpoint of the bucket holding the rank-[q]
-    observation, so its relative error is bounded by the bucket width. *)
+    observation, so its relative error is bounded by the bucket width.
+    The edges are exact rather than bucket artifacts: one observation
+    reads itself at every [q], and the extreme ranks (rank 1 and rank
+    [n], e.g. any [q] with a two-observation histogram) read the tracked
+    exact min/max. *)
+
+(** {2 Bucket geometry}
+
+    The shared log-bucket layout, exposed for {!Obs_window}'s rolling
+    histograms so windowed and cumulative quantiles agree bucket-for-
+    bucket. *)
+
+val n_buckets : int
+val bucket_of : float -> int
+(** Bucket index for a value; bucket 0 holds zero/negative values. *)
+
+val bucket_value : int -> float
+(** Geometric midpoint of a bucket (0 for bucket 0) — the minimax
+    representative under relative error. *)
 
 val hist_to_json : ?buckets:bool -> histogram -> Obs_json.t
 (** [{count; sum; mean; min; max; p50; p90; p99}]. With [~buckets:true],

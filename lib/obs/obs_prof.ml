@@ -231,7 +231,8 @@ let on_event t ev =
     Obs_metrics.incr (Obs_metrics.counter ch.metrics "migrations")
   | Obs_sink.Launch _ | Obs_sink.Request_enqueued _ | Obs_sink.Request_shed _
   | Obs_sink.Request_rejected _ | Obs_sink.Request_completed _
-  | Obs_sink.Checkpoint _ | Obs_sink.Restore _ ->
+  | Obs_sink.Checkpoint _ | Obs_sink.Restore _ | Obs_sink.Span _
+  | Obs_sink.Ladder _ | Obs_sink.Slo_alert _ ->
     ()
 
 let sink t : Obs_sink.t =

@@ -31,6 +31,23 @@ type event =
       bytes : float;
       step : int;
     }
+  | Span of {
+      trace : int;
+      span : int;
+      parent : int;
+      track : int;
+      name : string;
+      t0 : float;
+      t1 : float;
+    }
+  | Ladder of { level : string; occupancy : float; cause : string; at : float }
+  | Slo_alert of {
+      slo : string;
+      fired : bool;
+      burn_fast : float;
+      burn_slow : float;
+      at : float;
+    }
 
 type t = event -> unit
 
@@ -56,3 +73,6 @@ let kind_name = function
   | Restore _ -> "restore"
   | Occupancy _ -> "occupancy"
   | Migration _ -> "migration"
+  | Span _ -> "span"
+  | Ladder _ -> "ladder"
+  | Slo_alert _ -> "slo-alert"

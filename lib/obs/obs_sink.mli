@@ -69,6 +69,44 @@ type event =
           the migrated payload. Occupancy improvements then show up in
           the ordinary {!Occupancy} stream, and this event attributes
           them to the migrations that caused them. *)
+  | Span of {
+      trace : int;
+      span : int;
+      parent : int;
+      track : int;
+      name : string;
+      t0 : float;
+      t1 : float;
+    }
+      (** A completed request-scoped span on the simulated clock:
+          [\[t0, t1\]] with [t0 = t1] for instants. [trace] groups the
+          spans of one request (the {!Obs_span.ctx} carried on the
+          request; negative traces are operational, e.g. [-1] for
+          server-lifecycle spans and [-2] for program-cache spans, and
+          are exempt from the one-root rule). [span] is the emitter's
+          deterministic span id, [parent] the enclosing span's id ([-1]
+          for roots), and [track] the Perfetto track — the tenant id for
+          request traces, [-1] for the operational track. Emitters close
+          spans before emitting, so consumers never see half-open
+          intervals, and request trees are emitted only when the request
+          leaves the recovery rollback window (exactly once per
+          completion, kills or not). *)
+  | Ladder of { level : string; occupancy : float; cause : string; at : float }
+      (** The admission degradation ladder settled on [level] (an
+          {!Admission.level_name}) at occupancy [occupancy]. [cause] is
+          ["occupancy"] for ordinary hysteresis transitions and
+          ["slo-floor"] when an {!Obs_slo} burn-rate alert forced the
+          floor — the event that makes rung changes explicable. *)
+  | Slo_alert of {
+      slo : string;
+      fired : bool;
+      burn_fast : float;
+      burn_slow : float;
+      at : float;
+    }
+      (** A multi-window burn-rate alert for SLO class [slo] changed
+          state: [fired = true] when both window burn rates crossed the
+          threshold, [false] when the alert resolved. *)
 
 type t = event -> unit
 
@@ -85,6 +123,6 @@ val tag_shard : int -> t -> t
     correctly-labelled steps from every shard. *)
 
 val kind_name : event -> string
-(** Short stable tag for CSV export ("step", "launch", ...). Every
-    constructor maps to a distinct tag; existing tags never change
-    (downstream CSV consumers key on them). *)
+(** Short stable tag for CSV export ("step", "launch", ..., "span",
+    "ladder", "slo-alert"). Every constructor maps to a distinct tag;
+    existing tags never change (downstream CSV consumers key on them). *)

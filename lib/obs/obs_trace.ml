@@ -46,6 +46,9 @@ let sink t ~track ~clock : Obs_sink.t =
   | Obs_sink.Request_shed { at; _ }
   | Obs_sink.Request_rejected { at; _ } -> record t ~track ~ts:at ev
   | Obs_sink.Request_completed { queued; _ } -> record t ~track ~ts:queued ev
+  | Obs_sink.Span { t0; _ } -> record t ~track ~ts:t0 ev
+  | Obs_sink.Ladder { at; _ } | Obs_sink.Slo_alert { at; _ } ->
+    record t ~track ~ts:at ev
   | Obs_sink.Step _ | Obs_sink.Checkpoint _ | Obs_sink.Restore _
   | Obs_sink.Occupancy _ | Obs_sink.Migration _ ->
     record t ~track ~ts:(clock ()) ev
@@ -269,6 +272,45 @@ let to_chrome t =
                    ("bytes", Obs_json.Float bytes);
                    ("step", Obs_json.Int step);
                  ]
+               ())
+        | Obs_sink.Span { trace; span; parent; name; t0; t1; _ } ->
+          let args =
+            [
+              ("trace", Obs_json.Int trace);
+              ("span", Obs_json.Int span);
+              ("parent", Obs_json.Int parent);
+            ]
+          in
+          if t1 > t0 then begin
+            touch t1;
+            emit
+              (chrome_event ~name ~cat:"span" ~ph:"X" ~tid ~ts:t0
+                 ~dur:(t1 -. t0) ~args ())
+          end
+          else emit (instant ~name ~cat:"span" ~tid ~ts:t0 ~args ())
+        | Obs_sink.Ladder { level; occupancy; cause; at } ->
+          emit
+            (instant
+               ~name:(Printf.sprintf "ladder %s" level)
+               ~cat:"admission" ~tid ~ts:at
+               ~args:
+                 [
+                   ("occupancy", Obs_json.Float occupancy);
+                   ("cause", Obs_json.Str cause);
+                 ]
+               ())
+        | Obs_sink.Slo_alert { slo; fired; burn_fast; burn_slow; at } ->
+          emit
+            (instant
+               ~name:
+                 (Printf.sprintf "slo %s %s" slo
+                    (if fired then "fired" else "resolved"))
+               ~cat:"slo" ~tid ~ts:at
+               ~args:
+                 [
+                   ("burn_fast", Obs_json.Float burn_fast);
+                   ("burn_slow", Obs_json.Float burn_slow);
+                 ]
                ()))
       entries;
     close_span !last_ts;
@@ -327,6 +369,17 @@ let to_csv ?policy t =
           ( (if src_shard = dst_shard then "defrag move" else "steal"),
             Printf.sprintf "src=%d dst=%d member=%d bytes=%.0f step=%d"
               src_shard dst_shard member bytes step )
+        | Obs_sink.Span { trace; span; parent; name; t0; t1; _ } ->
+          ( name,
+            Printf.sprintf "trace=%d span=%d parent=%d t0=%.9f t1=%.9f" trace
+              span parent t0 t1 )
+        | Obs_sink.Ladder { level; occupancy; cause; _ } ->
+          ( Printf.sprintf "ladder %s" level,
+            Printf.sprintf "occupancy=%.3f cause=%s" occupancy cause )
+        | Obs_sink.Slo_alert { slo; fired; burn_fast; burn_slow; _ } ->
+          ( Printf.sprintf "slo %s" slo,
+            Printf.sprintf "fired=%b burn_fast=%.3f burn_slow=%.3f" fired
+              burn_fast burn_slow )
       in
       let suffix =
         match policy with None -> "" | Some p -> "," ^ p

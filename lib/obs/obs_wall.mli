@@ -1,0 +1,72 @@
+(** Wall-clock and GC telemetry — the measurement half of the
+    "wall-clock column" roadmap item.
+
+    Everything else in [lib/obs] runs on the simulated clock; this
+    module is the fenced-off corner that reads real clocks. Wall time
+    comes from [CLOCK_MONOTONIC] (immune to NTP steps), CPU time from
+    [Sys.time] (process-wide, so [cpu_s] can exceed [wall_s] on
+    multi-domain runs), and GC numbers from [Gc.quick_stat] deltas —
+    cheap, no heap walk.
+
+    A probe created with [~enabled:false] is dead: [start]/[stop] are
+    single boolean tests with no clock syscalls, no [Gc.quick_stat], and
+    no allocation, so instrumented code keeps its probes unconditionally
+    and the zero-overhead invariant holds when telemetry is off. Wall
+    samples never feed back into simulated cost — they are reporting
+    only. *)
+
+type sample = {
+  wall_s : float;  (** monotonic wall seconds. *)
+  cpu_s : float;  (** process CPU seconds ([Sys.time] delta). *)
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val zero : sample
+val add : sample -> sample -> sample
+
+val alloc_words : sample -> float
+(** Words allocated: [minor + major - promoted] (promoted words appear
+    in both generation counters). *)
+
+val alloc_rate : sample -> float
+(** Allocation rate in words per wall second; 0 when [wall_s] is 0. *)
+
+(** {1 Probes} *)
+
+type probe
+
+val probe : ?enabled:bool -> unit -> probe
+(** [enabled] defaults to [true]. *)
+
+val enabled : probe -> bool
+
+val start : probe -> unit
+(** Begin an interval. Restarting a running probe discards the open
+    interval. No-op when disabled. *)
+
+val stop : probe -> sample
+(** End the interval and return its deltas. Returns {!zero} when the
+    probe is disabled or was never started. *)
+
+val time : ?enabled:bool -> (unit -> 'a) -> 'a * sample
+(** [time f] runs [f] under a fresh probe. *)
+
+(** {1 Export} *)
+
+val to_json : sample -> Obs_json.t
+(** [{wall_s; cpu_s; minor_words; major_words; promoted_words;
+    minor_collections; major_collections; alloc_words}]. *)
+
+val summary : sample -> string
+(** One-line human summary, e.g.
+    ["wall 1.24s  cpu 2.31s  alloc 1.2Gw (968.1Mw/s)  gc 312/4"]. *)
+
+val span_of_seconds : float -> string
+(** Human duration for table cells: ["312us"], ["4.1ms"], ["1.24s"]. *)
+
+val words : float -> string
+(** Human word count: ["512w"], ["3.1kw"], ["1.2Mw"], ["2.40Gw"]. *)

@@ -1,5 +1,8 @@
 let magic = "ABRESIL1"
-let version = 1
+
+(* Version 2 added the trace context (ri_trace/ri_parent) to request
+   images. *)
+let version = 2
 
 (* ---- Envelope -------------------------------------------------------- *)
 
@@ -320,7 +323,9 @@ let w_request b (img : Request.image) =
   Codec.w_list w_tensor_image b img.Request.ri_inputs;
   Codec.w_int b img.Request.ri_member;
   Codec.w_float b img.Request.ri_arrival;
-  Codec.w_float b img.Request.ri_cost_hint
+  Codec.w_float b img.Request.ri_cost_hint;
+  Codec.w_int b img.Request.ri_trace;
+  Codec.w_int b img.Request.ri_parent
 
 let r_request r : Request.image =
   let ri_id = Codec.r_int r in
@@ -328,7 +333,9 @@ let r_request r : Request.image =
   let ri_member = Codec.r_int r in
   let ri_arrival = Codec.r_float r in
   let ri_cost_hint = Codec.r_float r in
-  { Request.ri_id; ri_inputs; ri_member; ri_arrival; ri_cost_hint }
+  let ri_trace = Codec.r_int r in
+  let ri_parent = Codec.r_int r in
+  { Request.ri_id; ri_inputs; ri_member; ri_arrival; ri_cost_hint; ri_trace; ri_parent }
 
 let w_lane_manager b (img : Lane_manager.image) =
   w_lanes b img.Lane_manager.mi_vm;

@@ -5,6 +5,7 @@ type t = {
   member : int;
   arrival : float;
   cost_hint : float;
+  ctx : Obs_span.ctx;
 }
 
 let width_of_inputs inputs =
@@ -22,7 +23,7 @@ let width_of_inputs inputs =
     if w <= 0 then invalid_arg "Request: width must be positive";
     w
 
-let make ?member ?(arrival = 0.) ?(cost_hint = 1.) ~id ~program ~inputs () =
+let make ?member ?(arrival = 0.) ?(cost_hint = 1.) ?ctx ~id ~program ~inputs () =
   ignore (width_of_inputs inputs);
   {
     id;
@@ -31,6 +32,10 @@ let make ?member ?(arrival = 0.) ?(cost_hint = 1.) ~id ~program ~inputs () =
     member = Option.value ~default:id member;
     arrival;
     cost_hint;
+    ctx =
+      (match ctx with
+      | Some c -> c
+      | None -> { Obs_span.trace = id; parent = Obs_span.no_parent });
   }
 
 let width t = width_of_inputs t.inputs
@@ -46,6 +51,8 @@ type image = {
   ri_member : int;
   ri_arrival : float;
   ri_cost_hint : float;
+  ri_trace : int;
+  ri_parent : int;
 }
 
 let to_image t =
@@ -58,6 +65,8 @@ let to_image t =
     ri_member = t.member;
     ri_arrival = t.arrival;
     ri_cost_hint = t.cost_hint;
+    ri_trace = t.ctx.Obs_span.trace;
+    ri_parent = t.ctx.Obs_span.parent;
   }
 
 let of_image ~program img =
@@ -68,4 +77,5 @@ let of_image ~program img =
     member = img.ri_member;
     arrival = img.ri_arrival;
     cost_hint = img.ri_cost_hint;
+    ctx = { Obs_span.trace = img.ri_trace; parent = img.ri_parent };
   }

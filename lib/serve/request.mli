@@ -17,20 +17,26 @@ type t = {
   cost_hint : float;
       (** expected service cost, any consistent unit — the
           shortest-expected-first admission policy orders by it *)
+  ctx : Obs_span.ctx;
+      (** trace context: which distributed trace this request belongs to
+          and the caller's span it should parent under. Carried inertly
+          through admission, checkpointing and migration so the server's
+          span tree lands in the caller's trace. *)
 }
 
 val make :
   ?member:int ->
   ?arrival:float ->
   ?cost_hint:float ->
+  ?ctx:Obs_span.ctx ->
   id:int ->
   program:Autobatch.compiled ->
   inputs:Tensor.t list ->
   unit ->
   t
-(** [member] defaults to [id]; [arrival] to 0; [cost_hint] to 1. Raises
-    [Invalid_argument] if the inputs are empty or disagree on the leading
-    width dimension. *)
+(** [member] defaults to [id]; [arrival] to 0; [cost_hint] to 1; [ctx]
+    to a fresh root context on trace [id]. Raises [Invalid_argument] if
+    the inputs are empty or disagree on the leading width dimension. *)
 
 val width : t -> int
 (** Lanes the request occupies (the inputs' leading dimension). *)
@@ -52,6 +58,8 @@ type image = {
   ri_member : int;
   ri_arrival : float;
   ri_cost_hint : float;
+  ri_trace : int;
+  ri_parent : int;
 }
 
 val to_image : t -> image

@@ -11,6 +11,12 @@ let level_of_rung = function
   | 2 -> Cap_width
   | _ -> Reject_new
 
+let rung_of_level = function
+  | Normal -> 0
+  | Shed_best_effort -> 1
+  | Cap_width -> 2
+  | Reject_new -> 3
+
 let level_name = function
   | Normal -> "normal"
   | Shed_best_effort -> "shed-best-effort"
@@ -106,9 +112,13 @@ type t = {
   queues : dq array;  (* indexed by Tenant.rank; Fifo uses index 0 only *)
   credits : int array;
   mutable rung : int;
+  mutable floor : int;  (* SLO-driven minimum rung; effective = max *)
+  notify :
+    (old_level:level -> new_level:level -> occupancy:float -> cause:string -> unit)
+    option;
 }
 
-let create ?(config = default) () =
+let create ?(config = default) ?on_transition () =
   if config.depth <= 0 then invalid_arg "Admission.create: depth must be positive";
   if Array.length config.weights <> Tenant.n_slos then
     invalid_arg "Admission.create: weights must cover every SLO class";
@@ -122,11 +132,30 @@ let create ?(config = default) () =
     queues = Array.init Tenant.n_slos (fun _ -> dq_create ());
     credits = Array.make Tenant.n_slos 0;
     rung = 0;
+    floor = 0;
+    notify = on_transition;
   }
 
-let level t = level_of_rung t.rung
+let effective_rung t = max t.rung t.floor
+let level t = level_of_rung (effective_rung t)
 
 let length t = Array.fold_left (fun acc d -> acc + dq_length d) 0 t.queues
+
+let occupancy t = float_of_int (length t) /. float_of_int (capacity t.config)
+
+(* Every mutation of rung or floor funnels through here so the
+   transition callback sees exactly the *effective* level edges — a rung
+   change masked by a higher floor is not a transition. *)
+let with_notify t ~cause f =
+  match t.notify with
+  | None -> f ()
+  | Some notify ->
+    let before = effective_rung t in
+    f ();
+    let after = effective_rung t in
+    if after <> before then
+      notify ~old_level:(level_of_rung before) ~new_level:(level_of_rung after)
+        ~occupancy:(occupancy t) ~cause
 
 let class_length t slo =
   match t.config.mode with
@@ -148,18 +177,24 @@ let down_threshold config r =
   up_threshold config r -. (config.high_water -. config.low_water)
 
 let update_ladder t =
-  if t.config.mode = Fair then begin
-    let occ = float_of_int (length t) /. float_of_int (capacity t.config) in
-    let desired = ref 0 in
-    for r = 1 to 3 do
-      if occ >= up_threshold t.config r then desired := r
-    done;
-    if !desired > t.rung then t.rung <- !desired
-    else
-      while t.rung > 0 && occ < down_threshold t.config t.rung do
-        t.rung <- t.rung - 1
-      done
-  end
+  if t.config.mode = Fair then
+    with_notify t ~cause:"occupancy" (fun () ->
+        let occ = occupancy t in
+        let desired = ref 0 in
+        for r = 1 to 3 do
+          if occ >= up_threshold t.config r then desired := r
+        done;
+        if !desired > t.rung then t.rung <- !desired
+        else
+          while t.rung > 0 && occ < down_threshold t.config t.rung do
+            t.rung <- t.rung - 1
+          done)
+
+let set_floor t lvl =
+  if t.config.mode = Fair then
+    with_notify t ~cause:"slo-floor" (fun () -> t.floor <- rung_of_level lvl)
+
+let floor_level t = level_of_rung t.floor
 
 (* The weakest (highest-rank) non-empty class; shedding victimizes it. *)
 let weakest_nonempty t =

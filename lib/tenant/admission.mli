@@ -79,9 +79,36 @@ val capacity : config -> int
 
 type t
 
-val create : ?config:config -> unit -> t
+val create :
+  ?config:config ->
+  ?on_transition:
+    (old_level:level -> new_level:level -> occupancy:float -> cause:string -> unit) ->
+  unit ->
+  t
+(** [on_transition] fires whenever the {e effective} level (the max of
+    the occupancy rung and the SLO floor) changes, with the occupancy at
+    the transition and the cause — ["occupancy"] for ladder moves,
+    ["slo-floor"] for {!set_floor}. A rung move masked by a higher floor
+    is not a transition. The callback runs inside queue operations:
+    it must not call back into this [t]. *)
 
 val level : t -> level
+(** The effective level: the occupancy rung or the SLO floor, whichever
+    is more protective. *)
+
+val set_floor : t -> level -> unit
+(** Pin the ladder at or above a level regardless of occupancy — the
+    burn-rate monitor's lever: a firing latency SLO holds the ladder at
+    [Shed_best_effort] even while the queue looks healthy, and resolving
+    releases it ([set_floor t Normal]). No-op in [Fifo] mode (the
+    baseline has no ladder). *)
+
+val floor_level : t -> level
+(** The current floor (not the effective level). *)
+
+val occupancy : t -> float
+(** Queued / total capacity, the quantity the ladder thresholds read. *)
+
 val length : t -> int
 val class_length : t -> Tenant.slo -> int
 

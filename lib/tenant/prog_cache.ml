@@ -110,9 +110,12 @@ type t = {
   mutable n_hits : int;
   mutable n_misses : int;
   mutable n_evictions : int;
+  sink : Obs_sink.t option;
+  clock : unit -> float;
+  mutable span_seq : int;
 }
 
-let create ?metrics ?registry ~capacity () =
+let create ?metrics ?registry ?sink ?(clock = fun () -> 0.) ~capacity () =
   if capacity < 0 then invalid_arg "Prog_cache.create: negative capacity";
   let m = match metrics with Some m -> m | None -> Obs_metrics.create ~enabled:false () in
   {
@@ -124,6 +127,9 @@ let create ?metrics ?registry ~capacity () =
     c_misses = Obs_metrics.counter m "prog_cache_misses";
     c_evictions = Obs_metrics.counter m "prog_cache_evictions";
     n_hits = 0; n_misses = 0; n_evictions = 0;
+    sink;
+    clock;
+    span_seq = 0;
   }
 
 let length t = Hashtbl.length t.entries
@@ -140,14 +146,38 @@ let touch t e =
   t.tick <- t.tick + 1;
   e.last_use <- t.tick
 
+(* Cache-lifecycle instants live on the shared cache trace
+   (Obs_span.cache_trace), outside any request's span tree. Charging no
+   simulated cost, they are zero-width. *)
+let emit_instant t name =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    let span = t.span_seq in
+    t.span_seq <- span + 1;
+    let now = t.clock () in
+    sink
+      (Obs_sink.Span
+         {
+           trace = Obs_span.cache_trace;
+           span;
+           parent = Obs_span.no_parent;
+           track = Obs_span.ops_track;
+           name;
+           t0 = now;
+           t1 = now;
+         })
+
 let hit t e =
   touch t e;
   t.n_hits <- t.n_hits + 1;
-  Obs_metrics.incr t.c_hits
+  Obs_metrics.incr t.c_hits;
+  emit_instant t "cache-hit"
 
 let miss t =
   t.n_misses <- t.n_misses + 1;
-  Obs_metrics.incr t.c_misses
+  Obs_metrics.incr t.c_misses;
+  emit_instant t "cache-miss"
 
 let evict_lru t =
   let victim =
@@ -193,5 +223,6 @@ let find_or_compile t ?optimize ?fuse ?input_shapes program =
       Autobatch.compile ~registry:t.registry ?optimize ?fuse ?input_shapes
         program
     in
+    emit_instant t "compile";
     insert t key compiled;
     (compiled, `Miss)

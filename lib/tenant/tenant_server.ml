@@ -12,6 +12,8 @@ type config = {
   max_rounds : int;
   metrics : Obs_metrics.t option;
   sink : Obs_sink.t option;
+  slo : Obs_slo.t option;
+  slo_drive : bool;
 }
 
 let default_config ~mesh =
@@ -29,6 +31,8 @@ let default_config ~mesh =
     max_rounds = 10_000_000;
     metrics = None;
     sink = None;
+    slo = None;
+    slo_drive = false;
   }
 
 type completion = {
@@ -38,6 +42,7 @@ type completion = {
   c_finished : float;
   c_shard : int;
   c_preempted : int;
+  c_marks : (string * float * float) list;
 }
 
 type stats = {
@@ -99,6 +104,7 @@ type flight = {
   f_lanes : int array;
   f_started : float;
   f_preempted : int;
+  f_marks : (string * float * float) list;  (* newest first; immutable *)
 }
 
 type parked = {
@@ -109,6 +115,7 @@ type parked = {
   p_from : int;
   p_at : float;
   p_seq : int;
+  p_marks : (string * float * float) list;
 }
 
 type ckpt = {
@@ -157,7 +164,6 @@ let run ?config src =
         | None -> ());
         { s_id = i; s_engine = engine; s_b = None })
   in
-  let adm = Admission.create ~config:cfg.admission () in
   let fair = cfg.admission.Admission.mode = Admission.Fair in
   let injector =
     Fault.injector
@@ -165,6 +171,78 @@ let run ?config src =
   in
 
   let now = ref 0. in
+  (* Ladder transitions surface as first-class events, stamped with the
+     simulated clock and the cause ("occupancy" or "slo-floor") — rung
+     changes stop being opaque. *)
+  let adm =
+    Admission.create ~config:cfg.admission
+      ~on_transition:(fun ~old_level:_ ~new_level ~occupancy ~cause ->
+        emit
+          (Obs_sink.Ladder
+             {
+               level = Admission.level_name new_level;
+               occupancy;
+               cause;
+               at = !now;
+             }))
+      ()
+  in
+  (* Span ids are a server-global sequence, assigned at emission time
+     only — a rolled-back round never consumes ids, so replays stay
+     deterministic. *)
+  let span_seq = ref 0 in
+  let next_span () =
+    let s = !span_seq in
+    incr span_seq;
+    s
+  in
+  (* Server-lifecycle instants (pool scaling, checkpoint, restore) live
+     on the shared ops trace, outside any request's tree. *)
+  let ops_span name =
+    match cfg.sink with
+    | None -> ()
+    | Some sink ->
+      let span = next_span () in
+      sink
+        (Obs_sink.Span
+           {
+             trace = Obs_span.ops_trace;
+             span;
+             parent = Obs_span.no_parent;
+             track = Obs_span.ops_track;
+             name;
+             t0 = !now;
+             t1 = !now;
+           })
+  in
+  (* One span tree per completed request, emitted exactly once — at the
+     moment the completion leaves the rollback window (flush), not at
+     retire, which a device kill can replay. *)
+  let emit_request_spans (c : completion) =
+    match cfg.sink with
+    | None -> ()
+    | Some sink ->
+      let r = c.c_item.Admission.request in
+      let trace = r.Request.ctx.Obs_span.trace in
+      let track = c.c_item.Admission.tenant.Tenant.id in
+      let sp ~parent ~name ~t0 ~t1 =
+        let span = next_span () in
+        sink (Obs_sink.Span { trace; span; parent; track; name; t0; t1 });
+        span
+      in
+      let root =
+        sp ~parent:r.Request.ctx.Obs_span.parent ~name:"request"
+          ~t0:r.Request.arrival ~t1:c.c_finished
+      in
+      ignore
+        (sp ~parent:root ~name:"queue" ~t0:r.Request.arrival ~t1:c.c_started);
+      let service =
+        sp ~parent:root ~name:"service" ~t0:c.c_started ~t1:c.c_finished
+      in
+      List.iter
+        (fun (name, t0, t1) -> ignore (sp ~parent:service ~name ~t0 ~t1))
+        c.c_marks
+  in
   let round = ref 0 in
   let parked = ref ([] : parked list) in
   let seq = ref 0 in
@@ -227,8 +305,10 @@ let run ?config src =
      are final, and the tenants' completion counters move with them. *)
   let flush_done b =
     List.iter
-      (fun c -> c.c_item.Admission.tenant.Tenant.completed <-
-          c.c_item.Admission.tenant.Tenant.completed + 1)
+      (fun c ->
+        c.c_item.Admission.tenant.Tenant.completed <-
+          c.c_item.Admission.tenant.Tenant.completed + 1;
+        emit_request_spans c)
       b.b_done_since;
     completions := b.b_done_since @ !completions;
     b.b_done_since <- []
@@ -240,6 +320,7 @@ let run ?config src =
     b.b_admitted_since <- [];
     b.b_force_ckpt <- false;
     incr checkpoints;
+    ops_span "checkpoint";
     emit (Obs_sink.Checkpoint { step = !round; bytes = int_of_float (ckpt_bytes b) })
   in
   let restore_shard s b =
@@ -259,6 +340,7 @@ let run ?config src =
     b.b_since <- 0;
     b.b_force_ckpt <- false;
     incr restores;
+    ops_span "restore";
     emit (Obs_sink.Restore { step = !round })
   in
 
@@ -326,11 +408,20 @@ let run ?config src =
           emit (Obs_sink.Request_rejected { id = r.Request.id; at = !now })
         end
         else begin
+          let slo_bad (victim : Admission.item) =
+            match cfg.slo with
+            | Some slo ->
+              Obs_slo.observe slo
+                ~cls:(Tenant.slo_name (Admission.item_slo victim))
+                ~now:!now ~ok:false
+            | None -> ()
+          in
           match Admission.offer adm it with
           | `Admitted ->
             emit (Obs_sink.Request_enqueued { id = r.Request.id; at = !now })
           | `Shed victim ->
             shed := victim :: !shed;
+            slo_bad victim;
             emit
               (Obs_sink.Request_shed
                  { id = victim.Admission.request.Request.id; at = !now });
@@ -338,6 +429,7 @@ let run ?config src =
               emit (Obs_sink.Request_enqueued { id = r.Request.id; at = !now })
           | `Rejected reason ->
             rejected := (it, reason) :: !rejected;
+            slo_bad it;
             emit (Obs_sink.Request_rejected { id = r.Request.id; at = !now })
         end
       | _ -> continue := false
@@ -378,9 +470,21 @@ let run ?config src =
             c_finished = !now;
             c_shard = s.s_id;
             c_preempted = f.f_preempted;
+            c_marks = List.rev f.f_marks;
           }
         in
         b.b_done_since <- c :: b.b_done_since;
+        (* The burn-rate monitor is fed at retire (like the completion
+           event): a restore replays retired-but-unflushed work, so rates
+           can briefly double-count — acceptable for a rate monitor,
+           where the span trees above stay exactly-once. *)
+        (match cfg.slo with
+        | Some slo ->
+          Obs_slo.observe_latency slo
+            ~cls:(Tenant.slo_name (Admission.item_slo f.f_item))
+            ~now:!now
+            (!now -. r.Request.arrival)
+        | None -> ());
         emit
           (Obs_sink.Request_completed
              {
@@ -463,7 +567,16 @@ let run ?config src =
         Engine.charge_refill s.s_engine ~bytes:(bytes_of inputs))
       lanes;
     b.b_flight <-
-      b.b_flight @ [ { f_item = it; f_lanes = lanes; f_started = started; f_preempted = preempted } ]
+      b.b_flight
+      @ [
+          {
+            f_item = it;
+            f_lanes = lanes;
+            f_started = started;
+            f_preempted = preempted;
+            f_marks = [];
+          };
+        ]
   in
   let refill_shard s b =
     let continue = ref true in
@@ -515,6 +628,7 @@ let run ?config src =
         p_from = s.s_id;
         p_at = !now;
         p_seq = !seq;
+        p_marks = f.f_marks;
       }
       :: !parked;
     incr preemptions
@@ -637,6 +751,14 @@ let run ?config src =
               in
               Engine.charge_transfer s.s_engine ~name:"preempt-resume" ~bytes:!bytes
                 ~seconds;
+              (* The park→resume interval becomes a "preempted" mark on
+                 the request's service span; a cross-shard resume adds a
+                 "migrate" instant. *)
+              let marks =
+                let preempted = ("preempted", p.p_at, !now) :: p.p_marks in
+                if p.p_from = s.s_id then preempted
+                else ("migrate", !now, !now) :: preempted
+              in
               b.b_flight <-
                 b.b_flight
                 @ [
@@ -645,6 +767,7 @@ let run ?config src =
                       f_lanes = lanes;
                       f_started = p.p_started;
                       f_preempted = p.p_preempted;
+                      f_marks = marks;
                     };
                   ];
               b.b_force_ckpt <- true;
@@ -672,6 +795,7 @@ let run ?config src =
       if !target < max_target then begin
         incr target;
         incr grows;
+        ops_span "pool-grow";
         since_scale := 0
       end
     | Pool.Shrink ->
@@ -698,6 +822,7 @@ let run ?config src =
             b.b_force_ckpt <- true
           | None -> ());
           incr shrinks;
+          ops_span "pool-shrink";
           since_scale := 0
         | None -> ())
       end
@@ -767,6 +892,7 @@ let run ?config src =
                               f_lanes = lanes;
                               f_started = f.f_started;
                               f_preempted = f.f_preempted;
+                              f_marks = ("migrate", !now, !now) :: f.f_marks;
                             };
                           ];
                       b.b_force_ckpt <- true;
@@ -901,6 +1027,19 @@ let run ?config src =
         0. shards
     in
     now := !now +. delta;
+    (* Poll the burn-rate monitor once per round: alert *edges* become
+       sink events, and with [slo_drive] a firing alert pins the
+       admission ladder at Shed_best_effort until it resolves — the
+       ladder's own transition event then records cause "slo-floor". *)
+    (match cfg.slo with
+    | Some slo ->
+      let alerts = Obs_slo.poll slo ~now:!now in
+      List.iter (fun a -> emit (Obs_slo.alert_to_event a)) alerts;
+      if cfg.slo_drive && fair && alerts <> [] then
+        Admission.set_floor adm
+          (if Obs_slo.any_firing slo then Admission.Shed_best_effort
+           else Admission.Normal)
+    | None -> ());
     peak_active := Stdlib.max !peak_active (active_count ());
     let idle =
       (not (flights_exist ())) && Admission.length adm = 0 && !parked = []

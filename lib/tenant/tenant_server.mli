@@ -59,12 +59,32 @@ type config = {
   max_rounds : int;          (** safety valve; raises when exceeded *)
   metrics : Obs_metrics.t option;
   sink : Obs_sink.t option;
+      (** Beyond the engine/VM event stream, the server emits
+          [Obs_sink.Span] trees here — one per completed request (root
+          ["request"] with ["queue"]/["service"] children and
+          ["preempted"]/["migrate"] marks), emitted exactly once when the
+          completion leaves the rollback window; plus server-lifecycle
+          instants (["pool-grow"], ["pool-shrink"], ["checkpoint"],
+          ["restore"]) on {!Obs_span.ops_trace}, [Obs_sink.Ladder]
+          transition events, and [Obs_sink.Slo_alert] edges. Attaching a
+          sink charges no simulated cost and leaves outputs bitwise
+          identical. *)
+  slo : Obs_slo.t option;
+      (** burn-rate monitor, keyed by {!Tenant.slo_name}. Completions
+          feed it at retire time (total latency vs its class threshold);
+          sheds and ladder rejections feed as unconditionally bad; it is
+          polled once per round and alert edges go to [sink]. *)
+  slo_drive : bool;
+      (** let a firing alert pin the admission ladder at
+          [Shed_best_effort] ({!Admission.set_floor}) until it resolves.
+          Off: the monitor only observes — outputs stay bitwise identical
+          to running without it. *)
 }
 
 val default_config : mesh:Mesh.t -> config
 (** 8 lanes per shard, [Hybrid] engines, [Sched_policy.Earliest],
     {!Admission.default}, {!Pool.default}, preemption on, checkpoint
-    every 32 rounds, no faults, outputs kept. *)
+    every 32 rounds, no faults, outputs kept, no SLO monitor. *)
 
 type completion = {
   c_item : Admission.item;
@@ -75,6 +95,11 @@ type completion = {
   c_finished : float;
   c_shard : int;   (** where it retired *)
   c_preempted : int;  (** times parked *)
+  c_marks : (string * float * float) list;
+      (** chronological lifecycle marks [(name, t0, t1)] gathered while
+          in flight: ["preempted"] park→resume intervals and ["migrate"]
+          instants — the same marks that become children of the
+          request's ["service"] span *)
 }
 
 type stats = {

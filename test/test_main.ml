@@ -40,6 +40,7 @@ let () =
         Test_shard.suites;
         Test_sched.suites;
         Test_obs.suites;
+        Test_span.suites;
         Test_prof.suites;
         Test_harness.suites;
         Test_serve.suites;

@@ -141,9 +141,9 @@ let test_histogram_zero_and_empty () =
 (* ---------- trace: golden Chrome export ---------- *)
 
 (* A hand-built trace covering every event family; its Chrome export is
-   compared byte-for-byte with test/trace_golden.json. Regenerate with
-   AUTOBATCH_BLESS=/abs/path/to/test/trace_golden.json after a deliberate
-   format change. *)
+   compared byte-for-byte with test/trace_golden.json. Regenerate every
+   golden at once with AUTOBATCH_BLESS=/abs/path/to/test (the directory
+   to write into) after a deliberate format change. *)
 let golden_trace () =
   let tr = Obs_trace.create () in
   let vm = Obs_trace.track tr "vm" in
@@ -175,7 +175,8 @@ let read_file path =
 let test_trace_golden () =
   let got = Obs_trace.to_chrome_string (golden_trace ()) in
   match Sys.getenv_opt "AUTOBATCH_BLESS" with
-  | Some path when path <> "" ->
+  | Some dir when dir <> "" ->
+    let path = Filename.concat dir "trace_golden.json" in
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc got)
   | _ ->
     let want = read_file "trace_golden.json" in

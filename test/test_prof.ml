@@ -417,9 +417,9 @@ let test_prof_off_on_server () =
    unattributed span before the first step, two framed blocks (one with
    divergence), a frameless block, a bookkeeping kernel, a gap (host
    time), and a collective on its own timeline. The folded export is
-   compared byte-for-byte with test/folded_golden.txt; regenerate with
-   AUTOBATCH_BLESS_FOLDED=/abs/path/to/test/folded_golden.txt after a
-   deliberate format change. *)
+   compared byte-for-byte with test/folded_golden.txt; regenerate every
+   golden at once with AUTOBATCH_BLESS=/abs/path/to/test (the directory
+   to write into) after a deliberate format change. *)
 let golden_prof () =
   let frames = [| [| "main"; "main#0" |]; [| "main"; "f"; "f#0" |] |] in
   let p = Obs_prof.create ~frames () in
@@ -472,8 +472,9 @@ let test_folded_golden () =
   Alcotest.(check int) "block launch counter" 4
     (Obs_metrics.count (Obs_metrics.counter m "block_launches"));
   let got = Obs_prof.folded p in
-  match Sys.getenv_opt "AUTOBATCH_BLESS_FOLDED" with
-  | Some path when path <> "" ->
+  match Sys.getenv_opt "AUTOBATCH_BLESS" with
+  | Some dir when dir <> "" ->
+    let path = Filename.concat dir "folded_golden.txt" in
     Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc got)
   | _ ->
     Alcotest.(check string)
